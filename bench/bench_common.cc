@@ -1,0 +1,39 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "fairness/fairness_index.h"
+#include "ml/metrics.h"
+
+namespace remedy::bench {
+
+std::pair<Dataset, Dataset> Split(const Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  return data.TrainTestSplit(0.7, rng);
+}
+
+EvalResult Evaluate(const Dataset& train, const Dataset& test, ModelType type,
+                    uint64_t seed) {
+  ClassifierPtr model = MakeClassifier(type, seed);
+  model->Fit(train);
+  std::vector<int> predictions = model->PredictAll(test);
+  EvalResult result;
+  result.fairness_index_fpr =
+      ComputeFairnessIndex(test, predictions, Statistic::kFpr);
+  result.fairness_index_fnr =
+      ComputeFairnessIndex(test, predictions, Statistic::kFnr);
+  result.accuracy = Accuracy(test, predictions);
+  return result;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace remedy::bench

@@ -1,0 +1,35 @@
+#ifndef REMEDY_BENCH_BENCH_COMMON_H_
+#define REMEDY_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fairness/divergence.h"
+#include "ml/model_factory.h"
+
+namespace remedy::bench {
+
+// The paper's split protocol: 70% train / 30% test, remedy applied to the
+// training set only.
+std::pair<Dataset, Dataset> Split(const Dataset& data, uint64_t seed = 1234);
+
+// One model's evaluation under the paper's metrics.
+struct EvalResult {
+  double fairness_index_fpr = 0.0;
+  double fairness_index_fnr = 0.0;
+  double accuracy = 0.0;
+};
+
+// Trains `type` on `train`, evaluates on `test`.
+EvalResult Evaluate(const Dataset& train, const Dataset& test, ModelType type,
+                    uint64_t seed = 7);
+
+// Pretty banner for each experiment binary.
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation);
+
+}  // namespace remedy::bench
+
+#endif  // REMEDY_BENCH_BENCH_COMMON_H_

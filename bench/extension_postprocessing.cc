@@ -1,0 +1,92 @@
+// Extension: pre-processing vs post-processing. The paper's taxonomy
+// (Secs. I and VII) argues for pre-processing because it fixes the data
+// once for any downstream model, while post-processing manipulates each
+// model's predictions. The harness compares the IBS remedy against a
+// per-subgroup threshold post-processor (Hardt et al. style) on COMPAS:
+// the post-processor equalizes the statistic it is told about, the remedy
+// moves both statistics at once because it fixes the cause.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "baselines/threshold_postprocess.h"
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/remedy.h"
+#include "datagen/compas.h"
+#include "fairness/fairness_index.h"
+#include "ml/metrics.h"
+#include "ml/model_factory.h"
+
+namespace remedy {
+namespace {
+
+void AddRow(TablePrinter& table, const std::string& name,
+            const Dataset& test, const std::vector<int>& predictions) {
+  table.AddRow(
+      {name,
+       FormatDouble(
+           ComputeFairnessIndex(test, predictions, Statistic::kFpr), 4),
+       FormatDouble(
+           ComputeFairnessIndex(test, predictions, Statistic::kFnr), 4),
+       FormatDouble(Accuracy(test, predictions), 4)});
+}
+
+void Run() {
+  Dataset data = MakeCompas();
+  auto [train, test] = bench::Split(data);
+
+  TablePrinter table({"treatment", "fairness idx (FPR)",
+                      "fairness idx (FNR)", "accuracy"});
+
+  ClassifierPtr original = MakeClassifier(ModelType::kDecisionTree);
+  original->Fit(train);
+  AddRow(table, "Original DT", test, original->PredictAll(test));
+
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.1;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset remedied = RemedyDataset(train, params);
+  ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
+  treated->Fit(remedied);
+  AddRow(table, "Pre-processing (Remedy)", test, treated->PredictAll(test));
+
+  ThresholdPostprocessParams fpr_params;
+  ThresholdPostprocessor fpr_post(
+      MakeClassifier(ModelType::kDecisionTree), fpr_params);
+  fpr_post.Fit(train);
+  AddRow(table, "Post-processing (FPR thresholds)", test,
+         fpr_post.PredictAll(test));
+
+  ThresholdPostprocessParams fnr_params;
+  fnr_params.statistic = Statistic::kFnr;
+  ThresholdPostprocessor fnr_post(
+      MakeClassifier(ModelType::kDecisionTree), fnr_params);
+  fnr_post.Fit(train);
+  AddRow(table, "Post-processing (FNR thresholds)", test,
+         fnr_post.PredictAll(test));
+
+  table.Print(std::cout);
+  std::printf(
+      "\nBoth families mitigate the unfairness here; the practical "
+      "difference the paper argues is operational: the remedy fixes the "
+      "data once for any downstream model, while the threshold tables are "
+      "calibrated per trained model and require prediction access at "
+      "decision time.\n");
+}
+
+}  // namespace
+}  // namespace remedy
+
+int main() {
+  remedy::bench::PrintBanner(
+      "Extension — pre-processing remedy vs threshold post-processing",
+      "companion to Lin, Gupta & Jagadish, ICDE'24, Secs. I & VII",
+      "the remedy mitigates FPR and FNR unfairness together; threshold "
+      "post-processing targets one statistic per deployment and needs "
+      "prediction access.");
+  remedy::Run();
+  return 0;
+}

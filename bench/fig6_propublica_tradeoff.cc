@@ -1,0 +1,17 @@
+// Reproduces Fig. 6: the fairness-accuracy trade-off on the ProPublica
+// (COMPAS) dataset.
+
+#include "bench_common.h"
+#include "datagen/compas.h"
+#include "tradeoff.h"
+
+int main() {
+  remedy::bench::PrintBanner(
+      "Fig. 6 — fairness-accuracy trade-off (ProPublica)",
+      "Lin, Gupta & Jagadish, ICDE'24, Figure 6 (tau_c = 0.1, T = 1)",
+      "Lattice mitigates FPR and FNR subgroup unfairness simultaneously "
+      "for DT / RF / LG / NN with a bounded accuracy decrease.");
+  remedy::Dataset data = remedy::MakeCompas();
+  remedy::bench::RunTradeoff("ProPublica", data, /*imbalance_threshold=*/0.1);
+  return 0;
+}

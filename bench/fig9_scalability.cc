@@ -1,0 +1,163 @@
+// Reproduces Fig. 9: runtime of IBS identification (Naive vs Optimized) and
+// of the remedy algorithm per pre-processing technique, varying (a, b) the
+// number of protected attributes — Adult widened with education and
+// occupation, as in the paper — and (c, d) the data size at the maximal
+// 8 protected attributes.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/ibs_identify.h"
+#include "core/remedy.h"
+#include "datagen/adult.h"
+
+namespace remedy {
+namespace {
+
+double TimeIdentify(const Dataset& data, IbsAlgorithm algorithm) {
+  IbsParams params;
+  params.imbalance_threshold = 0.5;
+  params.algorithm = algorithm;
+  WallTimer timer;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  double seconds = timer.Seconds();
+  (void)ibs;
+  return seconds;
+}
+
+// Times only the per-region neighbor aggregation — the phase the two
+// algorithms actually differ in ((c-1)·d·T lookups vs d·T) — on a hierarchy
+// whose node counts are already materialized. The end-to-end columns share
+// the group-by counting cost, which dominates in this C++ implementation
+// and flattens the gap the paper's Python implementation shows.
+double TimeNeighborPhase(const Dataset& data, IbsAlgorithm algorithm) {
+  IbsParams params;
+  params.imbalance_threshold = 0.5;
+  params.algorithm = algorithm;
+  Hierarchy hierarchy(data);
+  for (uint32_t mask : hierarchy.BottomUpMasks()) {
+    hierarchy.NodeCounts(mask);  // warm the shared counts
+  }
+  hierarchy.TotalCounts();
+  WallTimer timer;
+  for (uint32_t mask : hierarchy.BottomUpMasks()) {
+    std::vector<BiasedRegion> node = IdentifyIbsInNode(hierarchy, mask,
+                                                       params);
+    (void)node;
+  }
+  return timer.Seconds();
+}
+
+double TimeRemedy(const Dataset& data, RemedyTechnique technique) {
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = technique;
+  WallTimer timer;
+  Dataset remedied = RemedyDataset(data, params);
+  double seconds = timer.Seconds();
+  (void)remedied;
+  return seconds;
+}
+
+void VaryProtectedAttributes(const Dataset& base) {
+  std::printf("(a) IBS identification runtime vs #protected attributes\n");
+  TablePrinter identify({"|X|", "naive total (s)", "optimized total (s)",
+                         "naive nbr-phase (s)", "opt nbr-phase (s)",
+                         "phase speedup"});
+  for (int count = 3; count <= 8; ++count) {
+    Dataset data = base;
+    data.SetProtected(AdultScalabilityProtected(count));
+    double naive = TimeIdentify(data, IbsAlgorithm::kNaive);
+    double optimized = TimeIdentify(data, IbsAlgorithm::kOptimized);
+    double naive_phase = TimeNeighborPhase(data, IbsAlgorithm::kNaive);
+    double optimized_phase =
+        TimeNeighborPhase(data, IbsAlgorithm::kOptimized);
+    identify.AddRow(
+        {std::to_string(count), FormatDouble(naive, 3),
+         FormatDouble(optimized, 3), FormatDouble(naive_phase, 3),
+         FormatDouble(optimized_phase, 3),
+         FormatDouble(naive_phase / std::max(optimized_phase, 1e-9), 2) +
+             "x"});
+  }
+  identify.Print(std::cout);
+
+  std::printf(
+      "\n(b) remedy runtime vs #protected attributes (oversampling excluded "
+      "as in the paper: it exhausts the instance-add budget)\n");
+  TablePrinter remedy_table(
+      {"|X|", "US (s)", "PS (s)", "Massaging (s)"});
+  for (int count = 3; count <= 8; ++count) {
+    Dataset data = base;
+    data.SetProtected(AdultScalabilityProtected(count));
+    remedy_table.AddRow(
+        {std::to_string(count),
+         FormatDouble(TimeRemedy(data, RemedyTechnique::kUndersample), 3),
+         FormatDouble(
+             TimeRemedy(data, RemedyTechnique::kPreferentialSampling), 3),
+         FormatDouble(TimeRemedy(data, RemedyTechnique::kMassaging), 3)});
+  }
+  remedy_table.Print(std::cout);
+}
+
+void VaryDataSize(const Dataset& base) {
+  std::printf("\n(c) IBS identification runtime vs data size (|X| = 8)\n");
+  TablePrinter identify({"rows", "naive total (s)", "optimized total (s)",
+                         "naive nbr-phase (s)", "opt nbr-phase (s)",
+                         "phase speedup"});
+  Rng rng(99);
+  for (int rows : {10000, 20000, 30000, 45222}) {
+    Dataset data = base.SampleRows(std::min(rows, base.NumRows()), rng);
+    data.SetProtected(AdultScalabilityProtected(8));
+    double naive = TimeIdentify(data, IbsAlgorithm::kNaive);
+    double optimized = TimeIdentify(data, IbsAlgorithm::kOptimized);
+    double naive_phase = TimeNeighborPhase(data, IbsAlgorithm::kNaive);
+    double optimized_phase =
+        TimeNeighborPhase(data, IbsAlgorithm::kOptimized);
+    identify.AddRow(
+        {std::to_string(data.NumRows()), FormatDouble(naive, 3),
+         FormatDouble(optimized, 3), FormatDouble(naive_phase, 3),
+         FormatDouble(optimized_phase, 3),
+         FormatDouble(naive_phase / std::max(optimized_phase, 1e-9), 2) +
+             "x"});
+  }
+  identify.Print(std::cout);
+
+  std::printf("\n(d) remedy runtime vs data size (|X| = 8)\n");
+  TablePrinter remedy_table(
+      {"rows", "US (s)", "PS (s)", "Massaging (s)"});
+  for (int rows : {10000, 20000, 30000, 45222}) {
+    Dataset data = base.SampleRows(std::min(rows, base.NumRows()), rng);
+    data.SetProtected(AdultScalabilityProtected(8));
+    remedy_table.AddRow(
+        {std::to_string(data.NumRows()),
+         FormatDouble(TimeRemedy(data, RemedyTechnique::kUndersample), 3),
+         FormatDouble(
+             TimeRemedy(data, RemedyTechnique::kPreferentialSampling), 3),
+         FormatDouble(TimeRemedy(data, RemedyTechnique::kMassaging), 3)});
+  }
+  remedy_table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace remedy
+
+int main() {
+  remedy::bench::PrintBanner(
+      "Fig. 9 — runtime of IBS identification and remedy (Adult)",
+      "Lin, Gupta & Jagadish, ICDE'24, Figure 9",
+      "runtime grows exponentially with |X| (the lattice does); the "
+      "optimized identification stays a multiple faster than the naive one "
+      "(the paper reports up to ~5x); remedy time is far below "
+      "identification time and grows with the number of biased regions and "
+      "with data size.");
+  remedy::Dataset base = remedy::MakeAdult();
+  remedy::VaryProtectedAttributes(base);
+  remedy::VaryDataSize(base);
+  return 0;
+}

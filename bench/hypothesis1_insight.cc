@@ -1,0 +1,110 @@
+// Simulates the theoretical insight behind Hypothesis 1 (Sec. II-B): with a
+// single protected attribute, if a region c_i holds more positive records
+// than its neighboring region, an accuracy-optimizing classifier favors the
+// majority class inside c_i, so negatives there are misclassified at a
+// higher rate — FPR divergence grows with the imbalance gap.
+//
+// The harness sweeps the planted imbalance of one region and reports the
+// region's FPR divergence and the |ratio_r - ratio_rn| gap side by side,
+// for an accuracy-optimizing decision tree and logistic regression.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/imbalance.h"
+#include "fairness/divergence.h"
+#include "ml/metrics.h"
+#include "ml/model_factory.h"
+
+namespace remedy {
+namespace {
+
+// One protected attribute with 4 values; 6 noisy non-protected features so
+// the learner has something honest to fit as well.
+Dataset MakeWorld(double skew_logit, uint64_t seed) {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("group", {"g0", "g1", "g2", "g3"}),
+      AttributeSchema("f1", {"lo", "hi"}),
+      AttributeSchema("f2", {"lo", "hi"}),
+      AttributeSchema("f3", {"a", "b", "c"}),
+  };
+  DataSchema schema(std::move(attributes), {0});
+  Dataset data(schema);
+  Rng rng(seed);
+  for (int i = 0; i < 8000; ++i) {
+    int group = rng.UniformInt(4);
+    int f1 = rng.UniformInt(2), f2 = rng.UniformInt(2),
+        f3 = rng.UniformInt(3);
+    double logit = -0.1 + 0.9 * f1 - 0.9 * f2 + 0.3 * (f3 == 2);
+    if (group == 0) logit += skew_logit;  // the biased region c_0
+    double p = 1.0 / (1.0 + std::exp(-logit));
+    data.AddRow({group, f1, f2, f3}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  return data;
+}
+
+// FPR of group 0 minus overall FPR, on the test set.
+double GroupFprDivergence(const Dataset& test,
+                          const std::vector<int>& predictions) {
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(test, predictions, Statistic::kFpr);
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.pattern.Value(0) == 0) {
+      return report.statistic - analysis.overall;
+    }
+  }
+  return 0.0;
+}
+
+void Run() {
+  TablePrinter table({"skew (logit)", "|ratio_r - ratio_rn|",
+                      "DT FPR divergence", "LG FPR divergence"});
+  for (double skew : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5}) {
+    Dataset data = MakeWorld(skew, 31);
+    auto [train, test] = bench::Split(data);
+
+    // Measured imbalance gap of the region vs its neighborhood.
+    Hierarchy hierarchy(train);
+    NeighborhoodCalculator neighborhood(hierarchy, 1.0);
+    const auto& node = hierarchy.NodeCounts(0b1);
+    Pattern region(std::vector<int>{0});
+    RegionCounts counts =
+        node.at(hierarchy.counter().KeyFor(region, 0b1));
+    double gap = std::fabs(
+        ImbalanceScore(counts) -
+        ImbalanceScore(neighborhood.NaiveNeighborCounts(region)));
+
+    ClassifierPtr tree = MakeClassifier(ModelType::kDecisionTree);
+    tree->Fit(train);
+    ClassifierPtr logreg = MakeClassifier(ModelType::kLogisticRegression);
+    logreg->Fit(train);
+    table.AddRow({FormatDouble(skew, 1), FormatDouble(gap, 3),
+                  FormatDouble(
+                      GroupFprDivergence(test, tree->PredictAll(test)), 3),
+                  FormatDouble(
+                      GroupFprDivergence(test, logreg->PredictAll(test)),
+                      3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nBoth columns rise together: the more a region's class ratio "
+      "diverges from its neighbors, the more an accuracy-optimizing "
+      "classifier over-predicts the majority class there.\n");
+}
+
+}  // namespace
+}  // namespace remedy
+
+int main() {
+  remedy::bench::PrintBanner(
+      "Hypothesis 1 — imbalance gap drives FPR divergence",
+      "Lin, Gupta & Jagadish, ICDE'24, Sec. II-B (theoretical insight)",
+      "monotone relationship between |ratio_r - ratio_rn| and the region's "
+      "FPR divergence for accuracy-optimizing classifiers.");
+  remedy::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Google-benchmark micro benchmarks for the core operations: region
+// counting, hierarchy node materialization, neighbor-count computation
+// (naive vs optimized) and full IBS identification. These quantify the
+// constant factors behind the Fig. 9 curves.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hierarchy.h"
+#include "core/ibs_identify.h"
+#include "core/imbalance.h"
+#include "datagen/adult.h"
+#include "datagen/compas.h"
+#include "mining/region_miner.h"
+
+namespace remedy {
+namespace {
+
+const Dataset& CompasData() {
+  static const Dataset* data = new Dataset(MakeCompas());
+  return *data;
+}
+
+const Dataset& AdultData(int num_protected) {
+  static const Dataset* base = new Dataset(MakeAdult());
+  static Dataset* widened = nullptr;
+  static int current = -1;
+  if (current != num_protected) {
+    delete widened;
+    widened = new Dataset(*base);
+    widened->SetProtected(AdultScalabilityProtected(num_protected));
+    current = num_protected;
+  }
+  return *widened;
+}
+
+void BM_CountLeafNode(benchmark::State& state) {
+  const Dataset& data = AdultData(static_cast<int>(state.range(0)));
+  RegionCounter counter(data.schema());
+  const uint32_t leaf = (1u << counter.NumProtected()) - 1u;
+  for (auto _ : state) {
+    auto counts = counter.CountNode(data, leaf);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * data.NumRows());
+}
+BENCHMARK(BM_CountLeafNode)->Arg(3)->Arg(6)->Arg(8);
+
+void BM_HierarchyAllNodes(benchmark::State& state) {
+  const Dataset& data = AdultData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Hierarchy hierarchy(data);
+    for (uint32_t mask : hierarchy.BottomUpMasks()) {
+      benchmark::DoNotOptimize(hierarchy.NodeCounts(mask).size());
+    }
+  }
+}
+BENCHMARK(BM_HierarchyAllNodes)->Arg(3)->Arg(5)->Arg(6);
+
+void BM_NeighborCountsNaive(benchmark::State& state) {
+  const Dataset& data = CompasData();
+  Hierarchy hierarchy(data);
+  NeighborhoodCalculator neighborhood(hierarchy, 1.0);
+  const uint32_t leaf = hierarchy.LeafMask();
+  const auto& node = hierarchy.NodeCounts(leaf);
+  std::vector<Pattern> patterns;
+  for (const auto& [key, counts] : node) {
+    patterns.push_back(hierarchy.counter().PatternFor(key, leaf));
+  }
+  for (auto _ : state) {
+    for (const Pattern& pattern : patterns) {
+      benchmark::DoNotOptimize(
+          neighborhood.NaiveNeighborCounts(pattern));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * patterns.size());
+}
+BENCHMARK(BM_NeighborCountsNaive);
+
+void BM_NeighborCountsOptimized(benchmark::State& state) {
+  const Dataset& data = CompasData();
+  Hierarchy hierarchy(data);
+  NeighborhoodCalculator neighborhood(hierarchy, 1.0);
+  const uint32_t leaf = hierarchy.LeafMask();
+  const auto& node = hierarchy.NodeCounts(leaf);
+  std::vector<std::pair<Pattern, RegionCounts>> regions;
+  for (const auto& [key, counts] : node) {
+    regions.emplace_back(hierarchy.counter().PatternFor(key, leaf), counts);
+  }
+  // Warm the parent-node caches so the steady-state cost is measured.
+  for (const auto& [pattern, counts] : regions) {
+    benchmark::DoNotOptimize(
+        neighborhood.OptimizedNeighborCounts(pattern, counts));
+  }
+  for (auto _ : state) {
+    for (const auto& [pattern, counts] : regions) {
+      benchmark::DoNotOptimize(
+          neighborhood.OptimizedNeighborCounts(pattern, counts));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * regions.size());
+}
+BENCHMARK(BM_NeighborCountsOptimized);
+
+void BM_IdentifyIbs(benchmark::State& state) {
+  const Dataset& data = CompasData();
+  IbsParams params;
+  params.algorithm = state.range(0) == 0 ? IbsAlgorithm::kNaive
+                                         : IbsAlgorithm::kOptimized;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IdentifyIbs(data, params));
+  }
+}
+BENCHMARK(BM_IdentifyIbs)->Arg(0)->Arg(1);
+
+// Candidate enumeration by FP-growth instead of the full lattice sweep
+// (mining/region_miner.h): measures the frequent-pattern view of Theorem 1.
+void BM_IdentifyIbsWithMiner(benchmark::State& state) {
+  const Dataset& data = CompasData();
+  IbsParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IdentifyIbsWithMiner(data, params));
+  }
+}
+BENCHMARK(BM_IdentifyIbsWithMiner);
+
+}  // namespace
+}  // namespace remedy
+
+BENCHMARK_MAIN();

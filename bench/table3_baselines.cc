@@ -1,0 +1,129 @@
+// Reproduces Table III: fairness violation, model accuracy and execution
+// time of Remedy against the subgroup-unfairness-mitigation baselines, on
+// Adult with X = {race, gender} and logistic regression (the linear-model
+// setting GerryFair requires).
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "baselines/coverage.h"
+#include "baselines/fair_balance.h"
+#include "baselines/fair_smote.h"
+#include "baselines/gerry_fair.h"
+#include "baselines/reweighting.h"
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/remedy.h"
+#include "datagen/adult.h"
+#include "fairness/fairness_violation.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace remedy {
+namespace {
+
+struct Row {
+  std::string approach;
+  double violation;
+  double accuracy;
+  double seconds;
+};
+
+Row Measure(const std::string& approach, const Dataset& train,
+            const Dataset& test,
+            const std::function<ClassifierPtr(const Dataset&)>& build) {
+  WallTimer timer;
+  ClassifierPtr model = build(train);
+  double seconds = timer.Seconds();
+  std::vector<int> predictions = model->PredictAll(test);
+  return {approach,
+          ComputeFairnessViolation(test, predictions, Statistic::kFpr)
+              .violation,
+          Accuracy(test, predictions), seconds};
+}
+
+ClassifierPtr FitLogReg(const Dataset& train) {
+  auto model = std::make_unique<LogisticRegression>();
+  model->Fit(train);
+  return model;
+}
+
+void Run() {
+  Dataset data = MakeAdult();
+  data.SetProtected({"race", "gender"});  // as in [35] / Table III
+  auto [train, test] = bench::Split(data);
+  std::printf("dataset=Adult  X={race, gender}  model=LG  train=%d rows\n\n",
+              train.NumRows());
+
+  std::vector<Row> rows;
+  rows.push_back(Measure("Original", train, test, FitLogReg));
+
+  rows.push_back(Measure("Remedy", train, test, [](const Dataset& t) {
+    RemedyParams params;
+    params.ibs.imbalance_threshold = 0.1;  // tau_c = 0.1
+    // |X| = 2 here, so the whole-space comparison T = |X| applies — the
+    // regime the paper's own Fig. 8 analysis recommends for small
+    // protected sets. Undersampling is the strongest technique for this
+    // setting on the simulated Adult (see EXPERIMENTS.md); the paper's
+    // default preferential sampling is exercised in Figs. 4-6.
+    params.ibs.distance_threshold = 2.0;
+    params.technique = RemedyTechnique::kUndersample;
+    return FitLogReg(RemedyDataset(t, params));
+  }));
+
+  rows.push_back(Measure("Coverage", train, test, [](const Dataset& t) {
+    CoverageParams params;
+    params.threshold = 500;  // small (race, gender) cells get augmented
+    return FitLogReg(ApplyCoverage(t, params));
+  }));
+
+  rows.push_back(Measure("FairBalance", train, test, [](const Dataset& t) {
+    return FitLogReg(ApplyFairBalance(t));
+  }));
+
+  rows.push_back(Measure("Fair-SMOTE", train, test, [](const Dataset& t) {
+    FairSmoteParams params;
+    params.max_candidates = 0;  // exact kNN, the cost the paper measures
+    return FitLogReg(ApplyFairSmote(t, params));
+  }));
+
+  rows.push_back(Measure("Reweighting", train, test, [](const Dataset& t) {
+    return FitLogReg(ApplyReweighting(t));
+  }));
+
+  rows.push_back(Measure("GerryFair", train, test, [](const Dataset& t) {
+    GerryFairParams params;
+    params.iterations = 20;
+    auto model = std::make_unique<GerryFair>(params);
+    model->Fit(t);
+    return model;
+  }));
+
+  TablePrinter table(
+      {"approach", "fairness violation", "accuracy", "time (s)"});
+  for (const Row& row : rows) {
+    table.AddRow({row.approach, FormatDouble(row.violation, 4),
+                  FormatDouble(row.accuracy, 4),
+                  FormatDouble(row.seconds, 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace remedy
+
+int main() {
+  remedy::bench::PrintBanner(
+      "Table III — comparison with subgroup-unfairness baselines (Adult)",
+      "Lin, Gupta & Jagadish, ICDE'24, Table III",
+      "Coverage does not reduce the violation (it targets quantity, not "
+      "class balance) but helps accuracy; Reweighting drives the violation "
+      "to ~0 on two protected attributes; FairBalance and Fair-SMOTE trade "
+      "substantial accuracy; Fair-SMOTE and GerryFair are orders of "
+      "magnitude slower than the other pre-processing methods.");
+  remedy::Run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "tradeoff.h"
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/remedy.h"
+
+namespace remedy::bench {
+namespace {
+
+struct Treatment {
+  std::string name;
+  // One cached evaluation per StandardModels() entry.
+  std::vector<EvalResult> results;
+};
+
+Treatment EvaluateTreatment(const std::string& name, const Dataset& train,
+                            const Dataset& test) {
+  Treatment treatment;
+  treatment.name = name;
+  for (ModelType type : StandardModels()) {
+    treatment.results.push_back(Evaluate(train, test, type));
+  }
+  return treatment;
+}
+
+void PrintPanel(const std::string& title,
+                const std::vector<Treatment>& treatments,
+                double EvalResult::*metric) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header = {"treatment"};
+  for (ModelType type : StandardModels()) header.push_back(ModelName(type));
+  TablePrinter table(header);
+  for (const Treatment& treatment : treatments) {
+    std::vector<std::string> row = {treatment.name};
+    for (const EvalResult& result : treatment.results) {
+      row.push_back(FormatDouble(result.*metric, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+Dataset Remedied(const Dataset& train, IbsScope scope,
+                 RemedyTechnique technique, double imbalance_threshold) {
+  RemedyParams params;
+  params.ibs.imbalance_threshold = imbalance_threshold;
+  params.ibs.scope = scope;
+  params.technique = technique;
+  return RemedyDataset(train, params);
+}
+
+}  // namespace
+
+void RunTradeoff(const std::string& dataset_name, const Dataset& data,
+                 double imbalance_threshold) {
+  auto [train, test] = Split(data);
+  std::printf("dataset=%s  train=%d rows  test=%d rows  tau_c=%.2f  T=1\n\n",
+              dataset_name.c_str(), train.NumRows(), test.NumRows(),
+              imbalance_threshold);
+
+  // Panels (a)-(c): identification scopes, remedy = preferential sampling.
+  Dataset lattice_ps =
+      Remedied(train, IbsScope::kLattice,
+               RemedyTechnique::kPreferentialSampling, imbalance_threshold);
+  std::vector<Treatment> scopes;
+  scopes.push_back(EvaluateTreatment("Original", train, test));
+  scopes.push_back(EvaluateTreatment("Lattice", lattice_ps, test));
+  scopes.push_back(EvaluateTreatment(
+      "Leaf",
+      Remedied(train, IbsScope::kLeaf,
+               RemedyTechnique::kPreferentialSampling, imbalance_threshold),
+      test));
+  scopes.push_back(EvaluateTreatment(
+      "Top",
+      Remedied(train, IbsScope::kTop,
+               RemedyTechnique::kPreferentialSampling, imbalance_threshold),
+      test));
+  PrintPanel("(a) Fairness index, gamma = FPR (preferential sampling)",
+             scopes, &EvalResult::fairness_index_fpr);
+  PrintPanel("(b) Fairness index, gamma = FNR (preferential sampling)",
+             scopes, &EvalResult::fairness_index_fnr);
+  PrintPanel("(c) Model accuracy", scopes, &EvalResult::accuracy);
+
+  // Panel (d): pre-processing techniques under the Lattice scope.
+  std::vector<Treatment> techniques;
+  techniques.push_back(scopes[0]);  // Original
+  Treatment ps = scopes[1];
+  ps.name = "PS";
+  techniques.push_back(ps);
+  techniques.push_back(EvaluateTreatment(
+      "US",
+      Remedied(train, IbsScope::kLattice, RemedyTechnique::kUndersample,
+               imbalance_threshold),
+      test));
+  techniques.push_back(EvaluateTreatment(
+      "DP",
+      Remedied(train, IbsScope::kLattice, RemedyTechnique::kOversample,
+               imbalance_threshold),
+      test));
+  techniques.push_back(EvaluateTreatment(
+      "Massaging",
+      Remedied(train, IbsScope::kLattice, RemedyTechnique::kMassaging,
+               imbalance_threshold),
+      test));
+  PrintPanel("(d) Fairness index under FPR, by pre-processing technique",
+             techniques, &EvalResult::fairness_index_fpr);
+  PrintPanel("(d') Model accuracy, by pre-processing technique", techniques,
+             &EvalResult::accuracy);
+}
+
+}  // namespace remedy::bench

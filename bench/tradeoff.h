@@ -1,0 +1,22 @@
+#ifndef REMEDY_BENCH_TRADEOFF_H_
+#define REMEDY_BENCH_TRADEOFF_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace remedy::bench {
+
+// Shared driver for the fairness-accuracy trade-off figures (Fig. 4 Adult,
+// Fig. 5 Law School, Fig. 6 ProPublica):
+//   (a/b) fairness index under FPR and FNR for Original vs the Lattice /
+//         Leaf / Top identification scopes (remedy = preferential sampling),
+//   (c)   model accuracy for the same treatments,
+//   (d)   the four pre-processing techniques under the Lattice scope.
+// All of DT / RF / LG / NN are evaluated, as in the paper.
+void RunTradeoff(const std::string& dataset_name, const Dataset& data,
+                 double imbalance_threshold);
+
+}  // namespace remedy::bench
+
+#endif  // REMEDY_BENCH_TRADEOFF_H_

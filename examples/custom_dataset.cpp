@@ -1,0 +1,95 @@
+// Custom dataset: building your own synthetic population with the datagen
+// API — a hiring scenario modeled on the paper's Sec. VI statistical-parity
+// example, where green females and purple males are accepted at 50% while
+// green males and purple females are accepted at 0%: each single attribute
+// looks fair, only the intersections reveal the bias.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/ibs_identify.h"
+#include "core/remedy.h"
+#include "datagen/generator.h"
+#include "fairness/divergence.h"
+#include "ml/model_factory.h"
+
+int main() {
+  using namespace remedy;
+
+  // --- Describe the population ------------------------------------------
+  SyntheticSpec spec;
+  spec.name = "hiring";
+  spec.num_rows = 8000;
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("color", {"green", "purple"}), {0.5, 0.5}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("gender", {"male", "female"}), {0.5, 0.5}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("experience", {"junior", "mid", "senior"}),
+      {0.4, 0.4, 0.2}));
+  spec.protected_indices = {0, 1};
+
+  // Honest signal: seniority helps.
+  spec.base_logit = -1.2;
+  spec.label_terms = {{2, 1, 0.7}, {2, 2, 1.4}};
+
+  // The paper's XOR-like historical bias: (green, male) and
+  // (purple, female) were (almost) never hired.
+  spec.injections = {
+      {{0, 0, -1}, -2.5},  // green males
+      {{1, 1, -1}, -2.5},  // purple females
+      {{0, 1, -1}, 1.5},   // green females
+      {{1, 0, -1}, 1.5},   // purple males
+  };
+  spec.Validate();
+
+  Dataset data = GenerateSynthetic(spec, 99);
+  Rng rng(1);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+
+  // --- Single attributes look fair, intersections do not ----------------
+  ClassifierPtr model = MakeClassifier(ModelType::kGradientBoosting);
+  model->Fit(train);
+  std::vector<int> predictions = model->PredictAll(test);
+  SubgroupAnalysis analysis = AnalyzeSubgroups(
+      test, predictions, Statistic::kStatisticalParity);
+  std::printf("Overall acceptance rate: %.3f\n\n", analysis.overall);
+  TablePrinter table({"group", "level", "acceptance", "divergence"});
+  for (const SubgroupReport& report : analysis.subgroups) {
+    table.AddRow({report.pattern.ToString(data.schema()),
+                  std::to_string(report.pattern.NumDeterministic()),
+                  FormatDouble(report.statistic, 3),
+                  FormatDouble(report.divergence, 3)});
+  }
+  table.Print(std::cout);
+
+  // --- The IBS pins the cause, the remedy removes it --------------------
+  IbsParams ibs_params;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params);
+  std::printf("\nIBS: %zu biased regions (the four color x gender cells "
+              "dominate).\n", ibs.size());
+
+  RemedyParams remedy_params;
+  remedy_params.ibs = ibs_params;
+  remedy_params.technique = RemedyTechnique::kMassaging;
+  Dataset remedied = RemedyDataset(train, remedy_params);
+  ClassifierPtr fair_model = MakeClassifier(ModelType::kGradientBoosting);
+  fair_model->Fit(remedied);
+  SubgroupAnalysis fixed = AnalyzeSubgroups(
+      test, fair_model->PredictAll(test), Statistic::kStatisticalParity);
+  double worst_before = 0.0, worst_after = 0.0;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    worst_before = std::max(worst_before, report.divergence);
+  }
+  for (const SubgroupReport& report : fixed.subgroups) {
+    worst_after = std::max(worst_after, report.divergence);
+  }
+  std::printf(
+      "worst statistical-parity divergence: %.3f -> %.3f after massaging "
+      "the biased regions.\n",
+      worst_before, worst_after);
+  return 0;
+}

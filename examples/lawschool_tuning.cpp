@@ -1,0 +1,68 @@
+// Law School tuning: choose the imbalance threshold tau_c on a validation
+// split before deploying — the workflow a practitioner would follow to pick
+// the fairness/accuracy operating point — using grid-searched classifiers.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/remedy.h"
+#include "datagen/law_school.h"
+#include "fairness/fairness_index.h"
+#include "ml/grid_search.h"
+#include "ml/metrics.h"
+
+int main() {
+  using namespace remedy;
+
+  Dataset data = MakeLawSchool();
+  Rng rng(29);
+  // Three-way split: remedy+fit on train, pick tau_c on validation, report
+  // the final operating point on the held-out test set.
+  auto [development, test] = data.TrainTestSplit(0.8, rng);
+  auto [train, validation] = development.TrainTestSplit(0.75, rng);
+  std::printf("LawSchool: %d train / %d validation / %d test rows\n\n",
+              train.NumRows(), validation.NumRows(), test.NumRows());
+
+  TablePrinter table({"tau_c", "val fairness idx (FPR)", "val accuracy",
+                      "combined objective"});
+  double best_tau = -1.0, best_objective = -1e9;
+  for (double tau_c : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    RemedyParams params;
+    params.ibs.imbalance_threshold = tau_c;
+    params.technique = RemedyTechnique::kPreferentialSampling;
+    Dataset remedied = RemedyDataset(train, params);
+
+    ClassifierPtr model =
+        TunedClassifier(ModelType::kDecisionTree, remedied);
+    std::vector<int> predictions = model->PredictAll(validation);
+    double index =
+        ComputeFairnessIndex(validation, predictions, Statistic::kFpr);
+    double accuracy = Accuracy(validation, predictions);
+    // A simple scalarization: accuracy minus the unfairness penalty.
+    double objective = accuracy - 2.0 * index;
+    table.AddRow({FormatDouble(tau_c, 2), FormatDouble(index, 4),
+                  FormatDouble(accuracy, 4), FormatDouble(objective, 4)});
+    if (objective > best_objective) {
+      best_objective = objective;
+      best_tau = tau_c;
+    }
+  }
+  table.Print(std::cout);
+
+  // Deploy the chosen operating point.
+  RemedyParams params;
+  params.ibs.imbalance_threshold = best_tau;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset remedied = RemedyDataset(development, params);
+  ClassifierPtr model = TunedClassifier(ModelType::kDecisionTree, remedied);
+  std::vector<int> predictions = model->PredictAll(test);
+  std::printf(
+      "\nchosen tau_c = %.2f  =>  test fairness index (FPR) %.4f, test "
+      "accuracy %.4f\n",
+      best_tau, ComputeFairnessIndex(test, predictions, Statistic::kFpr),
+      Accuracy(test, predictions));
+  return 0;
+}

@@ -1,0 +1,239 @@
+// remedy_cli: command-line front end for auditing and remedying CSV
+// datasets — the adoption path for users with their own data.
+//
+//   remedy_cli audit  <csv> --protected race,gender [--label y]
+//                     [--positive 1] [--tau-c 0.1] [--tau-d 0.1] [--T 1]
+//   remedy_cli plan   <csv> --protected race,gender
+//                     [--technique ps|us|os|massage] [--tau-c 0.1] [--T 1]
+//   remedy_cli remedy <csv> --protected race,gender --out remedied.csv
+//                     [--technique ps|us|os|massage] [--tau-c 0.1] [--T 1]
+//
+// `audit` trains a decision tree on a 70/30 split, prints the fairness
+// audit (unfair subgroups + IBS alignment), and exits non-zero if any
+// significant unfair subgroup was found — handy as a CI data-quality gate.
+// `plan` previews the biased regions and the updates the remedy would
+// apply, without writing anything.
+// `remedy` rewrites the full dataset's biased regions and writes the result.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/remedy.h"
+#include "data/loader.h"
+#include "data/profile.h"
+#include "fairness/report.h"
+#include "ml/model_factory.h"
+
+namespace {
+
+using namespace remedy;
+
+struct CliArgs {
+  std::string command;
+  std::string input;
+  std::string output;
+  LoaderOptions loader;
+  double tau_c = 0.1;
+  double tau_d = 0.1;
+  double distance = 1.0;
+  RemedyTechnique technique = RemedyTechnique::kPreferentialSampling;
+  bool valid = false;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  remedy_cli audit  <csv> --protected a,b[,..] [--label col]\n"
+      "             [--positive v] [--tau-c x] [--tau-d x] [--T x]\n"
+      "  remedy_cli plan   <csv> --protected a,b[,..] [--label col]\n"
+      "             [--positive v] [--tau-c x] [--T x]\n"
+      "             [--technique ps|us|os|massage]\n"
+      "  remedy_cli remedy <csv> --protected a,b[,..] --out file.csv\n"
+      "             [--label col] [--positive v] [--tau-c x] [--T x]\n"
+      "             [--technique ps|us|os|massage]\n");
+}
+
+bool ParseTechnique(const std::string& name, RemedyTechnique* technique) {
+  if (name == "ps") {
+    *technique = RemedyTechnique::kPreferentialSampling;
+  } else if (name == "us") {
+    *technique = RemedyTechnique::kUndersample;
+  } else if (name == "os") {
+    *technique = RemedyTechnique::kOversample;
+  } else if (name == "massage") {
+    *technique = RemedyTechnique::kMassaging;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CliArgs ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  if (argc < 3) return args;
+  args.command = argv[1];
+  args.input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--protected" && (value = next())) {
+      args.loader.protected_attributes = Split(value, ',');
+    } else if (flag == "--label" && (value = next())) {
+      args.loader.label_column = value;
+    } else if (flag == "--positive" && (value = next())) {
+      args.loader.positive_label = value;
+    } else if (flag == "--out" && (value = next())) {
+      args.output = value;
+    } else if (flag == "--tau-c" && (value = next())) {
+      args.tau_c = std::atof(value);
+    } else if (flag == "--tau-d" && (value = next())) {
+      args.tau_d = std::atof(value);
+    } else if (flag == "--T" && (value = next())) {
+      args.distance = std::atof(value);
+    } else if (flag == "--technique" && (value = next())) {
+      if (!ParseTechnique(value, &args.technique)) return args;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return args;
+    }
+  }
+  if (args.loader.protected_attributes.empty()) {
+    std::fprintf(stderr, "--protected is required\n");
+    return args;
+  }
+  if (args.command == "remedy" && args.output.empty()) {
+    std::fprintf(stderr, "remedy needs --out\n");
+    return args;
+  }
+  args.valid = args.command == "audit" || args.command == "plan" ||
+               args.command == "remedy";
+  return args;
+}
+
+int RunPlanCommand(const CliArgs& args, const Dataset& data) {
+  RemedyParams params;
+  params.ibs.imbalance_threshold = args.tau_c;
+  params.ibs.distance_threshold = args.distance;
+  params.technique = args.technique;
+  std::vector<PlannedAction> plan = PlanRemedy(data, params);
+  if (plan.empty()) {
+    std::printf("no biased regions at tau_c = %g, T = %g\n", args.tau_c,
+                args.distance);
+    return 0;
+  }
+  TablePrinter table({"region", "|r+|", "|r-|", "ratio_r", "ratio_rn",
+                      "planned update"});
+  for (const PlannedAction& action : plan) {
+    std::string update;
+    if (!action.update.reachable) {
+      update = "skip (unreachable target)";
+    } else if (action.update.flips > 0) {
+      update = "flip " + std::to_string(action.update.flips) + " labels";
+    } else {
+      if (action.update.delta_positives != 0) {
+        update += (action.update.delta_positives > 0 ? "+" : "") +
+                  std::to_string(action.update.delta_positives) + " pos ";
+      }
+      if (action.update.delta_negatives != 0) {
+        update += (action.update.delta_negatives > 0 ? "+" : "") +
+                  std::to_string(action.update.delta_negatives) + " neg";
+      }
+      if (update.empty()) update = "none (already matching)";
+    }
+    table.AddRow({action.region.pattern.ToString(data.schema()),
+                  std::to_string(action.region.counts.positives),
+                  std::to_string(action.region.counts.negatives),
+                  FormatDouble(action.region.ratio, 2),
+                  FormatDouble(action.region.neighbor_ratio, 2), update});
+  }
+  table.Print(std::cout);
+  std::printf("%zu biased regions; re-run with `remedy --out` to apply.\n",
+              plan.size());
+  return 0;
+}
+
+int RunAuditCommand(const CliArgs& args, const Dataset& data) {
+  // Where does the label concentrate? (context for the IBS findings)
+  PrintDatasetProfile(ProfileDataset(data), std::cout);
+  std::printf("\n");
+
+  Rng rng(7);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  model->Fit(train);
+
+  AuditOptions options;
+  options.discrimination_threshold = args.tau_d;
+  options.ibs.imbalance_threshold = args.tau_c;
+  options.ibs.distance_threshold = args.distance;
+  AuditReport report =
+      RunAudit(train, test, model->PredictAll(test), options);
+  PrintAuditReport(report, data.schema(), std::cout);
+
+  for (const AuditStatisticSection& section : report.sections) {
+    if (!section.unfair.empty()) return 2;  // data-quality gate tripped
+  }
+  return 0;
+}
+
+int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
+  RemedyParams params;
+  params.ibs.imbalance_threshold = args.tau_c;
+  params.ibs.distance_threshold = args.distance;
+  params.technique = args.technique;
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(data, params, &stats);
+  std::printf(
+      "remedied %d regions (skipped %d): +%lld / -%lld instances, %lld "
+      "labels flipped; %d -> %d rows\n",
+      stats.regions_processed, stats.regions_skipped,
+      static_cast<long long>(stats.instances_added),
+      static_cast<long long>(stats.instances_removed),
+      static_cast<long long>(stats.labels_flipped), data.NumRows(),
+      remedied.NumRows());
+  std::string error;
+  if (!WriteCsvFile(args.output, remedied.ToCsv(), &error)) {
+    std::fprintf(stderr, "write failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", args.output.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args = ParseArgs(argc, argv);
+  if (!args.valid) {
+    PrintUsage();
+    return 1;
+  }
+
+  Dataset data;
+  std::string error;
+  LoaderReport report;
+  if (!LoadCsvDataset(args.input, args.loader, &data, &error, &report)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "loaded %d rows (%d dropped for missing values), %d categorical + %d "
+      "bucketized numeric attributes, %d protected\n\n",
+      report.rows_loaded, report.rows_dropped_missing,
+      report.categorical_columns, report.numeric_columns,
+      data.schema().NumProtected());
+
+  if (args.command == "audit") return RunAuditCommand(args, data);
+  if (args.command == "plan") return RunPlanCommand(args, data);
+  return RunRemedyCommand(args, data);
+}

@@ -1,0 +1,58 @@
+#include "baselines/coverage.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/region_counter.h"
+
+namespace remedy {
+
+Dataset ApplyCoverage(const Dataset& train, const CoverageParams& params,
+                      CoverageStats* stats_out) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  REMEDY_CHECK(params.threshold > 0);
+
+  RegionCounter counter(train.schema());
+  uint32_t leaf_mask = (1u << counter.NumProtected()) - 1u;
+  std::unordered_map<uint64_t, std::vector<int>> rows_by_group =
+      counter.CollectRows(train, leaf_mask);
+
+  // Count the value combinations that never occur at all.
+  uint64_t total_combinations = 1;
+  for (int i = 0; i < counter.NumProtected(); ++i) {
+    total_combinations *= static_cast<uint64_t>(counter.Cardinality(i));
+  }
+
+  CoverageStats stats;
+  stats.empty_groups = static_cast<int>(
+      total_combinations - static_cast<uint64_t>(rows_by_group.size()));
+
+  // Deterministic group order.
+  std::vector<uint64_t> keys;
+  keys.reserve(rows_by_group.size());
+  for (const auto& [key, rows] : rows_by_group) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  Dataset result = train;
+  Rng rng(params.seed);
+  for (uint64_t key : keys) {
+    const std::vector<int>& rows = rows_by_group.at(key);
+    int deficit = params.threshold - static_cast<int>(rows.size());
+    if (deficit <= 0) continue;
+    ++stats.uncovered_groups;
+    for (int i = 0; i < deficit; ++i) {
+      result.AppendRowFrom(train,
+                           rows[rng.UniformInt(static_cast<int>(rows.size()))]);
+    }
+    stats.instances_added += deficit;
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace remedy

@@ -1,0 +1,36 @@
+#ifndef REMEDY_BASELINES_COVERAGE_H_
+#define REMEDY_BASELINES_COVERAGE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Coverage baseline (Asudeh, Jin & Jagadish [4]): finds intersectional
+// subgroups of the protected attributes that lack sufficient representation
+// (fewer than `threshold` instances) and augments them — here, as in the
+// paper's evaluation, by duplicating uniformly sampled tuples from the
+// subgroup until the threshold is met. Empty combinations cannot be
+// augmented (there is nothing to sample) and are reported in the stats.
+//
+// Coverage targets representation *quantity*, not class balance, which is
+// why Table III shows it improving accuracy but not subgroup fairness.
+
+struct CoverageParams {
+  int threshold = 50;
+  uint64_t seed = 31;
+};
+
+struct CoverageStats {
+  int uncovered_groups = 0;  // 0 < count < threshold, augmented
+  int empty_groups = 0;      // count == 0, not augmentable
+  int64_t instances_added = 0;
+};
+
+Dataset ApplyCoverage(const Dataset& train, const CoverageParams& params = {},
+                      CoverageStats* stats = nullptr);
+
+}  // namespace remedy
+
+#endif  // REMEDY_BASELINES_COVERAGE_H_

@@ -1,0 +1,29 @@
+#include "baselines/fair_balance.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/region_counter.h"
+
+namespace remedy {
+
+Dataset ApplyFairBalance(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  RegionCounter counter(train.schema());
+  uint32_t leaf_mask = (1u << counter.NumProtected()) - 1u;
+  std::unordered_map<uint64_t, RegionCounts> groups =
+      counter.CountNode(train, leaf_mask);
+
+  Dataset result = train;
+  for (int r = 0; r < train.NumRows(); ++r) {
+    const RegionCounts& group = groups.at(counter.RowKey(train, r, leaf_mask));
+    double cell = train.Label(r) == 1
+                      ? static_cast<double>(group.positives)
+                      : static_cast<double>(group.negatives);
+    REMEDY_DCHECK(cell > 0.0);
+    result.SetWeight(r, static_cast<double>(group.Total()) / (2.0 * cell));
+  }
+  return result;
+}
+
+}  // namespace remedy

@@ -1,0 +1,23 @@
+#ifndef REMEDY_BASELINES_FAIR_BALANCE_H_
+#define REMEDY_BASELINES_FAIR_BALANCE_H_
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// FairBalance baseline (Yu, Chakraborty & Menzies [35]): reweighting that
+// makes the class distribution within every intersectional subgroup not just
+// equal across subgroups but *balanced* (1:1), targeting equalized odds:
+//
+//     w(g, y) = |g| / (2 * |g ∩ y|)
+//
+// On imbalanced real-world data this pulls the training distribution far
+// from the test distribution, which is why Table III shows it trading a lot
+// of accuracy for its fairness gain.
+//
+// Returns a copy of `train` with the weights set.
+Dataset ApplyFairBalance(const Dataset& train);
+
+}  // namespace remedy
+
+#endif  // REMEDY_BASELINES_FAIR_BALANCE_H_

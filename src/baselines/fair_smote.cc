@@ -1,0 +1,108 @@
+#include "baselines/fair_smote.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/region_counter.h"
+
+namespace remedy {
+namespace {
+
+int HammingDistance(const Dataset& data, int row_a, int row_b) {
+  int distance = 0;
+  for (int c = 0; c < data.NumColumns(); ++c) {
+    distance += data.Value(row_a, c) != data.Value(row_b, c);
+  }
+  return distance;
+}
+
+// The k nearest same-class rows to `parent` among `pool` (excluding parent).
+std::vector<int> NearestNeighbors(const Dataset& data, int parent,
+                                  const std::vector<int>& pool, int k) {
+  std::vector<std::pair<int, int>> scored;  // (distance, row)
+  scored.reserve(pool.size());
+  for (int row : pool) {
+    if (row == parent) continue;
+    scored.emplace_back(HammingDistance(data, parent, row), row);
+  }
+  int keep = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end());
+  std::vector<int> neighbors;
+  neighbors.reserve(keep);
+  for (int i = 0; i < keep; ++i) neighbors.push_back(scored[i].second);
+  return neighbors;
+}
+
+}  // namespace
+
+Dataset ApplyFairSmote(const Dataset& train, const FairSmoteParams& params,
+                       FairSmoteStats* stats_out) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  REMEDY_CHECK(params.k_neighbors >= 1);
+  REMEDY_CHECK(params.crossover >= 0.0 && params.crossover <= 1.0);
+
+  RegionCounter counter(train.schema());
+  uint32_t leaf_mask = (1u << counter.NumProtected()) - 1u;
+  std::unordered_map<uint64_t, std::vector<int>> rows_by_group =
+      counter.CollectRows(train, leaf_mask);
+
+  std::vector<uint64_t> keys;
+  keys.reserve(rows_by_group.size());
+  for (const auto& [key, rows] : rows_by_group) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  Dataset result = train;
+  Rng rng(params.seed);
+  FairSmoteStats stats;
+  for (uint64_t key : keys) {
+    const std::vector<int>& rows = rows_by_group.at(key);
+    std::vector<int> by_class[2];
+    for (int row : rows) by_class[train.Label(row)].push_back(row);
+    int minority = by_class[0].size() <= by_class[1].size() ? 0 : 1;
+    const std::vector<int>& pool = by_class[minority];
+    int64_t deficit = static_cast<int64_t>(by_class[1 - minority].size()) -
+                      static_cast<int64_t>(pool.size());
+    if (deficit <= 0 || pool.empty()) continue;
+    ++stats.groups_balanced;
+
+    for (int64_t i = 0; i < deficit; ++i) {
+      int parent = pool[rng.UniformInt(static_cast<int>(pool.size()))];
+      // Candidate pool for the kNN scan, optionally subsampled.
+      std::vector<int> candidates;
+      if (params.max_candidates > 0 &&
+          static_cast<int>(pool.size()) > params.max_candidates) {
+        std::vector<int> picked = rng.SampleWithoutReplacement(
+            static_cast<int>(pool.size()), params.max_candidates);
+        candidates.reserve(picked.size());
+        for (int index : picked) candidates.push_back(pool[index]);
+      } else {
+        candidates = pool;
+      }
+      std::vector<int> neighbors =
+          NearestNeighbors(train, parent, candidates, params.k_neighbors);
+
+      std::vector<int> child = train.Row(parent);
+      if (!neighbors.empty()) {
+        int mate =
+            neighbors[rng.UniformInt(static_cast<int>(neighbors.size()))];
+        for (int c = 0; c < train.NumColumns(); ++c) {
+          if (!rng.Bernoulli(params.crossover)) {
+            child[c] = train.Value(mate, c);
+          }
+        }
+        // Synthetic instances stay in their subgroup: protected attributes
+        // are identical across the pool, so crossover cannot move them.
+      }
+      result.AddRow(child, minority);
+      ++stats.instances_added;
+    }
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace remedy

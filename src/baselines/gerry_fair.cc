@@ -1,0 +1,78 @@
+#include "baselines/gerry_fair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "fairness/fairness_violation.h"
+
+namespace remedy {
+
+GerryFair::GerryFair(GerryFairParams params) : params_(params) {
+  REMEDY_CHECK(params_.iterations > 0);
+  REMEDY_CHECK(params_.learning_rate > 0.0);
+}
+
+void GerryFair::Fit(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  REMEDY_CHECK(train.schema().NumProtected() > 0)
+      << "GerryFair audits subgroups of the protected attributes";
+  REMEDY_CHECK(params_.statistic == Statistic::kFpr ||
+               params_.statistic == Statistic::kFnr)
+      << "GerryFair audits FPR or FNR constraints";
+  models_.clear();
+  violations_.clear();
+  // The instances whose weight the auditor adjusts: the conditioning class
+  // of the statistic (negatives for FPR, positives for FNR).
+  const int audited_label = params_.statistic == Statistic::kFpr ? 0 : 1;
+
+  Dataset weighted = train;
+  for (int round = 0; round < params_.iterations; ++round) {
+    // Learner best response.
+    LogisticRegression model(params_.learner);
+    model.Fit(weighted);
+    std::vector<int> predictions = model.PredictAll(train);
+    models_.push_back(std::move(model));
+
+    // Auditor: most-violated subgroup under the audited statistic.
+    SubgroupAnalysis analysis =
+        AnalyzeSubgroups(train, predictions, params_.statistic,
+                         /*min_support=*/0.0, params_.min_group_size);
+    const SubgroupReport* worst = nullptr;
+    double worst_violation = 0.0;
+    for (const SubgroupReport& report : analysis.subgroups) {
+      double violation = report.support * report.divergence;
+      if (violation > worst_violation) {
+        worst_violation = violation;
+        worst = &report;
+      }
+    }
+    violations_.push_back(worst_violation);
+    if (worst == nullptr || worst_violation <= params_.gamma) break;
+
+    // Auditor response: re-weight the violated group's audited-class
+    // instances. Rate too high => up-weight them (misclassifying them gets
+    // costlier); too low => down-weight.
+    const bool too_high = worst->statistic > analysis.overall;
+    const double factor =
+        std::exp(params_.learning_rate * worst_violation *
+                 (too_high ? 1.0 : -1.0));
+    for (int r = 0; r < train.NumRows(); ++r) {
+      if (train.Label(r) != audited_label) continue;
+      if (!worst->pattern.Matches(train, r)) continue;
+      weighted.SetWeight(r, weighted.Weight(r) * factor);
+    }
+  }
+}
+
+double GerryFair::PredictProba(const Dataset& data, int row) const {
+  REMEDY_CHECK(!models_.empty()) << "GerryFair::Fit has not been called";
+  // Randomized classifier: uniform mixture over the rounds' models.
+  double sum = 0.0;
+  for (const LogisticRegression& model : models_) {
+    sum += model.PredictProba(data, row);
+  }
+  return sum / models_.size();
+}
+
+}  // namespace remedy

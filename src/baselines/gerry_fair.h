@@ -1,0 +1,58 @@
+#ifndef REMEDY_BASELINES_GERRY_FAIR_H_
+#define REMEDY_BASELINES_GERRY_FAIR_H_
+
+#include <vector>
+
+#include "fairness/divergence.h"
+#include "ml/classifier.h"
+#include "ml/logistic_regression.h"
+
+namespace remedy {
+
+// GerryFair baseline (Kearns, Neel, Roth & Wu [21]): in-processing subgroup
+// fairness via a two-player zero-sum game between a Learner and an Auditor.
+//
+// Each round, the Learner best-responds by training a (linear, as in the
+// original's regression oracle) classifier on the current instance weights;
+// the Auditor finds the subgroup with the largest fairness violation
+// (support * |FPR_g - FPR_D|) among the enumerable pattern subgroups of the
+// protected attributes — with categorical protected attributes this class
+// contains the violated groups the original's linear auditor would find —
+// and re-weights the violated group's negative instances so the next
+// Learner round is pushed toward parity. The final classifier is the
+// randomized uniform mixture of the per-round models, as in the original.
+//
+// The repeated full retraining is what makes GerryFair orders of magnitude
+// slower than the pre-processing methods in Table III.
+
+struct GerryFairParams {
+  int iterations = 20;
+  double learning_rate = 8.0;   // multiplicative-weights step on violations
+  double gamma = 0.002;         // violation tolerance for early stop
+  int64_t min_group_size = 30;  // auditor ignores smaller groups
+  // Which subgroup statistic the auditor enforces; the original supports
+  // false-positive and false-negative constraints. Must be kFpr or kFnr.
+  Statistic statistic = Statistic::kFpr;
+  LogisticRegressionParams learner;
+};
+
+class GerryFair : public Classifier {
+ public:
+  explicit GerryFair(GerryFairParams params = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, int row) const override;
+
+  // Audit trail: the violation found at each round (useful for convergence
+  // tests and the ablation bench).
+  const std::vector<double>& violations() const { return violations_; }
+
+ private:
+  GerryFairParams params_;
+  std::vector<LogisticRegression> models_;
+  std::vector<double> violations_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_BASELINES_GERRY_FAIR_H_

@@ -1,0 +1,35 @@
+#include "baselines/reweighting.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/region_counter.h"
+
+namespace remedy {
+
+Dataset ApplyReweighting(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  RegionCounter counter(train.schema());
+  uint32_t leaf_mask = (1u << counter.NumProtected()) - 1u;
+  std::unordered_map<uint64_t, RegionCounts> groups =
+      counter.CountNode(train, leaf_mask);
+
+  const double n = train.NumRows();
+  const double positives = train.PositiveCount();
+  const double negatives = train.NegativeCount();
+
+  Dataset result = train;
+  for (int r = 0; r < train.NumRows(); ++r) {
+    const RegionCounts& group = groups.at(counter.RowKey(train, r, leaf_mask));
+    double group_size = static_cast<double>(group.Total());
+    double class_size = train.Label(r) == 1 ? positives : negatives;
+    double cell = train.Label(r) == 1
+                      ? static_cast<double>(group.positives)
+                      : static_cast<double>(group.negatives);
+    REMEDY_DCHECK(cell > 0.0);  // the row itself is in the cell
+    result.SetWeight(r, (group_size * class_size) / (n * cell));
+  }
+  return result;
+}
+
+}  // namespace remedy

@@ -1,0 +1,23 @@
+#ifndef REMEDY_BASELINES_REWEIGHTING_H_
+#define REMEDY_BASELINES_REWEIGHTING_H_
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Reweighting baseline (Kamiran & Calders [19], generalized to
+// intersectional subgroups as in the paper's Table III): every instance in
+// subgroup g with label y receives weight
+//
+//     w(g, y) = (|g| * |y|) / (n * |g ∩ y|)
+//
+// which makes label and subgroup membership statistically independent under
+// the weighted empirical distribution. Subgroups are the leaf-level
+// combinations of the protected attributes. Requires a weight-aware learner.
+//
+// Returns a copy of `train` with the weights set (rows untouched).
+Dataset ApplyReweighting(const Dataset& train);
+
+}  // namespace remedy
+
+#endif  // REMEDY_BASELINES_REWEIGHTING_H_

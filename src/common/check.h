@@ -1,0 +1,68 @@
+#ifndef REMEDY_COMMON_CHECK_H_
+#define REMEDY_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+// Lightweight runtime-assertion macros in the spirit of glog's CHECK.
+//
+// The library does not use exceptions; precondition violations are programmer
+// errors and abort with a source location and message. Use the streaming form
+// to attach context:
+//
+//   REMEDY_CHECK(row < dataset.NumRows()) << "row " << row << " out of range";
+//
+// REMEDY_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+
+namespace remedy::internal {
+
+// Collects a failure message and aborts the process when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed CheckFailure expression into void so the ternary in
+// REMEDY_CHECK type-checks. `&` binds looser than `<<`, so streamed context
+// is collected before voidification.
+struct Voidify {
+  // Bare CheckFailure temporaries are rvalues; streamed ones come back as
+  // lvalue references from operator<<. Accept both.
+  void operator&(CheckFailure&&) {}
+  void operator&(CheckFailure&) {}
+};
+
+}  // namespace remedy::internal
+
+#define REMEDY_CHECK(expr)                             \
+  (expr) ? (void)0                                     \
+         : ::remedy::internal::Voidify() &             \
+               ::remedy::internal::CheckFailure(__FILE__, __LINE__, #expr)
+
+#ifdef NDEBUG
+#define REMEDY_DCHECK(expr) REMEDY_CHECK(true)
+#else
+#define REMEDY_DCHECK(expr) REMEDY_CHECK(expr)
+#endif
+
+#endif  // REMEDY_COMMON_CHECK_H_

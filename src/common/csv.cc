@@ -1,0 +1,150 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace remedy {
+namespace {
+
+// Parses one logical CSV record starting at *pos; advances *pos past the
+// record terminator. Returns false on unterminated quotes.
+bool ParseRecord(const std::string& text, size_t* pos,
+                 std::vector<std::string>* fields, std::string* error) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      ++i;
+    } else if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      ++i;
+      if (c == '\r' && i < n && text[i] == '\n') ++i;
+      break;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    *error = "unterminated quoted field";
+    return false;
+  }
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool ParseCsv(const std::string& text, bool has_header, CsvTable* table,
+              std::string* error) {
+  table->header.clear();
+  table->rows.clear();
+  size_t pos = 0;
+  bool first = true;
+  size_t expected_width = 0;
+  while (pos < text.size()) {
+    std::vector<std::string> fields;
+    if (!ParseRecord(text, &pos, &fields, error)) return false;
+    // Skip completely blank trailing lines.
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (first) {
+      expected_width = fields.size();
+      first = false;
+      if (has_header) {
+        table->header = std::move(fields);
+        continue;
+      }
+    }
+    if (fields.size() != expected_width) {
+      std::ostringstream msg;
+      msg << "row " << table->rows.size() + 1 << " has " << fields.size()
+          << " fields, expected " << expected_width;
+      *error = msg.str();
+      return false;
+    }
+    table->rows.push_back(std::move(fields));
+  }
+  return true;
+}
+
+bool ReadCsvFile(const std::string& path, bool has_header, CsvTable* table,
+                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), has_header, table, error);
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto write_record = [&out](const std::vector<std::string>& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(fields[i], &out);
+    }
+    out.push_back('\n');
+  };
+  if (!table.header.empty()) write_record(table.header);
+  for (const auto& row : table.rows) write_record(row);
+  return out;
+}
+
+bool WriteCsvFile(const std::string& path, const CsvTable& table,
+                  std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << WriteCsv(table);
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace remedy

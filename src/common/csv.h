@@ -1,0 +1,40 @@
+#ifndef REMEDY_COMMON_CSV_H_
+#define REMEDY_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace remedy {
+
+// Minimal CSV support for importing and exporting tabular datasets.
+//
+// Handles the common case used by fairness datasets: comma separation,
+// optional double-quote quoting with "" escapes, one record per line.
+// Parsing failures are reported through the boolean return value rather than
+// exceptions, with a human-readable message in `*error`.
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// Parses CSV text. When `has_header` is true the first record becomes
+// `table->header`. Returns false (and sets *error) on malformed input or on
+// rows whose width differs from the header.
+bool ParseCsv(const std::string& text, bool has_header, CsvTable* table,
+              std::string* error);
+
+// Reads and parses the file at `path`.
+bool ReadCsvFile(const std::string& path, bool has_header, CsvTable* table,
+                 std::string* error);
+
+// Serializes a table; fields containing separators or quotes are quoted.
+std::string WriteCsv(const CsvTable& table);
+
+// Writes the serialized table to `path`. Returns false on I/O failure.
+bool WriteCsvFile(const std::string& path, const CsvTable& table,
+                  std::string* error);
+
+}  // namespace remedy
+
+#endif  // REMEDY_COMMON_CSV_H_

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace remedy {
+
+int Rng::UniformInt(int n) {
+  REMEDY_CHECK(n > 0) << "UniformInt needs a positive bound, got " << n;
+  std::uniform_int_distribution<int> dist(0, n - 1);
+  return dist(engine_);
+}
+
+int Rng::UniformRange(int lo, int hi) {
+  REMEDY_CHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::Normal() { return Normal(0.0, 1.0); }
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return Uniform() < p;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    REMEDY_CHECK(w >= 0.0) << "negative categorical weight " << w;
+    total += w;
+  }
+  REMEDY_CHECK(total > 0.0) << "categorical weights sum to zero";
+  double draw = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (draw < cumulative) return static_cast<int>(i);
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (int i = static_cast<int>(weights.size()) - 1; i >= 0; --i) {
+    if (weights[i] > 0.0) return i;
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  REMEDY_CHECK(k >= 0 && k <= n)
+      << "cannot sample " << k << " of " << n << " without replacement";
+  std::vector<int> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  // Partial Fisher-Yates: after i swaps the first i entries are the sample.
+  for (int i = 0; i < k; ++i) {
+    std::swap(indices[i], indices[UniformRange(i, n - 1)]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork() {
+  // SplitMix-style scramble of a fresh draw decorrelates parent and child.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace remedy

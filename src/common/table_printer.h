@@ -1,0 +1,38 @@
+#ifndef REMEDY_COMMON_TABLE_PRINTER_H_
+#define REMEDY_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace remedy {
+
+// Aligned console table used by the benchmark harnesses to print the rows /
+// series each paper table and figure reports.
+//
+//   TablePrinter table({"model", "fairness index", "accuracy"});
+//   table.AddRow({"DT", "0.052", "0.671"});
+//   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision, strings verbatim.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  void Print(std::ostream& out) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,66 @@
+#include "core/hierarchy.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace remedy {
+
+Hierarchy::Hierarchy(const Dataset& data)
+    : data_(&data), counter_(data.schema()) {}
+
+const std::unordered_map<uint64_t, RegionCounts>& Hierarchy::NodeCounts(
+    uint32_t mask) {
+  REMEDY_CHECK(mask != 0 && (mask & ~LeafMask()) == 0)
+      << "invalid node mask " << mask;
+  auto it = node_cache_.find(mask);
+  if (it == node_cache_.end()) {
+    it = node_cache_.emplace(mask, counter_.CountNode(*data_, mask)).first;
+  }
+  return it->second;
+}
+
+const RegionCounts& Hierarchy::TotalCounts() {
+  if (!total_valid_) {
+    total_counts_ = counter_.DatasetCounts(*data_);
+    total_valid_ = true;
+  }
+  return total_counts_;
+}
+
+std::vector<uint32_t> Hierarchy::ParentMasks(uint32_t mask) {
+  std::vector<uint32_t> parents;
+  for (uint32_t bits = mask; bits != 0;) {
+    uint32_t low_bit = bits & (~bits + 1);
+    uint32_t parent = mask & ~low_bit;
+    if (parent != 0) parents.push_back(parent);
+    bits &= ~low_bit;
+  }
+  return parents;
+}
+
+std::vector<uint32_t> Hierarchy::MasksAtLevel(int level) const {
+  REMEDY_CHECK(level >= 1 && level <= NumProtected());
+  std::vector<uint32_t> masks;
+  const uint32_t leaf = LeafMask();
+  for (uint32_t mask = 1; mask <= leaf; ++mask) {
+    if (std::popcount(mask) == level) masks.push_back(mask);
+  }
+  return masks;
+}
+
+std::vector<uint32_t> Hierarchy::BottomUpMasks() const {
+  std::vector<uint32_t> masks;
+  for (int level = NumProtected(); level >= 1; --level) {
+    std::vector<uint32_t> at_level = MasksAtLevel(level);
+    masks.insert(masks.end(), at_level.begin(), at_level.end());
+  }
+  return masks;
+}
+
+void Hierarchy::Invalidate() {
+  node_cache_.clear();
+  total_valid_ = false;
+}
+
+}  // namespace remedy

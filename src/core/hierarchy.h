@@ -1,0 +1,70 @@
+#ifndef REMEDY_CORE_HIERARCHY_H_
+#define REMEDY_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/region_counter.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// The region hierarchy of Sec. III (Fig. 1): nodes group the patterns that
+// share the same deterministic attribute set; a node is identified by a
+// bitmask over the |X| protected-attribute positions and its level is the
+// popcount of that mask. Level 0 is the entire dataset, the leaf level has
+// all attributes deterministic.
+//
+// Node region counts are computed lazily (one dataset pass per node) and
+// memoized, so callers that only touch a slice of the lattice — the Leaf /
+// Top identification scopes, or the per-node re-identification of the remedy
+// loop — pay only for what they use. `Invalidate()` drops the memo after the
+// underlying dataset changes.
+class Hierarchy {
+ public:
+  // `data` must outlive the hierarchy.
+  explicit Hierarchy(const Dataset& data);
+
+  int NumProtected() const { return counter_.NumProtected(); }
+  uint32_t LeafMask() const {
+    return (NumProtected() == 32) ? 0xffffffffu
+                                  : ((1u << NumProtected()) - 1u);
+  }
+
+  const RegionCounter& counter() const { return counter_; }
+  const Dataset& data() const { return *data_; }
+
+  // Region counts of node `mask` (memoized).
+  const std::unordered_map<uint64_t, RegionCounts>& NodeCounts(uint32_t mask);
+
+  // Counts of the whole dataset (level-0 node).
+  const RegionCounts& TotalCounts();
+
+  // Masks of the parent nodes of `mask` (one deterministic element removed).
+  // The empty mask (level 0) has no parents here; its counts come from
+  // TotalCounts().
+  static std::vector<uint32_t> ParentMasks(uint32_t mask);
+
+  // All node masks at `level` deterministic elements, ascending.
+  std::vector<uint32_t> MasksAtLevel(int level) const;
+
+  // All non-empty-node masks from the leaf level down to level 1, in the
+  // bottom-up traversal order of Algorithm 1.
+  std::vector<uint32_t> BottomUpMasks() const;
+
+  // Drops memoized counts (call after mutating the dataset).
+  void Invalidate();
+
+ private:
+  const Dataset* data_;
+  RegionCounter counter_;
+  std::unordered_map<uint32_t, std::unordered_map<uint64_t, RegionCounts>>
+      node_cache_;
+  RegionCounts total_counts_;
+  bool total_valid_ = false;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_HIERARCHY_H_

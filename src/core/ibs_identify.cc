@@ -1,0 +1,86 @@
+#include "core/ibs_identify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace remedy {
+
+std::vector<uint32_t> ScopeMasks(const Hierarchy& hierarchy, IbsScope scope) {
+  switch (scope) {
+    case IbsScope::kLattice:
+      return hierarchy.BottomUpMasks();
+    case IbsScope::kLeaf:
+      return {hierarchy.LeafMask()};
+    case IbsScope::kTop: {
+      std::vector<uint32_t> masks;
+      for (int i = 0; i < hierarchy.NumProtected(); ++i) {
+        masks.push_back(1u << i);
+      }
+      return masks;
+    }
+  }
+  REMEDY_CHECK(false) << "unreachable scope";
+  return {};
+}
+
+std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
+                                            uint32_t mask,
+                                            const IbsParams& params) {
+  NeighborhoodCalculator neighborhood(hierarchy, params.distance_threshold);
+  const bool use_optimized =
+      params.algorithm == IbsAlgorithm::kOptimized &&
+      neighborhood.SupportsOptimized(mask);
+
+  // Sort region keys for deterministic output (hash-map order is not).
+  const auto& node = hierarchy.NodeCounts(mask);
+  std::vector<uint64_t> keys;
+  keys.reserve(node.size());
+  for (const auto& [key, counts] : node) {
+    if (counts.Total() > params.min_region_size) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<BiasedRegion> biased;
+  for (uint64_t key : keys) {
+    const RegionCounts& counts = node.at(key);
+    Pattern pattern = hierarchy.counter().PatternFor(key, mask);
+    RegionCounts neighbor_counts =
+        use_optimized
+            ? neighborhood.OptimizedNeighborCounts(pattern, counts)
+            : neighborhood.NaiveNeighborCounts(pattern);
+    double ratio = ImbalanceScore(counts);
+    double neighbor_ratio = ImbalanceScore(neighbor_counts);
+    if (std::abs(ratio - neighbor_ratio) > params.imbalance_threshold) {
+      biased.push_back({std::move(pattern), counts, neighbor_counts, ratio,
+                        neighbor_ratio});
+    }
+  }
+  return biased;
+}
+
+std::vector<BiasedRegion> IdentifyIbs(const Dataset& data,
+                                      const IbsParams& params) {
+  REMEDY_CHECK(data.schema().NumProtected() > 0)
+      << "IBS identification needs protected attributes";
+  Hierarchy hierarchy(data);
+  std::vector<BiasedRegion> ibs;
+  for (uint32_t mask : ScopeMasks(hierarchy, params.scope)) {
+    std::vector<BiasedRegion> node_biased =
+        IdentifyIbsInNode(hierarchy, mask, params);
+    ibs.insert(ibs.end(), std::make_move_iterator(node_biased.begin()),
+               std::make_move_iterator(node_biased.end()));
+  }
+  return ibs;
+}
+
+bool DominatesAnyBiasedRegion(const Pattern& pattern,
+                              const std::vector<BiasedRegion>& ibs) {
+  for (const BiasedRegion& region : ibs) {
+    if (pattern.Dominates(region.pattern)) return true;
+  }
+  return false;
+}
+
+}  // namespace remedy

@@ -1,0 +1,68 @@
+#ifndef REMEDY_CORE_IBS_IDENTIFY_H_
+#define REMEDY_CORE_IBS_IDENTIFY_H_
+
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/imbalance.h"
+#include "core/pattern.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Which slice of the hierarchy the identification traverses (Sec. V-A/b).
+enum class IbsScope {
+  kLattice,  // every level from the leaves up to level 1 (the paper's method)
+  kLeaf,     // only fully-deterministic intersectional regions
+  kTop,      // only level 1 (single protected attributes)
+};
+
+// Which neighbor-count computation to use (Sec. III-A vs III-B).
+enum class IbsAlgorithm {
+  kNaive,
+  kOptimized,
+};
+
+// Parameters of Problem 1 (Implicit Biased Set identification).
+struct IbsParams {
+  double imbalance_threshold = 0.1;  // tau_c
+  double distance_threshold = 1.0;   // T
+  int min_region_size = 30;          // k, the CLT rule of thumb
+  IbsScope scope = IbsScope::kLattice;
+  IbsAlgorithm algorithm = IbsAlgorithm::kOptimized;
+};
+
+// One region of the Implicit Biased Set, with the evidence that put it there.
+struct BiasedRegion {
+  Pattern pattern;
+  RegionCounts counts;           // |r+|, |r-|
+  RegionCounts neighbor_counts;  // |r_n+|, |r_n-|
+  double ratio = 0.0;            // ratio_r
+  double neighbor_ratio = 0.0;   // ratio_rn
+};
+
+// Identifies the IBS of `data` (Algorithm 1): every region with more than
+// `min_region_size` instances whose imbalance score differs from its
+// neighboring region's by more than `imbalance_threshold`. Regions are
+// returned in the bottom-up traversal order, deterministically.
+std::vector<BiasedRegion> IdentifyIbs(const Dataset& data,
+                                      const IbsParams& params);
+
+// Same, but reusing a caller-owned hierarchy (so the remedy loop can share
+// memoized node counts across nodes of one pass).
+std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
+                                            uint32_t mask,
+                                            const IbsParams& params);
+
+// Node masks visited under `scope`, in traversal order.
+std::vector<uint32_t> ScopeMasks(const Hierarchy& hierarchy, IbsScope scope);
+
+// True if `pattern`'s region is in (or equal to) one of the biased regions'
+// patterns — convenience for the Fig. 3 validation experiment, which also
+// marks subgroups that *dominate* biased regions.
+bool DominatesAnyBiasedRegion(const Pattern& pattern,
+                              const std::vector<BiasedRegion>& ibs);
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_IBS_IDENTIFY_H_

@@ -1,0 +1,152 @@
+#include "core/imbalance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace remedy {
+
+double ImbalanceScore(int64_t positives, int64_t negatives) {
+  if (negatives == 0) return kAllPositiveRatio;
+  return static_cast<double>(positives) / static_cast<double>(negatives);
+}
+
+double ImbalanceScore(const RegionCounts& counts) {
+  return ImbalanceScore(counts.positives, counts.negatives);
+}
+
+NeighborhoodCalculator::NeighborhoodCalculator(Hierarchy& hierarchy,
+                                               double distance_threshold)
+    : hierarchy_(hierarchy), distance_threshold_(distance_threshold) {
+  REMEDY_CHECK(distance_threshold_ > 0.0);
+}
+
+RegionCounts NeighborhoodCalculator::NaiveNeighborCounts(
+    const Pattern& pattern) {
+  std::vector<int> det_positions;
+  for (int i = 0; i < pattern.Arity(); ++i) {
+    if (pattern.IsDeterministic(i)) det_positions.push_back(i);
+  }
+  REMEDY_CHECK(!det_positions.empty())
+      << "the level-0 region has no neighboring region";
+  RegionCounts total;
+  Pattern current = pattern;
+  AccumulateNeighbors(pattern, current, det_positions, 0, 0.0, &total);
+  return total;
+}
+
+void NeighborhoodCalculator::AccumulateNeighbors(
+    const Pattern& original, Pattern& current,
+    const std::vector<int>& det_positions, size_t next_position,
+    double squared_distance, RegionCounts* total) {
+  if (next_position == det_positions.size()) {
+    if (squared_distance <= 0.0) return;  // the region itself is not in r_n
+    const auto& node = hierarchy_.NodeCounts(original.DeterministicMask());
+    auto it =
+        node.find(hierarchy_.counter().KeyFor(current,
+                                              original.DeterministicMask()));
+    if (it != node.end()) {
+      total->positives += it->second.positives;
+      total->negatives += it->second.negatives;
+    }
+    return;
+  }
+
+  const DataSchema& schema = hierarchy_.data().schema();
+  const int position = det_positions[next_position];
+  const AttributeSchema& attr =
+      schema.attribute(schema.protected_indices()[position]);
+  const int original_value = original.Value(position);
+  const double budget =
+      distance_threshold_ * distance_threshold_ + 1e-9;
+  for (int value = 0; value < attr.Cardinality(); ++value) {
+    double d = attr.Distance(original_value, value);
+    double next_squared = squared_distance + d * d;
+    if (next_squared > budget) continue;
+    current.SetValue(position, value);
+    AccumulateNeighbors(original, current, det_positions, next_position + 1,
+                        next_squared, total);
+  }
+  current.SetValue(position, original_value);
+}
+
+bool NeighborhoodCalculator::SupportsOptimized(uint32_t mask) const {
+  const DataSchema& schema = hierarchy_.data().schema();
+  // Node diameter: the largest possible distance between two regions of the
+  // node under the per-attribute metrics.
+  double squared_diameter = 0.0;
+  for (int i = 0; i < schema.NumProtected(); ++i) {
+    if (!(mask & (1u << i))) continue;
+    const AttributeSchema& attr =
+        schema.attribute(schema.protected_indices()[i]);
+    double max_d = attr.ordinal() ? attr.Cardinality() - 1 : 1.0;
+    squared_diameter += max_d * max_d;
+  }
+  const double squared_t = distance_threshold_ * distance_threshold_;
+  if (squared_t + 1e-9 >= squared_diameter) return true;  // T = |X| regime
+  // The dominating-region identity holds for T = 1 in the unit-distance
+  // setting: the distance-1 neighbors are exactly the regions that change
+  // one attribute, which is what R_d sums (minus the over-counted r).
+  if (std::abs(distance_threshold_ - 1.0) > 1e-9) return false;
+  for (int i = 0; i < schema.NumProtected(); ++i) {
+    if ((mask & (1u << i)) &&
+        schema.attribute(schema.protected_indices()[i]).ordinal()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RegionCounts NeighborhoodCalculator::OptimizedNeighborCounts(
+    const Pattern& pattern, const RegionCounts& region_counts) {
+  const uint32_t mask = pattern.DeterministicMask();
+  REMEDY_CHECK(mask != 0);
+  REMEDY_CHECK(SupportsOptimized(mask))
+      << "optimized neighbor counts require T = 1 on nominal attributes or "
+         "the T = |X| regime";
+
+  const DataSchema& schema = hierarchy_.data().schema();
+  double squared_diameter = 0.0;
+  for (int i = 0; i < schema.NumProtected(); ++i) {
+    if (!(mask & (1u << i))) continue;
+    const AttributeSchema& attr =
+        schema.attribute(schema.protected_indices()[i]);
+    double max_d = attr.ordinal() ? attr.Cardinality() - 1 : 1.0;
+    squared_diameter += max_d * max_d;
+  }
+  if (distance_threshold_ * distance_threshold_ + 1e-9 >= squared_diameter) {
+    // T = |X|: the neighboring region is every other region of the node,
+    // whose union is the entire dataset minus r.
+    const RegionCounts& total = hierarchy_.TotalCounts();
+    return {total.positives - region_counts.positives,
+            total.negatives - region_counts.negatives};
+  }
+
+  // T = 1: sum the dominating regions R_d (one deterministic element
+  // removed) and subtract the |R_d|-fold over-count of r itself.
+  RegionCounts sum;
+  int64_t num_dominating = 0;
+  for (int i = 0; i < schema.NumProtected(); ++i) {
+    if (!(mask & (1u << i))) continue;
+    const uint32_t parent_mask = mask & ~(1u << i);
+    ++num_dominating;
+    if (parent_mask == 0) {
+      const RegionCounts& total = hierarchy_.TotalCounts();
+      sum.positives += total.positives;
+      sum.negatives += total.negatives;
+      continue;
+    }
+    Pattern parent = pattern;
+    parent.SetValue(i, Pattern::kWildcard);
+    const auto& node = hierarchy_.NodeCounts(parent_mask);
+    auto it = node.find(hierarchy_.counter().KeyFor(parent, parent_mask));
+    // The parent region contains r, so it must exist whenever r does.
+    REMEDY_CHECK(it != node.end()) << "dominating region missing from node";
+    sum.positives += it->second.positives;
+    sum.negatives += it->second.negatives;
+  }
+  return {sum.positives - num_dominating * region_counts.positives,
+          sum.negatives - num_dominating * region_counts.negatives};
+}
+
+}  // namespace remedy

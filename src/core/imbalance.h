@@ -1,0 +1,66 @@
+#ifndef REMEDY_CORE_IMBALANCE_H_
+#define REMEDY_CORE_IMBALANCE_H_
+
+#include <cstdint>
+
+#include "core/hierarchy.h"
+#include "core/pattern.h"
+#include "core/region_counter.h"
+
+namespace remedy {
+
+// Sentinel imbalance score for regions with no negative instances (Def. 3).
+inline constexpr double kAllPositiveRatio = -1.0;
+
+// Imbalance score ratio_r = |r+| / |r-|, or kAllPositiveRatio when |r-| = 0.
+double ImbalanceScore(const RegionCounts& counts);
+double ImbalanceScore(int64_t positives, int64_t negatives);
+
+// Computes the (positive, negative) counts of a region's neighboring region
+// r_n — the union of same-node regions within Euclidean distance T (Def. 4).
+//
+// Two interchangeable strategies mirror Sec. III:
+//  * Naive: enumerate every candidate neighbor pattern within distance T and
+//    sum its counts — (c-1)·d·T lookups per region.
+//  * Optimized: reuse the counts of the dominating regions R_d one level up:
+//      |r_n^±| = Σ_{r_k ∈ R_d} |r_k^±|  −  |R_d| · |r^±|      (T = 1)
+//    and for T = |X| the neighboring region is everything but r, so node
+//    totals (= dataset totals) minus r. Only d·T parent lookups per region.
+//
+// The optimized strategy assumes the paper's basic unit-distance setting
+// (every pair of distinct values one unit apart); the naive strategy also
+// honors ordinal attribute metrics. `IdentifyIbs` property-tests their
+// agreement on nominal data.
+class NeighborhoodCalculator {
+ public:
+  // `hierarchy` must outlive the calculator. T is the distance threshold.
+  NeighborhoodCalculator(Hierarchy& hierarchy, double distance_threshold);
+
+  double distance_threshold() const { return distance_threshold_; }
+
+  // Naive neighbor counts of region `pattern` (mask = its node).
+  RegionCounts NaiveNeighborCounts(const Pattern& pattern);
+
+  // Optimized neighbor counts via dominating regions. Requires T == 1 or
+  // T >= the node diameter (the T = |X| regime); dies otherwise.
+  RegionCounts OptimizedNeighborCounts(const Pattern& pattern,
+                                       const RegionCounts& region_counts);
+
+  // True when `distance_threshold` is handled by the optimized fast paths.
+  bool SupportsOptimized(uint32_t mask) const;
+
+ private:
+  // Recursively enumerates neighbor patterns by substituting deterministic
+  // values, pruning on accumulated squared distance.
+  void AccumulateNeighbors(const Pattern& original, Pattern& current,
+                           const std::vector<int>& det_positions,
+                           size_t next_position, double squared_distance,
+                           RegionCounts* total);
+
+  Hierarchy& hierarchy_;
+  double distance_threshold_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_IMBALANCE_H_

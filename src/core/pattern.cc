@@ -1,0 +1,77 @@
+#include "core/pattern.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace remedy {
+
+int Pattern::NumDeterministic() const {
+  int count = 0;
+  for (int v : values_) count += (v != kWildcard);
+  return count;
+}
+
+uint32_t Pattern::DeterministicMask() const {
+  REMEDY_DCHECK(Arity() <= 32);
+  uint32_t mask = 0;
+  for (int i = 0; i < Arity(); ++i) {
+    if (values_[i] != kWildcard) mask |= (1u << i);
+  }
+  return mask;
+}
+
+bool Pattern::Matches(const Dataset& data, int row) const {
+  const std::vector<int>& protected_cols = data.schema().protected_indices();
+  REMEDY_DCHECK(static_cast<int>(protected_cols.size()) == Arity());
+  for (int i = 0; i < Arity(); ++i) {
+    if (values_[i] != kWildcard &&
+        data.Value(row, protected_cols[i]) != values_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Pattern::Dominates(const Pattern& region) const {
+  REMEDY_CHECK(Arity() == region.Arity());
+  for (int i = 0; i < Arity(); ++i) {
+    if (values_[i] != kWildcard && values_[i] != region.values_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Pattern::Distance(const Pattern& other,
+                         const DataSchema& schema) const {
+  REMEDY_CHECK(SameNode(other))
+      << "distance is only defined within one hierarchy node";
+  const std::vector<int>& protected_cols = schema.protected_indices();
+  double squared = 0.0;
+  for (int i = 0; i < Arity(); ++i) {
+    if (values_[i] == kWildcard) continue;
+    double d = schema.attribute(protected_cols[i])
+                   .Distance(values_[i], other.values_[i]);
+    squared += d * d;
+  }
+  return std::sqrt(squared);
+}
+
+std::string Pattern::ToString(const DataSchema& schema) const {
+  const std::vector<int>& protected_cols = schema.protected_indices();
+  std::string out = "(";
+  bool first = true;
+  for (int i = 0; i < Arity(); ++i) {
+    if (values_[i] == kWildcard) continue;
+    if (!first) out += ", ";
+    first = false;
+    const AttributeSchema& attr = schema.attribute(protected_cols[i]);
+    out += attr.name() + "=" + attr.ValueName(values_[i]);
+  }
+  if (first) out += "*";  // level-0: the entire dataset
+  out += ")";
+  return out;
+}
+
+}  // namespace remedy

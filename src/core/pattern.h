@@ -1,0 +1,85 @@
+#ifndef REMEDY_CORE_PATTERN_H_
+#define REMEDY_CORE_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace remedy {
+
+// A pattern over the protected attributes X: a conjunction of
+// attribute-value assignments where each element is either deterministic
+// (a = v) or non-deterministic (a = X, "don't care").
+//
+// Positions are aligned with DataSchema::protected_indices(); a value of
+// Pattern::kWildcard marks a non-deterministic element. A pattern denotes the
+// region/subgroup of instances matching all deterministic elements (Sec. II).
+class Pattern {
+ public:
+  static constexpr int kWildcard = -1;
+
+  Pattern() = default;
+
+  // All-wildcard pattern of the given arity (the level-0 "entire dataset").
+  explicit Pattern(int arity) : values_(arity, kWildcard) {}
+
+  // Pattern with explicit values; use kWildcard for non-deterministic slots.
+  explicit Pattern(std::vector<int> values) : values_(std::move(values)) {}
+
+  int Arity() const { return static_cast<int>(values_.size()); }
+  int Value(int position) const { return values_[position]; }
+  void SetValue(int position, int value) { values_[position] = value; }
+  bool IsDeterministic(int position) const {
+    return values_[position] != kWildcard;
+  }
+
+  // d: number of deterministic elements (the pattern's level).
+  int NumDeterministic() const;
+
+  // Bitmask with bit i set iff position i is deterministic. Identifies the
+  // hierarchy node the pattern belongs to. Arity must be <= 32.
+  uint32_t DeterministicMask() const;
+
+  // True if `row` of `data` matches every deterministic element. Positions
+  // map through data.schema().protected_indices().
+  bool Matches(const Dataset& data, int row) const;
+
+  // Dominance (Def. 2): true if `region` is dominated by this pattern, i.e.
+  // this pattern can be obtained from region's by replacing deterministic
+  // elements with wildcards. Every pattern dominates itself.
+  bool Dominates(const Pattern& region) const;
+
+  // True if both patterns have the same deterministic attribute set
+  // (same hierarchy node).
+  bool SameNode(const Pattern& other) const {
+    return DeterministicMask() == other.DeterministicMask();
+  }
+
+  // Euclidean distance between two regions of the same node (Def. 4):
+  // sqrt of the summed squared per-attribute distances. Dies if the patterns
+  // are in different nodes (such regions are never neighbors).
+  double Distance(const Pattern& other, const DataSchema& schema) const;
+
+  // Human-readable form, e.g. "(age='25-45', race=Afr-Am)"; wildcards are
+  // omitted as in the paper.
+  std::string ToString(const DataSchema& schema) const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.values_ == b.values_;
+  }
+
+  // Lexicographic order for deterministic output.
+  friend bool operator<(const Pattern& a, const Pattern& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<int> values_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_PATTERN_H_

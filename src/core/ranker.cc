@@ -1,0 +1,43 @@
+#include "core/ranker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace remedy {
+
+BorderlineRanker::BorderlineRanker(const Dataset& data) {
+  model_.Fit(data);
+}
+
+double BorderlineRanker::Score(const Dataset& data, int row) const {
+  return model_.PredictProba(data, row);
+}
+
+std::vector<int> BorderlineRanker::RankBorderline(
+    const Dataset& data, const std::vector<int>& rows, int label) const {
+  REMEDY_CHECK(label == 0 || label == 1);
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(rows.size());
+  for (int row : rows) {
+    REMEDY_DCHECK(data.Label(row) == label);
+    scored.emplace_back(Score(data, row), row);
+  }
+  if (label == 1) {
+    // Positives with low P(y=1) look most like negatives.
+    std::sort(scored.begin(), scored.end());
+  } else {
+    // Negatives with high P(y=1) look most like positives.
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+  }
+  std::vector<int> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [score, row] : scored) ranked.push_back(row);
+  return ranked;
+}
+
+}  // namespace remedy

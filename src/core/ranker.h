@@ -1,0 +1,37 @@
+#ifndef REMEDY_CORE_RANKER_H_
+#define REMEDY_CORE_RANKER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/naive_bayes.h"
+
+namespace remedy {
+
+// Borderline-instance ranker used by preferential sampling and data
+// massaging (Sec. IV-A): a naive Bayes model scores P(y = 1 | x); instances
+// whose score disagrees most with their label are "borderline" — they have a
+// high probability of belonging to the other class.
+class BorderlineRanker {
+ public:
+  // Trains the ranker on `data`.
+  explicit BorderlineRanker(const Dataset& data);
+
+  // P(y = 1 | x) of one row.
+  double Score(const Dataset& data, int row) const;
+
+  // Sorts `rows` (all holding instances of class `label` in `data`) so that
+  // the most borderline instances come first: for positives, ascending
+  // P(y=1); for negatives, descending P(y=1). Ties break on row index for
+  // determinism.
+  std::vector<int> RankBorderline(const Dataset& data,
+                                  const std::vector<int>& rows,
+                                  int label) const;
+
+ private:
+  NaiveBayes model_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_RANKER_H_

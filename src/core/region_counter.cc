@@ -1,0 +1,91 @@
+#include "core/region_counter.h"
+
+#include "common/check.h"
+
+namespace remedy {
+
+RegionCounter::RegionCounter(const DataSchema& schema)
+    : protected_cols_(schema.protected_indices()) {
+  REMEDY_CHECK(!protected_cols_.empty())
+      << "RegionCounter needs at least one protected attribute";
+  REMEDY_CHECK(protected_cols_.size() <= 32);
+  cardinalities_.reserve(protected_cols_.size());
+  uint64_t capacity = 1;
+  for (int col : protected_cols_) {
+    int cardinality = schema.attribute(col).Cardinality();
+    cardinalities_.push_back(cardinality);
+    // Guard the mixed-radix packing against overflow; fairness workloads are
+    // far below this bound (the paper uses at most 8 protected attributes).
+    REMEDY_CHECK(capacity < (UINT64_MAX / (cardinality + 1)))
+        << "protected-attribute domain too large to pack into 64-bit keys";
+    capacity *= static_cast<uint64_t>(cardinality);
+  }
+}
+
+uint64_t RegionCounter::KeyFor(const Pattern& pattern, uint32_t mask) const {
+  REMEDY_DCHECK(pattern.DeterministicMask() == mask);
+  uint64_t key = 0;
+  for (int i = 0; i < NumProtected(); ++i) {
+    if (mask & (1u << i)) {
+      key = key * cardinalities_[i] + static_cast<uint64_t>(pattern.Value(i));
+    }
+  }
+  return key;
+}
+
+Pattern RegionCounter::PatternFor(uint64_t key, uint32_t mask) const {
+  Pattern pattern(NumProtected());
+  // Unpack in reverse position order to mirror KeyFor.
+  for (int i = NumProtected() - 1; i >= 0; --i) {
+    if (mask & (1u << i)) {
+      pattern.SetValue(i, static_cast<int>(key % cardinalities_[i]));
+      key /= cardinalities_[i];
+    }
+  }
+  REMEDY_DCHECK(key == 0);
+  return pattern;
+}
+
+uint64_t RegionCounter::RowKey(const Dataset& data, int row,
+                               uint32_t mask) const {
+  uint64_t key = 0;
+  for (int i = 0; i < NumProtected(); ++i) {
+    if (mask & (1u << i)) {
+      key = key * cardinalities_[i] +
+            static_cast<uint64_t>(data.Value(row, protected_cols_[i]));
+    }
+  }
+  return key;
+}
+
+std::unordered_map<uint64_t, RegionCounts> RegionCounter::CountNode(
+    const Dataset& data, uint32_t mask) const {
+  std::unordered_map<uint64_t, RegionCounts> counts;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    RegionCounts& entry = counts[RowKey(data, r, mask)];
+    if (data.Label(r) == 1) {
+      ++entry.positives;
+    } else {
+      ++entry.negatives;
+    }
+  }
+  return counts;
+}
+
+std::unordered_map<uint64_t, std::vector<int>> RegionCounter::CollectRows(
+    const Dataset& data, uint32_t mask) const {
+  std::unordered_map<uint64_t, std::vector<int>> rows;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    rows[RowKey(data, r, mask)].push_back(r);
+  }
+  return rows;
+}
+
+RegionCounts RegionCounter::DatasetCounts(const Dataset& data) const {
+  RegionCounts counts;
+  counts.positives = data.PositiveCount();
+  counts.negatives = data.NegativeCount();
+  return counts;
+}
+
+}  // namespace remedy

@@ -1,0 +1,71 @@
+#ifndef REMEDY_CORE_REGION_COUNTER_H_
+#define REMEDY_CORE_REGION_COUNTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pattern.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Positive / negative instance counts of one region.
+struct RegionCounts {
+  int64_t positives = 0;
+  int64_t negatives = 0;
+
+  int64_t Total() const { return positives + negatives; }
+
+  friend bool operator==(const RegionCounts& a, const RegionCounts& b) {
+    return a.positives == b.positives && a.negatives == b.negatives;
+  }
+};
+
+// Group-by engine over subsets of the protected attributes.
+//
+// A hierarchy node is identified by a bitmask over the protected-attribute
+// positions; within a node, each region is keyed by the packed (mixed-radix)
+// combination of its deterministic values. One linear pass over the dataset
+// produces the (positive, negative) counts of every region in a node.
+class RegionCounter {
+ public:
+  explicit RegionCounter(const DataSchema& schema);
+
+  int NumProtected() const {
+    return static_cast<int>(cardinalities_.size());
+  }
+  int Cardinality(int position) const { return cardinalities_[position]; }
+
+  // Packs the deterministic values of `pattern` (whose DeterministicMask()
+  // must equal `mask`) into a region key.
+  uint64_t KeyFor(const Pattern& pattern, uint32_t mask) const;
+
+  // Inverse of KeyFor: reconstructs the pattern of a region key.
+  Pattern PatternFor(uint64_t key, uint32_t mask) const;
+
+  // Counts every region of node `mask` in one pass over `data`.
+  std::unordered_map<uint64_t, RegionCounts> CountNode(
+      const Dataset& data, uint32_t mask) const;
+
+  // Row indices of every region of node `mask` (used by the remedy step to
+  // pick the concrete instances to duplicate / remove / relabel).
+  std::unordered_map<uint64_t, std::vector<int>> CollectRows(
+      const Dataset& data, uint32_t mask) const;
+
+  // Counts over the whole dataset (the level-0 node).
+  RegionCounts DatasetCounts(const Dataset& data) const;
+
+  // Packs the protected values of one dataset row under `mask` — the key of
+  // the node-`mask` region the row belongs to.
+  uint64_t RowKey(const Dataset& data, int row, uint32_t mask) const;
+
+ private:
+
+  std::vector<int> protected_cols_;
+  std::vector<int> cardinalities_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_REGION_COUNTER_H_

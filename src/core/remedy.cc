@@ -1,0 +1,365 @@
+#include "core/remedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/ranker.h"
+
+namespace remedy {
+namespace {
+
+constexpr double kZeroRatioEpsilon = 1e-12;
+
+int64_t ClampCount(double value, int64_t lo, int64_t hi) {
+  int64_t rounded = std::llround(value);
+  return std::clamp(rounded, lo, hi);
+}
+
+}  // namespace
+
+std::string TechniqueName(RemedyTechnique technique) {
+  switch (technique) {
+    case RemedyTechnique::kOversample:
+      return "Oversample";
+    case RemedyTechnique::kUndersample:
+      return "Undersample";
+    case RemedyTechnique::kPreferentialSampling:
+      return "PreferentialSampling";
+    case RemedyTechnique::kMassaging:
+      return "Massaging";
+  }
+  REMEDY_CHECK(false) << "unknown technique";
+  return "";
+}
+
+RegionUpdate ComputeUpdate(RemedyTechnique technique, int64_t positives,
+                           int64_t negatives, double target_ratio) {
+  RegionUpdate update;
+  const double P = static_cast<double>(positives);
+  const double N = static_cast<double>(negatives);
+
+  // Neighborhood is all-positive: the target is "no negatives".
+  if (target_ratio == kAllPositiveRatio) {
+    if (negatives == 0) return update;  // already matching
+    switch (technique) {
+      case RemedyTechnique::kOversample:
+        // Adding instances can never empty the negative side.
+        update.reachable = false;
+        return update;
+      case RemedyTechnique::kUndersample:
+        update.delta_negatives = -negatives;
+        return update;
+      case RemedyTechnique::kPreferentialSampling:
+        update.delta_negatives = -negatives;
+        update.delta_positives = negatives;
+        return update;
+      case RemedyTechnique::kMassaging:
+        update.delta_negatives = -negatives;
+        update.delta_positives = negatives;
+        update.flips = negatives;
+        return update;
+    }
+  }
+
+  const double t = target_ratio;
+  const double current = ImbalanceScore(positives, negatives);
+  // A region with no negatives has conceptually infinite imbalance, so it
+  // sits on the "too positive" side of any finite target.
+  const bool too_positive =
+      (current == kAllPositiveRatio) || (current > t);
+  if (!too_positive && current == t) return update;  // already matching
+
+  switch (technique) {
+    case RemedyTechnique::kOversample:
+      if (too_positive) {
+        if (t <= kZeroRatioEpsilon) {
+          update.reachable = false;  // cannot reach ratio 0 by adding rows
+          return update;
+        }
+        update.delta_negatives =
+            ClampCount(P / t - N, 0, std::numeric_limits<int64_t>::max());
+      } else {
+        update.delta_positives =
+            ClampCount(t * N - P, 0, std::numeric_limits<int64_t>::max());
+      }
+      return update;
+
+    case RemedyTechnique::kUndersample:
+      if (too_positive) {
+        update.delta_positives = -ClampCount(P - t * N, 0, positives);
+      } else {
+        REMEDY_DCHECK(t > kZeroRatioEpsilon);  // t > current >= 0
+        update.delta_negatives = -ClampCount(N - P / t, 0, negatives);
+      }
+      return update;
+
+    case RemedyTechnique::kPreferentialSampling: {
+      // (P -+ k) / (N +- k) = t  =>  k = |P - t N| / (1 + t).
+      // Only the removal side is bounded by the class population; the
+      // duplicated borderline instances may repeat.
+      if (too_positive) {
+        int64_t k = ClampCount((P - t * N) / (1.0 + t), 0, positives);
+        update.delta_positives = -k;
+        update.delta_negatives = k;
+      } else {
+        int64_t k = ClampCount((t * N - P) / (1.0 + t), 0, negatives);
+        update.delta_negatives = -k;
+        update.delta_positives = k;
+      }
+      return update;
+    }
+
+    case RemedyTechnique::kMassaging: {
+      if (too_positive) {
+        int64_t k = ClampCount((P - t * N) / (1.0 + t), 0, positives);
+        update.delta_positives = -k;
+        update.delta_negatives = k;
+        update.flips = k;
+      } else {
+        int64_t k = ClampCount((t * N - P) / (1.0 + t), 0, negatives);
+        update.delta_negatives = -k;
+        update.delta_positives = k;
+        update.flips = k;
+      }
+      return update;
+    }
+  }
+  REMEDY_CHECK(false) << "unknown technique";
+  return update;
+}
+
+Dataset RemedyDataset(const Dataset& train, const RemedyParams& params,
+                      RemedyStats* stats_out) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  Dataset working = train;
+  RemedyStats stats;
+  Rng rng(params.seed);
+
+  const bool needs_ranker =
+      params.technique == RemedyTechnique::kPreferentialSampling ||
+      params.technique == RemedyTechnique::kMassaging;
+  // The ranker is trained once on the original data, as in the paper's
+  // "train the ranker" step; it scores rows of the evolving working set.
+  std::unique_ptr<BorderlineRanker> ranker;
+  if (needs_ranker) ranker = std::make_unique<BorderlineRanker>(train);
+
+  Hierarchy hierarchy(working);
+  for (uint32_t mask : ScopeMasks(hierarchy, params.ibs.scope)) {
+    std::vector<BiasedRegion> biased =
+        IdentifyIbsInNode(hierarchy, mask, params.ibs);
+    if (biased.empty()) continue;
+
+    auto rows_by_key = hierarchy.counter().CollectRows(working, mask);
+    std::vector<int> to_remove;
+    std::vector<int> to_flip;
+    std::vector<int> duplicates;
+
+    for (const BiasedRegion& region : biased) {
+      RegionUpdate update =
+          ComputeUpdate(params.technique, region.counts.positives,
+                        region.counts.negatives, region.neighbor_ratio);
+      if (!update.reachable) {
+        ++stats.regions_skipped;
+        continue;
+      }
+      if (update.delta_positives == 0 && update.delta_negatives == 0) {
+        continue;  // rounding left nothing to do
+      }
+
+      const uint64_t key =
+          hierarchy.counter().KeyFor(region.pattern, mask);
+      const std::vector<int>& region_rows = rows_by_key.at(key);
+      std::vector<int> positive_rows, negative_rows;
+      for (int row : region_rows) {
+        (working.Label(row) == 1 ? positive_rows : negative_rows)
+            .push_back(row);
+      }
+
+      // Pulls the concrete rows for one class-side delta.
+      auto pick_random = [&](const std::vector<int>& source, int64_t count,
+                             bool with_replacement) {
+        std::vector<int> picked;
+        if (source.empty() || count <= 0) return picked;
+        if (with_replacement) {
+          picked.reserve(count);
+          for (int64_t i = 0; i < count; ++i) {
+            picked.push_back(
+                source[rng.UniformInt(static_cast<int>(source.size()))]);
+          }
+        } else {
+          std::vector<int> indices = rng.SampleWithoutReplacement(
+              static_cast<int>(source.size()),
+              static_cast<int>(
+                  std::min<int64_t>(count, source.size())));
+          for (int index : indices) picked.push_back(source[index]);
+        }
+        return picked;
+      };
+
+      auto pick_borderline = [&](const std::vector<int>& source, int label,
+                                 int64_t count, bool allow_repeat) {
+        std::vector<int> picked;
+        if (source.empty() || count <= 0) return picked;
+        std::vector<int> ranked =
+            ranker->RankBorderline(working, source, label);
+        picked.reserve(count);
+        for (int64_t i = 0; i < count; ++i) {
+          if (!allow_repeat && i >= static_cast<int64_t>(ranked.size())) {
+            break;
+          }
+          picked.push_back(ranked[i % ranked.size()]);
+        }
+        return picked;
+      };
+
+      bool acted = false;
+      switch (params.technique) {
+        case RemedyTechnique::kOversample: {
+          const std::vector<int>& source =
+              update.delta_negatives > 0 ? negative_rows : positive_rows;
+          int64_t want =
+              std::max(update.delta_negatives, update.delta_positives);
+          if (source.empty()) {
+            ++stats.regions_skipped;  // nothing to duplicate from
+            break;
+          }
+          if (params.max_added_total >= 0) {
+            int64_t budget = params.max_added_total - stats.instances_added -
+                             static_cast<int64_t>(duplicates.size());
+            if (want > budget) {
+              want = std::max<int64_t>(budget, 0);
+              stats.add_budget_exhausted = true;
+            }
+          }
+          std::vector<int> picked =
+              pick_random(source, want, /*with_replacement=*/true);
+          duplicates.insert(duplicates.end(), picked.begin(), picked.end());
+          acted = !picked.empty();
+          break;
+        }
+        case RemedyTechnique::kUndersample: {
+          int64_t remove_positives = -std::min<int64_t>(
+              update.delta_positives, 0);
+          int64_t remove_negatives = -std::min<int64_t>(
+              update.delta_negatives, 0);
+          std::vector<int> picked =
+              pick_random(positive_rows, remove_positives, false);
+          std::vector<int> picked_neg =
+              pick_random(negative_rows, remove_negatives, false);
+          picked.insert(picked.end(), picked_neg.begin(), picked_neg.end());
+          to_remove.insert(to_remove.end(), picked.begin(), picked.end());
+          acted = !picked.empty();
+          break;
+        }
+        case RemedyTechnique::kPreferentialSampling: {
+          // Duplication draws from the other class; with no instance to
+          // duplicate the exchange cannot move the ratio toward the target.
+          const std::vector<int>& duplication_source =
+              update.delta_positives < 0 ? negative_rows : positive_rows;
+          if (duplication_source.empty()) {
+            ++stats.regions_skipped;
+            break;
+          }
+          if (update.delta_positives < 0) {
+            // Drop borderline positives, duplicate borderline negatives.
+            std::vector<int> removed = pick_borderline(
+                positive_rows, 1, -update.delta_positives, false);
+            std::vector<int> added = pick_borderline(
+                negative_rows, 0, update.delta_negatives, true);
+            to_remove.insert(to_remove.end(), removed.begin(), removed.end());
+            duplicates.insert(duplicates.end(), added.begin(), added.end());
+            acted = !removed.empty() || !added.empty();
+          } else {
+            std::vector<int> removed = pick_borderline(
+                negative_rows, 0, -update.delta_negatives, false);
+            std::vector<int> added = pick_borderline(
+                positive_rows, 1, update.delta_positives, true);
+            to_remove.insert(to_remove.end(), removed.begin(), removed.end());
+            duplicates.insert(duplicates.end(), added.begin(), added.end());
+            acted = !removed.empty() || !added.empty();
+          }
+          break;
+        }
+        case RemedyTechnique::kMassaging: {
+          const bool flip_positives = update.delta_positives < 0;
+          std::vector<int> flipped = pick_borderline(
+              flip_positives ? positive_rows : negative_rows,
+              flip_positives ? 1 : 0, update.flips, false);
+          to_flip.insert(to_flip.end(), flipped.begin(), flipped.end());
+          acted = !flipped.empty();
+          break;
+        }
+      }
+      if (acted) ++stats.regions_processed;
+    }
+
+    if (to_flip.empty() && duplicates.empty() && to_remove.empty()) continue;
+
+    for (int row : to_flip) working.SetLabel(row, 1 - working.Label(row));
+    for (int row : duplicates) working.AppendRowFrom(working, row);
+    if (!to_remove.empty()) working = working.Remove(to_remove);
+
+    stats.labels_flipped += static_cast<int64_t>(to_flip.size());
+    stats.instances_added += static_cast<int64_t>(duplicates.size());
+    stats.instances_removed += static_cast<int64_t>(to_remove.size());
+    hierarchy.Invalidate();
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return working;
+}
+
+std::vector<PlannedAction> PlanRemedy(const Dataset& train,
+                                      const RemedyParams& params) {
+  std::vector<PlannedAction> plan;
+  for (const BiasedRegion& region : IdentifyIbs(train, params.ibs)) {
+    RegionUpdate update =
+        ComputeUpdate(params.technique, region.counts.positives,
+                      region.counts.negatives, region.neighbor_ratio);
+    plan.push_back({region, update});
+  }
+  return plan;
+}
+
+IterativeRemedyResult RemedyUntilConverged(const Dataset& train,
+                                           const RemedyParams& params,
+                                           int max_rounds) {
+  REMEDY_CHECK(max_rounds >= 1);
+  IterativeRemedyResult result;
+  result.dataset = train;
+  RemedyParams round_params = params;
+  for (int round = 0; round < max_rounds; ++round) {
+    // Scoped per-round IBS check against the *current* dataset.
+    std::vector<BiasedRegion> residual =
+        IdentifyIbs(result.dataset, round_params.ibs);
+    if (residual.empty()) {
+      result.converged = true;
+      break;
+    }
+    RemedyStats stats;
+    // Vary the seed per round so repeated sampling decisions differ.
+    round_params.seed = params.seed + static_cast<uint64_t>(round);
+    Dataset next = RemedyDataset(result.dataset, round_params, &stats);
+    ++result.rounds;
+    result.total_stats.regions_processed += stats.regions_processed;
+    result.total_stats.regions_skipped += stats.regions_skipped;
+    result.total_stats.instances_added += stats.instances_added;
+    result.total_stats.instances_removed += stats.instances_removed;
+    result.total_stats.labels_flipped += stats.labels_flipped;
+    result.total_stats.add_budget_exhausted |= stats.add_budget_exhausted;
+    result.dataset = std::move(next);
+    result.ibs_sizes.push_back(
+        IdentifyIbs(result.dataset, round_params.ibs).size());
+    if (stats.regions_processed == 0) break;  // nothing actionable remains
+  }
+  if (!result.ibs_sizes.empty() && result.ibs_sizes.back() == 0) {
+    result.converged = true;
+  }
+  return result;
+}
+
+}  // namespace remedy

@@ -1,0 +1,100 @@
+#ifndef REMEDY_CORE_REMEDY_H_
+#define REMEDY_CORE_REMEDY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/ibs_identify.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// The four pre-processing techniques of Sec. IV-A.
+enum class RemedyTechnique {
+  kOversample,            // duplicate minority-class instances (DP)
+  kUndersample,           // drop majority-class instances (US)
+  kPreferentialSampling,  // duplicate + drop borderline instances (PS)
+  kMassaging,             // relabel borderline majority instances
+};
+
+std::string TechniqueName(RemedyTechnique technique);
+
+struct RemedyParams {
+  IbsParams ibs;
+  RemedyTechnique technique = RemedyTechnique::kPreferentialSampling;
+  uint64_t seed = 23;
+  // Safety valve for oversampling: stop adding rows past this budget (the
+  // paper reports oversampling exhausting memory at scale; we reproduce the
+  // growth but keep the process alive). Negative disables the cap.
+  int64_t max_added_total = 2'000'000;
+};
+
+struct RemedyStats {
+  int regions_processed = 0;  // biased regions acted on
+  int regions_skipped = 0;    // unreachable targets (see remedy.cc)
+  int64_t instances_added = 0;
+  int64_t instances_removed = 0;
+  int64_t labels_flipped = 0;
+  bool add_budget_exhausted = false;
+};
+
+// Algorithm 2 (Dataset Remedy): traverses the hierarchy bottom-up,
+// re-identifies the biased regions of each node against the *current*
+// dataset (updates to one region shift the scores of regions that dominate
+// or are dominated by it), and adjusts each biased region's class
+// distribution to its neighboring region's imbalance score via Eq. (1).
+//
+// Returns the remedied copy of `train`; `train` itself is untouched. The
+// test set must never be passed here (the paper applies no remedy to it).
+Dataset RemedyDataset(const Dataset& train, const RemedyParams& params,
+                      RemedyStats* stats = nullptr);
+
+// Update counts of Def. 6 for one region, exposed for testing and for the
+// per-region reporting in the examples: positive delta = instances added
+// (negative = removed / relabeled away), by class.
+struct RegionUpdate {
+  int64_t delta_positives = 0;
+  int64_t delta_negatives = 0;
+  int64_t flips = 0;  // massaging only
+  bool reachable = true;
+};
+
+// Solves Eq. (1) for the given technique. `positives`/`negatives` are the
+// region's current counts, `target_ratio` is ratio_rn (kAllPositiveRatio for
+// an all-positive neighborhood).
+RegionUpdate ComputeUpdate(RemedyTechnique technique, int64_t positives,
+                           int64_t negatives, double target_ratio);
+
+// The paper notes (Sec. VI, Limitations) that one remedy pass does not
+// guarantee |ratio_r - ratio_rn| <= tau_c everywhere: adjusting one region
+// shifts the scores of regions that dominate or are dominated by it.
+// RemedyUntilConverged repeats Algorithm 2 until the IBS is empty or
+// `max_rounds` passes ran, recording the residual IBS size after each pass.
+struct IterativeRemedyResult {
+  Dataset dataset;
+  int rounds = 0;
+  bool converged = false;          // IBS empty at the end
+  std::vector<size_t> ibs_sizes;   // residual |IBS| after each pass
+  RemedyStats total_stats;         // accumulated over all passes
+};
+
+IterativeRemedyResult RemedyUntilConverged(const Dataset& train,
+                                           const RemedyParams& params,
+                                           int max_rounds = 5);
+
+// Dry run of the remedy's *first* lattice pass: for every currently biased
+// region, the update Algorithm 2 would apply (Def. 6), without touching the
+// dataset. Because later node updates shift earlier scores, the plan is a
+// preview of intent, not a transcript of the full run — use it to review or
+// gate a remedy before committing to it (see the remedy_cli `plan` output).
+struct PlannedAction {
+  BiasedRegion region;
+  RegionUpdate update;
+};
+
+std::vector<PlannedAction> PlanRemedy(const Dataset& train,
+                                      const RemedyParams& params);
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_REMEDY_H_

@@ -1,0 +1,37 @@
+#include "data/attribute.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace remedy {
+
+AttributeSchema::AttributeSchema(std::string name,
+                                 std::vector<std::string> values, bool ordinal)
+    : name_(std::move(name)), values_(std::move(values)), ordinal_(ordinal) {
+  REMEDY_CHECK(!values_.empty()) << "attribute " << name_ << " has no values";
+}
+
+int AttributeSchema::ValueIndex(const std::string& value) const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::string& AttributeSchema::ValueName(int code) const {
+  REMEDY_CHECK(code >= 0 && code < Cardinality())
+      << "attribute " << name_ << ": code " << code << " out of range";
+  return values_[code];
+}
+
+double AttributeSchema::Distance(int code_a, int code_b) const {
+  REMEDY_DCHECK(code_a >= 0 && code_a < Cardinality());
+  REMEDY_DCHECK(code_b >= 0 && code_b < Cardinality());
+  if (code_a == code_b) return 0.0;
+  if (ordinal_) return std::abs(code_a - code_b);
+  return 1.0;
+}
+
+}  // namespace remedy

@@ -1,0 +1,46 @@
+#ifndef REMEDY_DATA_ATTRIBUTE_H_
+#define REMEDY_DATA_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+namespace remedy {
+
+// Schema of one categorical (or discretized) attribute.
+//
+// Values are referenced by their integer code (the index into `values`).
+// Following the paper (Def. 4), all distinct values of a nominal attribute
+// are one unit apart; attributes with a natural numeric ordering (age
+// buckets, #priors, education) may be flagged `ordinal`, in which case the
+// distance between codes i and j is |i - j|.
+class AttributeSchema {
+ public:
+  AttributeSchema() = default;
+  AttributeSchema(std::string name, std::vector<std::string> values,
+                  bool ordinal = false);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& values() const { return values_; }
+  bool ordinal() const { return ordinal_; }
+
+  // Number of values in the domain.
+  int Cardinality() const { return static_cast<int>(values_.size()); }
+
+  // Code of `value`, or -1 if it is not in the domain.
+  int ValueIndex(const std::string& value) const;
+
+  // Human-readable value for a code.
+  const std::string& ValueName(int code) const;
+
+  // Distance between two value codes under this attribute's metric.
+  double Distance(int code_a, int code_b) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> values_;
+  bool ordinal_ = false;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATA_ATTRIBUTE_H_

@@ -1,0 +1,53 @@
+#ifndef REMEDY_DATA_DISCRETIZE_H_
+#define REMEDY_DATA_DISCRETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/attribute.h"
+
+namespace remedy {
+
+// Bucketization of continuous attributes into categorical codes.
+//
+// The paper performs "standard pre-processing ... bucketizing continuous
+// values for protected attributes"; these helpers implement that step for
+// CSV imports and for the synthetic generators (e.g. hours-per-week, LSAT
+// scores). Buckets become ordinal attribute values so the neighboring-region
+// distance can respect the numeric ordering.
+class Bucketizer {
+ public:
+  // Cut points must be strictly increasing; they induce buckets
+  // (-inf, cuts[0]], (cuts[0], cuts[1]], ..., (cuts.back(), +inf).
+  Bucketizer(std::string attribute_name, std::vector<double> cuts);
+
+  // Equal-width buckets over the observed [min, max] of `values`.
+  static Bucketizer EqualWidth(std::string attribute_name,
+                               const std::vector<double>& values,
+                               int num_buckets);
+
+  // Buckets with (approximately) equal population, using sample quantiles.
+  // Degenerate quantiles (ties) are collapsed, so the result may have fewer
+  // than `num_buckets` buckets.
+  static Bucketizer Quantile(std::string attribute_name,
+                             const std::vector<double>& values,
+                             int num_buckets);
+
+  // Bucket code of a raw value.
+  int Code(double value) const;
+
+  int NumBuckets() const { return static_cast<int>(cuts_.size()) + 1; }
+  const std::vector<double>& cuts() const { return cuts_; }
+
+  // Ordinal attribute schema with human-readable range names
+  // ("<=30", "(30-45]", ">45").
+  AttributeSchema MakeSchema() const;
+
+ private:
+  std::string attribute_name_;
+  std::vector<double> cuts_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATA_DISCRETIZE_H_

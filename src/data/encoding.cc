@@ -1,0 +1,41 @@
+#include "data/encoding.h"
+
+#include "common/check.h"
+
+namespace remedy {
+
+OneHotEncoder::OneHotEncoder(const DataSchema& schema) {
+  offsets_.reserve(schema.NumAttributes());
+  cardinalities_.reserve(schema.NumAttributes());
+  for (int c = 0; c < schema.NumAttributes(); ++c) {
+    offsets_.push_back(width_);
+    int cardinality = schema.attribute(c).Cardinality();
+    cardinalities_.push_back(cardinality);
+    width_ += cardinality;
+  }
+}
+
+void OneHotEncoder::EncodeRow(const Dataset& data, int row,
+                              std::vector<float>* out) const {
+  REMEDY_DCHECK(data.NumColumns() == static_cast<int>(offsets_.size()));
+  out->assign(width_, 0.0f);
+  for (size_t c = 0; c < offsets_.size(); ++c) {
+    int code = data.Value(row, static_cast<int>(c));
+    REMEDY_DCHECK(code >= 0 && code < cardinalities_[c]);
+    (*out)[offsets_[c] + code] = 1.0f;
+  }
+}
+
+std::vector<float> OneHotEncoder::EncodeAll(const Dataset& data) const {
+  std::vector<float> encoded(static_cast<size_t>(data.NumRows()) * width_,
+                             0.0f);
+  for (int r = 0; r < data.NumRows(); ++r) {
+    float* row = encoded.data() + static_cast<size_t>(r) * width_;
+    for (size_t c = 0; c < offsets_.size(); ++c) {
+      row[offsets_[c] + data.Value(r, static_cast<int>(c))] = 1.0f;
+    }
+  }
+  return encoded;
+}
+
+}  // namespace remedy

@@ -1,0 +1,37 @@
+#ifndef REMEDY_DATA_ENCODING_H_
+#define REMEDY_DATA_ENCODING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// One-hot encoding of categorical datasets into dense float rows, used by
+// the numeric learners (logistic regression, neural network) and by the
+// Fair-SMOTE kNN distance.
+class OneHotEncoder {
+ public:
+  explicit OneHotEncoder(const DataSchema& schema);
+
+  // Total encoded width (sum of attribute cardinalities).
+  int Width() const { return width_; }
+
+  // Encodes one row of `data` into `out` (resized to Width()).
+  void EncodeRow(const Dataset& data, int row, std::vector<float>* out) const;
+
+  // Encodes the full dataset, row-major: result[r * Width() + j].
+  std::vector<float> EncodeAll(const Dataset& data) const;
+
+  // Offset of attribute `column`'s first indicator in the encoded vector.
+  int Offset(int column) const { return offsets_[column]; }
+
+ private:
+  std::vector<int> offsets_;
+  std::vector<int> cardinalities_;
+  int width_ = 0;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATA_ENCODING_H_

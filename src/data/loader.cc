@@ -1,0 +1,236 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "data/discretize.h"
+
+namespace remedy {
+namespace {
+
+constexpr char kOtherValue[] = "<other>";
+
+bool ParseNumber(const std::string& text, double* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+struct ColumnPlan {
+  bool numeric = false;
+  bool pooled = false;
+  AttributeSchema schema;
+  Bucketizer bucketizer{"", {}};
+  // Categorical value -> code (codes for pooled values map to "<other>").
+  std::unordered_map<std::string, int> codes;
+};
+
+// Decides the type and domain of one column from its (trimmed, non-missing)
+// values.
+ColumnPlan PlanColumn(const std::string& name,
+                      const std::vector<std::string>& values,
+                      const LoaderOptions& options) {
+  ColumnPlan plan;
+
+  // Numeric if every value parses and the distinct count is large enough.
+  bool all_numeric = true;
+  std::vector<double> numbers;
+  numbers.reserve(values.size());
+  for (const std::string& value : values) {
+    double number;
+    if (!ParseNumber(value, &number)) {
+      all_numeric = false;
+      break;
+    }
+    numbers.push_back(number);
+  }
+  if (all_numeric) {
+    std::vector<double> distinct = numbers;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (static_cast<int>(distinct.size()) >
+        options.categorical_numeric_limit) {
+      plan.numeric = true;
+      plan.bucketizer =
+          Bucketizer::Quantile(name, numbers, options.numeric_buckets);
+      plan.schema = plan.bucketizer.MakeSchema();
+      return plan;
+    }
+  }
+
+  // Categorical: domain = observed values by descending frequency, pooling
+  // the tail into "<other>" beyond max_categories.
+  std::map<std::string, int> frequency;
+  for (const std::string& value : values) ++frequency[value];
+  std::vector<std::pair<int, std::string>> ranked;
+  ranked.reserve(frequency.size());
+  for (const auto& [value, count] : frequency) {
+    ranked.emplace_back(count, value);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::vector<std::string> domain;
+  int keep = static_cast<int>(ranked.size());
+  if (keep > options.max_categories) {
+    keep = options.max_categories - 1;  // reserve a slot for "<other>"
+    plan.pooled = true;
+  }
+  for (int i = 0; i < keep; ++i) {
+    plan.codes[ranked[i].second] = i;
+    domain.push_back(ranked[i].second);
+  }
+  if (plan.pooled) {
+    int other = static_cast<int>(domain.size());
+    domain.push_back(kOtherValue);
+    for (size_t i = keep; i < ranked.size(); ++i) {
+      plan.codes[ranked[i].second] = other;
+    }
+  }
+  plan.schema = AttributeSchema(name, std::move(domain));
+  return plan;
+}
+
+}  // namespace
+
+bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
+                  Dataset* dataset, std::string* error,
+                  LoaderReport* report_out) {
+  LoaderReport report;
+  if (table.header.empty()) {
+    *error = "CSV has no header";
+    return false;
+  }
+  const int width = static_cast<int>(table.header.size());
+
+  // Locate the label column.
+  int label_column = width - 1;
+  if (!options.label_column.empty()) {
+    label_column = -1;
+    for (int c = 0; c < width; ++c) {
+      if (table.header[c] == options.label_column) label_column = c;
+    }
+    if (label_column < 0) {
+      *error = "label column '" + options.label_column + "' not found";
+      return false;
+    }
+  }
+
+  // Drop rows with missing values (the paper's pre-processing).
+  std::vector<const std::vector<std::string>*> rows;
+  rows.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    bool missing = false;
+    for (const std::string& field : row) {
+      if (Trim(field).empty() || Trim(field) == "?") {
+        missing = true;
+        break;
+      }
+    }
+    if (missing) {
+      ++report.rows_dropped_missing;
+    } else {
+      rows.push_back(&row);
+    }
+  }
+  if (rows.empty()) {
+    *error = "no complete rows in the CSV";
+    return false;
+  }
+
+  // Plan every feature column.
+  std::vector<ColumnPlan> plans;
+  std::vector<int> feature_columns;
+  for (int c = 0; c < width; ++c) {
+    if (c == label_column) continue;
+    feature_columns.push_back(c);
+    std::vector<std::string> values;
+    values.reserve(rows.size());
+    for (const auto* row : rows) values.push_back(Trim((*row)[c]));
+    plans.push_back(PlanColumn(table.header[c], values, options));
+    if (plans.back().numeric) {
+      ++report.numeric_columns;
+    } else {
+      ++report.categorical_columns;
+      report.pooled_columns += plans.back().pooled;
+    }
+  }
+
+  // Resolve the protected set.
+  std::vector<int> protected_indices;
+  for (const std::string& name : options.protected_attributes) {
+    int found = -1;
+    for (size_t i = 0; i < feature_columns.size(); ++i) {
+      if (table.header[feature_columns[i]] == name) {
+        found = static_cast<int>(i);
+      }
+    }
+    if (found < 0) {
+      *error = "protected attribute '" + name + "' not found (or is the "
+               "label column)";
+      return false;
+    }
+    protected_indices.push_back(found);
+  }
+
+  std::vector<AttributeSchema> attributes;
+  attributes.reserve(plans.size());
+  for (const ColumnPlan& plan : plans) attributes.push_back(plan.schema);
+  std::string label_name = table.header[label_column];
+  *dataset = Dataset(
+      DataSchema(std::move(attributes), protected_indices, label_name));
+
+  // Encode the rows.
+  int positives = 0;
+  for (const auto* row : rows) {
+    std::vector<int> codes(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const std::string value = Trim((*row)[feature_columns[i]]);
+      const ColumnPlan& plan = plans[i];
+      if (plan.numeric) {
+        double number = 0.0;
+        if (!ParseNumber(value, &number)) {
+          *error = "non-numeric value '" + value + "' in numeric column " +
+                   plan.schema.name();
+          return false;
+        }
+        codes[i] = plan.bucketizer.Code(number);
+      } else {
+        auto it = plan.codes.find(value);
+        // PlanColumn saw every value, so this lookup cannot miss.
+        codes[i] = it->second;
+      }
+    }
+    int label =
+        Trim((*row)[label_column]) == options.positive_label ? 1 : 0;
+    positives += label;
+    dataset->AddRow(codes, label);
+  }
+  report.rows_loaded = dataset->NumRows();
+
+  if (positives == 0 || positives == dataset->NumRows()) {
+    *error = "labels are constant after mapping positive_label='" +
+             options.positive_label + "'";
+    return false;
+  }
+
+  if (report_out != nullptr) *report_out = report;
+  return true;
+}
+
+bool LoadCsvDataset(const std::string& path, const LoaderOptions& options,
+                    Dataset* dataset, std::string* error,
+                    LoaderReport* report) {
+  CsvTable table;
+  if (!ReadCsvFile(path, /*has_header=*/true, &table, error)) return false;
+  return BuildDataset(table, options, dataset, error, report);
+}
+
+}  // namespace remedy

@@ -1,0 +1,63 @@
+#ifndef REMEDY_DATA_LOADER_H_
+#define REMEDY_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// CSV import with schema inference — the entry point for running the
+// library on real tabular data (e.g. the original Adult / COMPAS / Law
+// School files, when available).
+//
+// Column typing follows the paper's "standard pre-processing": columns
+// whose non-empty values all parse as numbers and exceed
+// `categorical_numeric_limit` distinct values are treated as continuous and
+// quantile-bucketized into `numeric_buckets` ordinal buckets; everything
+// else is categorical with the observed value set as its domain. Rows with
+// missing values (empty fields) are dropped, as in the paper.
+
+struct LoaderOptions {
+  // Attribute names forming the protected set X. Must be header names.
+  std::vector<std::string> protected_attributes;
+  // Label column name; empty means the last column.
+  std::string label_column;
+  // The label value mapped to 1; every other value maps to 0.
+  std::string positive_label = "1";
+  // Quantile buckets for continuous columns.
+  int numeric_buckets = 4;
+  // Numeric columns with at most this many distinct values stay categorical
+  // (e.g. a 0/1 flag encoded as numbers).
+  int categorical_numeric_limit = 10;
+  // Upper bound on a categorical column's domain; beyond it the rarest
+  // values are pooled into an "<other>" value to keep the lattice tractable.
+  int max_categories = 24;
+};
+
+// Statistics of one load, for sanity reporting.
+struct LoaderReport {
+  int rows_loaded = 0;
+  int rows_dropped_missing = 0;
+  int numeric_columns = 0;
+  int categorical_columns = 0;
+  int pooled_columns = 0;  // columns that needed an "<other>" value
+};
+
+// Builds a dataset from a parsed CSV table (header required). Returns false
+// with a message in *error on malformed input, unknown protected/label
+// names, or a non-binary outcome after mapping.
+bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
+                  Dataset* dataset, std::string* error,
+                  LoaderReport* report = nullptr);
+
+// Reads and builds from a CSV file.
+bool LoadCsvDataset(const std::string& path, const LoaderOptions& options,
+                    Dataset* dataset, std::string* error,
+                    LoaderReport* report = nullptr);
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATA_LOADER_H_

@@ -1,0 +1,134 @@
+#include "data/profile.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace remedy {
+
+double CramersV(const Dataset& data, int attribute) {
+  REMEDY_CHECK(attribute >= 0 && attribute < data.NumColumns());
+  const int cardinality = data.schema().attribute(attribute).Cardinality();
+  const int64_t n = data.NumRows();
+  if (n == 0 || cardinality < 2) return 0.0;
+
+  // Observed counts per (value, label) cell.
+  std::vector<std::array<int64_t, 2>> observed(cardinality, {0, 0});
+  int64_t positives = 0;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    ++observed[data.Value(r, attribute)][data.Label(r)];
+    positives += data.Label(r);
+  }
+  if (positives == 0 || positives == n) return 0.0;  // constant label
+
+  double chi_squared = 0.0;
+  int non_empty = 0;
+  for (int v = 0; v < cardinality; ++v) {
+    int64_t row_total = observed[v][0] + observed[v][1];
+    if (row_total == 0) continue;
+    ++non_empty;
+    for (int y = 0; y < 2; ++y) {
+      double column_total =
+          static_cast<double>(y == 1 ? positives : n - positives);
+      double expected = row_total * column_total / static_cast<double>(n);
+      double delta = observed[v][y] - expected;
+      chi_squared += delta * delta / expected;
+    }
+  }
+  if (non_empty < 2) return 0.0;  // effectively constant attribute
+  // min(r-1, c-1) = 1 with a binary label.
+  return std::sqrt(chi_squared / static_cast<double>(n));
+}
+
+DatasetProfile ProfileDataset(const Dataset& data) {
+  DatasetProfile profile;
+  profile.rows = data.NumRows();
+  profile.positive_rate =
+      data.NumRows() > 0
+          ? static_cast<double>(data.PositiveCount()) / data.NumRows()
+          : 0.0;
+
+  for (int c = 0; c < data.NumColumns(); ++c) {
+    const AttributeSchema& schema = data.schema().attribute(c);
+    AttributeProfile attribute;
+    attribute.name = schema.name();
+    attribute.is_protected = data.schema().IsProtected(c);
+    attribute.cramers_v = CramersV(data, c);
+
+    std::vector<int64_t> counts(schema.Cardinality(), 0);
+    std::vector<int64_t> positives(schema.Cardinality(), 0);
+    for (int r = 0; r < data.NumRows(); ++r) {
+      int value = data.Value(r, c);
+      ++counts[value];
+      positives[value] += data.Label(r);
+    }
+    for (int v = 0; v < schema.Cardinality(); ++v) {
+      ValueProfile value;
+      value.value = schema.ValueName(v);
+      value.count = counts[v];
+      value.fraction = data.NumRows() > 0
+                           ? static_cast<double>(counts[v]) / data.NumRows()
+                           : 0.0;
+      value.positive_rate =
+          counts[v] > 0 ? static_cast<double>(positives[v]) / counts[v]
+                        : 0.0;
+      attribute.values.push_back(std::move(value));
+    }
+    profile.attributes.push_back(std::move(attribute));
+  }
+  return profile;
+}
+
+void PrintDatasetProfile(const DatasetProfile& profile, std::ostream& out,
+                         int max_values_per_attribute) {
+  out << profile.rows << " rows, positive rate "
+      << FormatDouble(profile.positive_rate, 3) << "\n\n";
+
+  std::vector<const AttributeProfile*> order;
+  for (const AttributeProfile& attribute : profile.attributes) {
+    order.push_back(&attribute);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const AttributeProfile* a, const AttributeProfile* b) {
+              if (a->cramers_v != b->cramers_v) {
+                return a->cramers_v > b->cramers_v;
+              }
+              return a->name < b->name;
+            });
+
+  TablePrinter table({"attribute", "protected", "Cramer's V",
+                      "top values (share, positive rate)"});
+  for (const AttributeProfile* attribute : order) {
+    // Most frequent values first.
+    std::vector<const ValueProfile*> values;
+    for (const ValueProfile& value : attribute->values) {
+      values.push_back(&value);
+    }
+    std::sort(values.begin(), values.end(),
+              [](const ValueProfile* a, const ValueProfile* b) {
+                return a->count > b->count;
+              });
+    std::string summary;
+    int shown = 0;
+    for (const ValueProfile* value : values) {
+      if (shown == max_values_per_attribute) {
+        summary += ", ...";
+        break;
+      }
+      if (shown > 0) summary += ", ";
+      summary += value->value + " (" + FormatDouble(value->fraction, 2) +
+                 ", " + FormatDouble(value->positive_rate, 2) + ")";
+      ++shown;
+    }
+    table.AddRow({attribute->name, attribute->is_protected ? "yes" : "no",
+                  FormatDouble(attribute->cramers_v, 3), summary});
+  }
+  table.Print(out);
+}
+
+}  // namespace remedy

@@ -1,0 +1,52 @@
+#ifndef REMEDY_DATA_PROFILE_H_
+#define REMEDY_DATA_PROFILE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Dataset profiling for the audit workflow: per-attribute value
+// distributions, per-value positive rates, and the association between each
+// attribute and the label (Cramér's V). Surfacing where the label
+// concentrates is the first thing an analyst checks before reading the IBS
+// output — strong label association on a *protected* attribute is a warning
+// sign in its own right.
+
+struct ValueProfile {
+  std::string value;
+  int64_t count = 0;
+  double fraction = 0.0;       // of all rows
+  double positive_rate = 0.0;  // P(y=1 | attribute=value)
+};
+
+struct AttributeProfile {
+  std::string name;
+  bool is_protected = false;
+  double cramers_v = 0.0;  // association with the label, in [0, 1]
+  std::vector<ValueProfile> values;
+};
+
+struct DatasetProfile {
+  int rows = 0;
+  double positive_rate = 0.0;
+  std::vector<AttributeProfile> attributes;
+};
+
+DatasetProfile ProfileDataset(const Dataset& data);
+
+// Cramér's V between one categorical attribute and the binary label
+// (chi-squared over sqrt(n * min(r-1, c-1)) with c = 2). 0 when the
+// attribute is constant.
+double CramersV(const Dataset& data, int attribute);
+
+// Console rendering, attributes sorted by descending label association.
+void PrintDatasetProfile(const DatasetProfile& profile, std::ostream& out,
+                         int max_values_per_attribute = 8);
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATA_PROFILE_H_

@@ -1,0 +1,57 @@
+#include "data/schema.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace remedy {
+
+DataSchema::DataSchema(std::vector<AttributeSchema> attributes,
+                       std::vector<int> protected_indices,
+                       std::string label_name)
+    : attributes_(std::move(attributes)),
+      protected_indices_(std::move(protected_indices)),
+      label_name_(std::move(label_name)) {
+  for (int index : protected_indices_) {
+    REMEDY_CHECK(index >= 0 && index < NumAttributes())
+        << "protected index " << index << " out of range";
+  }
+  // Reject duplicates: the intersectional space is defined over a set.
+  auto sorted = protected_indices_;
+  std::sort(sorted.begin(), sorted.end());
+  REMEDY_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
+               sorted.end())
+      << "duplicate protected attribute index";
+}
+
+const AttributeSchema& DataSchema::attribute(int index) const {
+  REMEDY_CHECK(index >= 0 && index < NumAttributes())
+      << "attribute index " << index << " out of range";
+  return attributes_[index];
+}
+
+int DataSchema::AttributeIndex(const std::string& name) const {
+  for (int i = 0; i < NumAttributes(); ++i) {
+    if (attributes_[i].name() == name) return i;
+  }
+  return -1;
+}
+
+bool DataSchema::IsProtected(int index) const {
+  return std::find(protected_indices_.begin(), protected_indices_.end(),
+                   index) != protected_indices_.end();
+}
+
+DataSchema DataSchema::WithProtected(
+    const std::vector<std::string>& names) const {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    int index = AttributeIndex(name);
+    REMEDY_CHECK(index >= 0) << "unknown attribute " << name;
+    indices.push_back(index);
+  }
+  return DataSchema(attributes_, std::move(indices), label_name_);
+}
+
+}  // namespace remedy

@@ -1,0 +1,54 @@
+#ifndef REMEDY_DATA_SCHEMA_H_
+#define REMEDY_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "data/attribute.h"
+
+namespace remedy {
+
+// Schema of a binary-labelled tabular dataset: the full training feature set
+// `A = {a_1 .. a_m}` plus the subset of protected attributes `X ⊆ A` used to
+// define intersectional subgroups.
+class DataSchema {
+ public:
+  DataSchema() = default;
+  DataSchema(std::vector<AttributeSchema> attributes,
+             std::vector<int> protected_indices,
+             std::string label_name = "label");
+
+  int NumAttributes() const { return static_cast<int>(attributes_.size()); }
+  const AttributeSchema& attribute(int index) const;
+  const std::vector<AttributeSchema>& attributes() const { return attributes_; }
+
+  // Indices (into `attributes`) of the protected attributes, in declaration
+  // order. This is the set the paper calls X.
+  const std::vector<int>& protected_indices() const {
+    return protected_indices_;
+  }
+  int NumProtected() const {
+    return static_cast<int>(protected_indices_.size());
+  }
+
+  const std::string& label_name() const { return label_name_; }
+
+  // Index of the attribute named `name`, or -1 if absent.
+  int AttributeIndex(const std::string& name) const;
+
+  // True if attribute `index` is protected.
+  bool IsProtected(int index) const;
+
+  // Returns a copy of this schema with a different protected set, given by
+  // attribute names. Dies if a name is unknown.
+  DataSchema WithProtected(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<AttributeSchema> attributes_;
+  std::vector<int> protected_indices_;
+  std::string label_name_ = "label";
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATA_SCHEMA_H_

@@ -1,0 +1,30 @@
+#ifndef REMEDY_DATAGEN_ADULT_H_
+#define REMEDY_DATAGEN_ADULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "datagen/synthetic_spec.h"
+
+namespace remedy {
+
+// Simulated AdultCensus dataset (Table II: 45,222 rows, 13 attributes,
+// protected X = {age, race, gender, marital_status, relationship, country}).
+// Positive label = income > 50K (base rate ~25%). Injections plant IBS at
+// several hierarchy levels so the Lattice-vs-Leaf/Top comparison (Fig. 4)
+// is meaningful.
+SyntheticSpec AdultSpec(int num_rows = 45222);
+
+Dataset MakeAdult(int num_rows = 45222, uint64_t seed = 202);
+
+// The scalability experiments (Fig. 9) widen X with the non-protected
+// education and occupation attributes, "despite them not being protected
+// characteristics"; this returns the first `count` names of that widened
+// ordering (3 <= count <= 8).
+std::vector<std::string> AdultScalabilityProtected(int count);
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATAGEN_ADULT_H_

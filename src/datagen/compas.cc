@@ -1,0 +1,99 @@
+#include "datagen/compas.h"
+
+#include "datagen/generator.h"
+
+namespace remedy {
+namespace {
+
+// Attribute positions in the COMPAS spec.
+enum : int {
+  kAge = 0,
+  kRace = 1,
+  kSex = 2,
+  kPriors = 3,
+  kCharge = 4,
+  kJuvenile = 5,
+};
+
+constexpr int kNumAttributes = 6;
+
+// Pattern helper: wildcard everywhere except the given assignments.
+std::vector<int> Only(std::initializer_list<std::pair<int, int>> assigned) {
+  std::vector<int> pattern(kNumAttributes, -1);
+  for (const auto& [attribute, value] : assigned) {
+    pattern[attribute] = value;
+  }
+  return pattern;
+}
+
+}  // namespace
+
+SyntheticSpec CompasSpec(int num_rows) {
+  SyntheticSpec spec;
+  spec.name = "compas";
+  spec.num_rows = num_rows;
+
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("age", {"<25", "25-45", ">45"}), {0.22, 0.57, 0.21}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("race", {"Afr-Am", "Caucasian", "Hispanic", "Other"}),
+      {0.51, 0.34, 0.09, 0.06}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("sex", {"Male", "Female"}), {0.81, 0.19}));
+  // Priors accumulate with age.
+  spec.attributes.push_back(ConditionalAttribute(
+      AttributeSchema("priors", {"0", "1-3", ">3"}), {0.4, 0.35, 0.25}, kAge,
+      {{0.50, 0.35, 0.15}, {0.35, 0.35, 0.30}, {0.30, 0.30, 0.40}}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("charge_degree", {"F", "M"}), {0.64, 0.36}));
+  // Juvenile records are more common for younger defendants.
+  spec.attributes.push_back(ConditionalAttribute(
+      AttributeSchema("juvenile", {"none", "some"}), {0.85, 0.15}, kAge,
+      {{0.70, 0.30}, {0.85, 0.15}, {0.95, 0.05}}));
+
+  spec.protected_indices = {kAge, kRace, kSex};
+
+  // Recidivism base rate around 45% before injections. The non-protected
+  // criminal-history signal is the stronger part of the model, so remedying
+  // the protected-space skew costs bounded accuracy, as in the paper.
+  spec.base_logit = -1.9;
+  spec.label_terms = {
+      {kPriors, 2, 1.9},    // >3 priors
+      {kPriors, 1, 0.9},    // 1-3 priors
+      {kAge, 0, 0.4},       // <25
+      {kAge, 2, -0.35},     // >45
+      {kJuvenile, 1, 0.9},  // juvenile record
+      {kCharge, 0, 0.5},    // felony charge
+  };
+
+  // Biased data collection in the intersectional space of {age, race, sex}.
+  spec.injections = {
+      {Only({{kRace, 0}, {kSex, 0}}), 1.0},   // Afr-Am males: excess positives
+      {Only({{kAge, 0}, {kRace, 0}}), 0.8},   // young Afr-Am
+      {Only({{kRace, 1}, {kSex, 1}}), -0.9},  // Caucasian females: excess negs
+      {Only({{kAge, 2}, {kSex, 1}}), -0.7},   // older females
+      {Only({{kAge, 1}, {kRace, 2}, {kSex, 0}}), 0.9},  // leaf-level pocket
+  };
+  return spec;
+}
+
+Dataset MakeCompas(int num_rows, uint64_t seed) {
+  return GenerateSynthetic(CompasSpec(num_rows), seed);
+}
+
+SyntheticSpec CompasOrdinalSpec(int num_rows) {
+  SyntheticSpec spec = CompasSpec(num_rows);
+  spec.name = "compas_ordinal";
+  // Same domains and distributions; only the distance metric changes.
+  spec.attributes[kAge].schema = AttributeSchema(
+      "age", spec.attributes[kAge].schema.values(), /*ordinal=*/true);
+  spec.attributes[kPriors].schema = AttributeSchema(
+      "priors", spec.attributes[kPriors].schema.values(), /*ordinal=*/true);
+  return spec;
+}
+
+Dataset MakeCompasOrdinal(int num_rows, uint64_t seed) {
+  return GenerateSynthetic(CompasOrdinalSpec(num_rows), seed);
+}
+
+}  // namespace remedy

@@ -1,0 +1,31 @@
+#ifndef REMEDY_DATAGEN_COMPAS_H_
+#define REMEDY_DATAGEN_COMPAS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "datagen/synthetic_spec.h"
+
+namespace remedy {
+
+// Simulated ProPublica/COMPAS recidivism dataset (Table II: 6,172 rows,
+// 6 attributes, protected X = {age, race, sex}). Positive label = recidivist
+// (base rate ~45%). Bias injections plant the skewed regions the paper's
+// running example is built on, e.g. the (race=Afr-Am, sex=Male) excess of
+// positive records behind Example 1's 0.15 subgroup FPR.
+SyntheticSpec CompasSpec(int num_rows = 6172);
+
+Dataset MakeCompas(int num_rows = 6172, uint64_t seed = 101);
+
+// Variant of the spec with the natural numeric orderings declared (age and
+// priors become ordinal), exercising the refined attribute-distance setting
+// of Def. 4: distance-1 neighbors of an age bucket are only the adjacent
+// buckets, and the optimized identification falls back to the naive
+// neighbor enumeration where its unit-distance identity no longer holds.
+SyntheticSpec CompasOrdinalSpec(int num_rows = 6172);
+
+Dataset MakeCompasOrdinal(int num_rows = 6172, uint64_t seed = 101);
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATAGEN_COMPAS_H_

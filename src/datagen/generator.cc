@@ -1,0 +1,56 @@
+#include "datagen/generator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace remedy {
+namespace {
+
+bool InjectionMatches(const BiasInjection& injection,
+                      const std::vector<int>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (injection.pattern[i] >= 0 && injection.pattern[i] != values[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double LabelLogit(const SyntheticSpec& spec, const std::vector<int>& values) {
+  double logit = spec.base_logit;
+  for (const LabelTerm& term : spec.label_terms) {
+    if (values[term.attribute] == term.value) logit += term.coefficient;
+  }
+  for (const BiasInjection& injection : spec.injections) {
+    if (InjectionMatches(injection, values)) logit += injection.logit_boost;
+  }
+  return logit;
+}
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec, uint64_t seed) {
+  spec.Validate();
+  Dataset data(spec.MakeSchema());
+  Rng rng(seed);
+  const int m = static_cast<int>(spec.attributes.size());
+  std::vector<int> values(m);
+  for (int r = 0; r < spec.num_rows; ++r) {
+    for (int i = 0; i < m; ++i) {
+      const AttributeSpec& attribute = spec.attributes[i];
+      const std::vector<double>& weights =
+          attribute.parent >= 0
+              ? attribute.conditional[values[attribute.parent]]
+              : attribute.marginal;
+      values[i] = rng.Categorical(weights);
+    }
+    double logit = LabelLogit(spec, values);
+    double p = 1.0 / (1.0 + std::exp(-logit));
+    data.AddRow(values, rng.Bernoulli(p) ? 1 : 0);
+  }
+  return data;
+}
+
+}  // namespace remedy

@@ -1,0 +1,113 @@
+#include "datagen/law_school.h"
+
+#include "datagen/generator.h"
+
+namespace remedy {
+namespace {
+
+enum : int {
+  kAge = 0,
+  kGender = 1,
+  kRace = 2,
+  kFamilyIncome = 3,
+  kLsat = 4,
+  kUgpa = 5,
+  kRegion = 6,
+  kSchoolTier = 7,
+  kWorkExperience = 8,
+  kExtracurricular = 9,
+  kFirstGen = 10,
+  kCluster = 11,
+};
+
+constexpr int kNumAttributes = 12;
+
+std::vector<int> Only(std::initializer_list<std::pair<int, int>> assigned) {
+  std::vector<int> pattern(kNumAttributes, -1);
+  for (const auto& [attribute, value] : assigned) {
+    pattern[attribute] = value;
+  }
+  return pattern;
+}
+
+}  // namespace
+
+SyntheticSpec LawSchoolSpec(int num_rows) {
+  SyntheticSpec spec;
+  spec.name = "law_school";
+  spec.num_rows = num_rows;
+
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("age", {"<22", "22-25", ">25"}), {0.35, 0.45, 0.20}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("gender", {"Male", "Female"}), {0.55, 0.45}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("race", {"White", "Black", "Hispanic", "Asian"}),
+      {0.72, 0.12, 0.09, 0.07}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("family_income", {"Low", "Mid-low", "Mid-high", "High"}),
+      {0.20, 0.30, 0.30, 0.20}));
+  // LSAT quartiles correlate with family income (test-prep access).
+  spec.attributes.push_back(ConditionalAttribute(
+      AttributeSchema("lsat", {"Q1", "Q2", "Q3", "Q4"}),
+      {0.25, 0.25, 0.25, 0.25}, kFamilyIncome,
+      {{0.34, 0.28, 0.22, 0.16},
+       {0.28, 0.26, 0.24, 0.22},
+       {0.22, 0.24, 0.26, 0.28},
+       {0.16, 0.22, 0.28, 0.34}}));
+  // UGPA tracks LSAT loosely.
+  spec.attributes.push_back(ConditionalAttribute(
+      AttributeSchema("ugpa", {"Q1", "Q2", "Q3", "Q4"}),
+      {0.25, 0.25, 0.25, 0.25}, kLsat,
+      {{0.40, 0.30, 0.20, 0.10},
+       {0.28, 0.30, 0.26, 0.16},
+       {0.16, 0.26, 0.30, 0.28},
+       {0.10, 0.20, 0.30, 0.40}}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("region", {"Northeast", "South", "Midwest", "West"}),
+      {0.30, 0.27, 0.22, 0.21}));
+  // Better scores open higher-tier schools.
+  spec.attributes.push_back(ConditionalAttribute(
+      AttributeSchema("school_tier", {"T1", "T2", "T3"}), {0.25, 0.45, 0.30},
+      kLsat,
+      {{0.08, 0.40, 0.52},
+       {0.15, 0.47, 0.38},
+       {0.30, 0.48, 0.22},
+       {0.50, 0.38, 0.12}}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("work_experience", {"No", "Yes"}), {0.60, 0.40}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("extracurricular", {"No", "Yes"}), {0.50, 0.50}));
+  // First-generation students cluster at lower family incomes.
+  spec.attributes.push_back(ConditionalAttribute(
+      AttributeSchema("first_gen", {"No", "Yes"}), {0.70, 0.30},
+      kFamilyIncome,
+      {{0.40, 0.60}, {0.62, 0.38}, {0.80, 0.20}, {0.92, 0.08}}));
+  spec.attributes.push_back(IndependentAttribute(
+      AttributeSchema("cluster", {"A", "B", "C"}), {0.4, 0.35, 0.25}));
+
+  spec.protected_indices = {kAge, kGender, kRace, kFamilyIncome};
+
+  // Balanced labels (the paper uniform-sampled the original to 1:1).
+  spec.base_logit = -0.6;
+  spec.label_terms = {
+      {kLsat, 0, -0.8},          {kLsat, 2, 0.5},
+      {kLsat, 3, 1.0},           {kUgpa, 0, -0.6},
+      {kUgpa, 3, 0.8},           {kSchoolTier, 0, 0.4},
+      {kWorkExperience, 1, 0.2}, {kExtracurricular, 1, 0.15},
+  };
+
+  spec.injections = {
+      {Only({{kRace, 1}, {kFamilyIncome, 0}}), -1.3},  // Black, low income
+      {Only({{kGender, 1}, {kAge, 0}}), 0.9},          // young women
+      {Only({{kRace, 0}, {kFamilyIncome, 3}}), 0.8},   // White, high income
+      {Only({{kAge, 2}, {kGender, 0}, {kFamilyIncome, 1}}), -1.0},
+  };
+  return spec;
+}
+
+Dataset MakeLawSchool(int num_rows, uint64_t seed) {
+  return GenerateSynthetic(LawSchoolSpec(num_rows), seed);
+}
+
+}  // namespace remedy

@@ -1,0 +1,32 @@
+#ifndef REMEDY_DATAGEN_RANDOM_SPEC_H_
+#define REMEDY_DATAGEN_RANDOM_SPEC_H_
+
+#include "common/rng.h"
+#include "datagen/synthetic_spec.h"
+
+namespace remedy {
+
+// Randomized dataset specifications for schema-fuzzing property tests:
+// random attribute counts and cardinalities, random protected subsets,
+// random marginals, label terms and bias injections. The fixed-schema unit
+// tests pin behaviour; these pin it across the shape space (wide/narrow
+// domains, many/few protected attributes, skewed/flat marginals).
+
+struct RandomSpecOptions {
+  int min_attributes = 3;
+  int max_attributes = 6;
+  int min_cardinality = 2;
+  int max_cardinality = 5;
+  int min_protected = 1;
+  int max_protected = 4;  // capped at the attribute count
+  int num_rows = 800;
+  int num_injections = 3;
+  double max_injection = 1.5;  // |logit boost| upper bound
+};
+
+// Draws a valid spec from `rng` (spec.Validate() always passes).
+SyntheticSpec RandomSpec(Rng& rng, const RandomSpecOptions& options = {});
+
+}  // namespace remedy
+
+#endif  // REMEDY_DATAGEN_RANDOM_SPEC_H_

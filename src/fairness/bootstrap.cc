@@ -1,0 +1,48 @@
+#include "fairness/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace remedy {
+
+BootstrapInterval BootstrapFairnessIndex(
+    const Dataset& test, const std::vector<int>& predictions,
+    Statistic statistic, const BootstrapOptions& options) {
+  REMEDY_CHECK(static_cast<int>(predictions.size()) == test.NumRows());
+  REMEDY_CHECK(options.replicates >= 10);
+  REMEDY_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
+
+  BootstrapInterval interval;
+  interval.replicates = options.replicates;
+  interval.point =
+      ComputeFairnessIndex(test, predictions, statistic, options.index);
+
+  const int n = test.NumRows();
+  Rng rng(options.seed);
+  std::vector<double> indices;
+  indices.reserve(options.replicates);
+  std::vector<int> rows(n);
+  std::vector<int> resampled_predictions(n);
+  for (int b = 0; b < options.replicates; ++b) {
+    for (int i = 0; i < n; ++i) rows[i] = rng.UniformInt(n);
+    Dataset resample = test.Select(rows);
+    for (int i = 0; i < n; ++i) {
+      resampled_predictions[i] = predictions[rows[i]];
+    }
+    indices.push_back(ComputeFairnessIndex(resample, resampled_predictions,
+                                           statistic, options.index));
+  }
+  std::sort(indices.begin(), indices.end());
+  double tail = (1.0 - options.confidence) / 2.0;
+  auto rank = [&](double q) {
+    int index = static_cast<int>(q * (options.replicates - 1));
+    return indices[std::clamp(index, 0, options.replicates - 1)];
+  };
+  interval.lower = rank(tail);
+  interval.upper = rank(1.0 - tail);
+  return interval;
+}
+
+}  // namespace remedy

@@ -1,0 +1,37 @@
+#ifndef REMEDY_FAIRNESS_BOOTSTRAP_H_
+#define REMEDY_FAIRNESS_BOOTSTRAP_H_
+
+#include <cstdint>
+
+#include "fairness/divergence.h"
+#include "fairness/fairness_index.h"
+
+namespace remedy {
+
+// Nonparametric bootstrap confidence interval for the fairness index: the
+// test set is resampled with replacement, the index recomputed per
+// replicate, and the percentile interval reported. Complements the per-
+// subgroup t-tests with an uncertainty estimate for the dataset-level
+// metric the paper's figures plot.
+
+struct BootstrapInterval {
+  double point = 0.0;  // index on the original sample
+  double lower = 0.0;  // percentile bound
+  double upper = 0.0;
+  int replicates = 0;
+};
+
+struct BootstrapOptions {
+  int replicates = 200;
+  double confidence = 0.95;  // central interval mass
+  uint64_t seed = 61;
+  FairnessIndexOptions index;
+};
+
+BootstrapInterval BootstrapFairnessIndex(
+    const Dataset& test, const std::vector<int>& predictions,
+    Statistic statistic, const BootstrapOptions& options = {});
+
+}  // namespace remedy
+
+#endif  // REMEDY_FAIRNESS_BOOTSTRAP_H_

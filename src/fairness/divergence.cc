@@ -1,0 +1,145 @@
+#include "fairness/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/hierarchy.h"
+#include "fairness/significance.h"
+
+namespace remedy {
+namespace {
+
+struct GroupTally {
+  int64_t size = 0;      // all rows in the subgroup
+  int64_t relevant = 0;  // rows in the statistic's conditioning class
+  int64_t errors = 0;    // misclassified relevant rows
+};
+
+}  // namespace
+
+std::string StatisticName(Statistic statistic) {
+  switch (statistic) {
+    case Statistic::kFpr:
+      return "FPR";
+    case Statistic::kFnr:
+      return "FNR";
+    case Statistic::kStatisticalParity:
+      return "SP";
+    case Statistic::kErrorRate:
+      return "ER";
+  }
+  REMEDY_CHECK(false) << "unknown statistic";
+  return "";
+}
+
+SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
+                                  const std::vector<int>& predictions,
+                                  Statistic statistic, double min_support,
+                                  int64_t min_size) {
+  REMEDY_CHECK(static_cast<int>(predictions.size()) == test.NumRows());
+  REMEDY_CHECK(test.schema().NumProtected() > 0);
+
+  SubgroupAnalysis analysis;
+  analysis.statistic = statistic;
+
+  // Per-row relevance/error indicators for the chosen statistic.
+  const int n = test.NumRows();
+  std::vector<char> relevant(n), error(n);
+  int64_t total_relevant = 0, total_errors = 0;
+  for (int r = 0; r < n; ++r) {
+    bool in_class = false;
+    bool event = false;
+    switch (statistic) {
+      case Statistic::kFpr:
+        in_class = test.Label(r) == 0;
+        event = in_class && predictions[r] == 1;
+        break;
+      case Statistic::kFnr:
+        in_class = test.Label(r) == 1;
+        event = in_class && predictions[r] == 0;
+        break;
+      case Statistic::kStatisticalParity:
+        in_class = true;
+        event = predictions[r] == 1;
+        break;
+      case Statistic::kErrorRate:
+        in_class = true;
+        event = predictions[r] != test.Label(r);
+        break;
+    }
+    relevant[r] = in_class;
+    error[r] = event;
+    total_relevant += in_class;
+    total_errors += event;
+  }
+  analysis.overall = total_relevant > 0
+                         ? static_cast<double>(total_errors) / total_relevant
+                         : 0.0;
+
+  Hierarchy hierarchy(test);
+  const RegionCounter& counter = hierarchy.counter();
+  for (uint32_t mask : hierarchy.BottomUpMasks()) {
+    // Tally every subgroup of this node in one pass.
+    std::unordered_map<uint64_t, GroupTally> tallies;
+    for (int r = 0; r < n; ++r) {
+      GroupTally& tally = tallies[counter.RowKey(test, r, mask)];
+      ++tally.size;
+      tally.relevant += relevant[r];
+      tally.errors += error[r];
+    }
+
+    std::vector<uint64_t> keys;
+    keys.reserve(tallies.size());
+    for (const auto& [key, tally] : tallies) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+
+    for (uint64_t key : keys) {
+      const GroupTally& tally = tallies.at(key);
+      if (tally.size < min_size) continue;
+      double support = static_cast<double>(tally.size) / n;
+      if (support < min_support) continue;
+      if (tally.relevant == 0) continue;  // statistic undefined for group
+
+      SubgroupReport report;
+      report.pattern = counter.PatternFor(key, mask);
+      report.size = tally.size;
+      report.support = support;
+      report.relevant = tally.relevant;
+      report.errors = tally.errors;
+      report.statistic =
+          static_cast<double>(tally.errors) / tally.relevant;
+      report.divergence = std::fabs(report.statistic - analysis.overall);
+      report.p_value =
+          WelchTTestBernoulli(tally.errors, tally.relevant,
+                              total_errors - tally.errors,
+                              total_relevant - tally.relevant)
+              .p_value;
+      analysis.subgroups.push_back(std::move(report));
+    }
+  }
+  return analysis;
+}
+
+std::vector<SubgroupReport> FilterUnfair(const SubgroupAnalysis& analysis,
+                                         double discrimination_threshold,
+                                         double alpha) {
+  std::vector<SubgroupReport> unfair;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.divergence > discrimination_threshold &&
+        report.p_value < alpha) {
+      unfair.push_back(report);
+    }
+  }
+  std::sort(unfair.begin(), unfair.end(),
+            [](const SubgroupReport& a, const SubgroupReport& b) {
+              if (a.divergence != b.divergence) {
+                return a.divergence > b.divergence;
+              }
+              return a.pattern < b.pattern;
+            });
+  return unfair;
+}
+
+}  // namespace remedy

@@ -1,0 +1,26 @@
+#include "fairness/fairness_index.h"
+
+namespace remedy {
+
+double FairnessIndex(const SubgroupAnalysis& analysis,
+                     const FairnessIndexOptions& options) {
+  double index = 0.0;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.support < options.min_support) continue;
+    if (report.p_value >= options.alpha) continue;
+    double weight = options.weight_by_support ? report.support : 1.0;
+    index += weight * report.divergence;
+  }
+  return index;
+}
+
+double ComputeFairnessIndex(const Dataset& test,
+                            const std::vector<int>& predictions,
+                            Statistic statistic,
+                            const FairnessIndexOptions& options) {
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(test, predictions, statistic, options.min_support);
+  return FairnessIndex(analysis, options);
+}
+
+}  // namespace remedy

@@ -1,0 +1,32 @@
+#ifndef REMEDY_FAIRNESS_FAIRNESS_INDEX_H_
+#define REMEDY_FAIRNESS_FAIRNESS_INDEX_H_
+
+#include <vector>
+
+#include "fairness/divergence.h"
+
+namespace remedy {
+
+// The paper's Fairness Index (Sec. V-A/d): the weighted sum of the
+// divergences of every significant unfair subgroup with support over
+// `min_support`. Lower is fairer; 0 means no significant unfair subgroup.
+struct FairnessIndexOptions {
+  double min_support = 0.1;
+  double alpha = 0.05;  // t-test significance level
+  // "The fairness index represents the weighted sum of the divergence";
+  // weights are the subgroup supports. Disable for a plain sum.
+  bool weight_by_support = true;
+};
+
+double FairnessIndex(const SubgroupAnalysis& analysis,
+                     const FairnessIndexOptions& options = {});
+
+// Convenience: analyze + index in one call.
+double ComputeFairnessIndex(const Dataset& test,
+                            const std::vector<int>& predictions,
+                            Statistic statistic,
+                            const FairnessIndexOptions& options = {});
+
+}  // namespace remedy
+
+#endif  // REMEDY_FAIRNESS_FAIRNESS_INDEX_H_

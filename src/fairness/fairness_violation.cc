@@ -1,0 +1,24 @@
+#include "fairness/fairness_violation.h"
+
+namespace remedy {
+
+FairnessViolation ComputeFairnessViolation(
+    const Dataset& test, const std::vector<int>& predictions,
+    Statistic statistic, int64_t min_size) {
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(test, predictions, statistic, /*min_support=*/0.0,
+                       min_size);
+  FairnessViolation result;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    double violation = report.support * report.divergence;
+    if (violation > result.violation) {
+      result.violation = violation;
+      result.worst_pattern = report.pattern;
+      result.worst_divergence = report.divergence;
+      result.worst_support = report.support;
+    }
+  }
+  return result;
+}
+
+}  // namespace remedy

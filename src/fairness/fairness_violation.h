@@ -1,0 +1,28 @@
+#ifndef REMEDY_FAIRNESS_FAIRNESS_VIOLATION_H_
+#define REMEDY_FAIRNESS_FAIRNESS_VIOLATION_H_
+
+#include <vector>
+
+#include "fairness/divergence.h"
+
+namespace remedy {
+
+// GerryFair's subgroup-fairness metric (Sec. V-B4): the violation of a group
+// g is its divergence weighted by its size, Pr[g] * |gamma_g - gamma_D|; the
+// dataset-level violation is the maximum over all subgroups. Used for the
+// Table III comparison so the in-processing baseline is judged by its own
+// yardstick.
+struct FairnessViolation {
+  Pattern worst_pattern;
+  double violation = 0.0;
+  double worst_divergence = 0.0;
+  double worst_support = 0.0;
+};
+
+FairnessViolation ComputeFairnessViolation(
+    const Dataset& test, const std::vector<int>& predictions,
+    Statistic statistic, int64_t min_size = 10);
+
+}  // namespace remedy
+
+#endif  // REMEDY_FAIRNESS_FAIRNESS_VIOLATION_H_

@@ -1,0 +1,91 @@
+#include "fairness/report.h"
+
+#include <ostream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "fairness/fairness_index.h"
+#include "ml/metrics.h"
+
+namespace remedy {
+
+double AuditReport::AlignmentFraction() const {
+  size_t total = 0, aligned = 0;
+  for (const AuditStatisticSection& section : sections) {
+    total += section.unfair.size();
+    for (bool hit : section.aligned_with_ibs) aligned += hit;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(aligned) / total;
+}
+
+AuditReport RunAudit(const Dataset& train, const Dataset& test,
+                     const std::vector<int>& predictions,
+                     const AuditOptions& options) {
+  REMEDY_CHECK(static_cast<int>(predictions.size()) == test.NumRows());
+  AuditReport report;
+  report.test_rows = test.NumRows();
+  report.accuracy = Accuracy(test, predictions);
+
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, options.ibs);
+  report.ibs_size = ibs.size();
+
+  for (Statistic statistic : options.statistics) {
+    AuditStatisticSection section;
+    section.statistic = statistic;
+    SubgroupAnalysis analysis = AnalyzeSubgroups(
+        test, predictions, statistic, options.min_support);
+    section.overall = analysis.overall;
+    FairnessIndexOptions index_options;
+    index_options.alpha = options.alpha;
+    section.fairness_index = FairnessIndex(analysis, index_options);
+    section.fairness_violation =
+        ComputeFairnessViolation(test, predictions, statistic).violation;
+    section.unfair = FilterUnfair(analysis, options.discrimination_threshold,
+                                  options.alpha);
+    if (static_cast<int>(section.unfair.size()) >
+        options.max_reported_subgroups) {
+      section.unfair.resize(options.max_reported_subgroups);
+    }
+    section.aligned_with_ibs.reserve(section.unfair.size());
+    for (const SubgroupReport& subgroup : section.unfair) {
+      section.aligned_with_ibs.push_back(
+          DominatesAnyBiasedRegion(subgroup.pattern, ibs));
+    }
+    report.sections.push_back(std::move(section));
+  }
+  return report;
+}
+
+void PrintAuditReport(const AuditReport& report, const DataSchema& schema,
+                      std::ostream& out) {
+  out << "Fairness audit over " << report.test_rows
+      << " test rows (accuracy " << FormatDouble(report.accuracy, 4)
+      << "); training-data IBS holds " << report.ibs_size << " regions.\n";
+  for (const AuditStatisticSection& section : report.sections) {
+    out << "\n[" << StatisticName(section.statistic) << "] overall "
+        << FormatDouble(section.overall, 4) << ", fairness index "
+        << FormatDouble(section.fairness_index, 4) << ", fairness violation "
+        << FormatDouble(section.fairness_violation, 4) << "\n";
+    if (section.unfair.empty()) {
+      out << "  no significant unfair subgroups\n";
+      continue;
+    }
+    TablePrinter table({"subgroup", "stat", "divergence", "support",
+                        "p-value", "IBS-aligned"});
+    for (size_t i = 0; i < section.unfair.size(); ++i) {
+      const SubgroupReport& subgroup = section.unfair[i];
+      table.AddRow({subgroup.pattern.ToString(schema),
+                    FormatDouble(subgroup.statistic, 3),
+                    FormatDouble(subgroup.divergence, 3),
+                    FormatDouble(subgroup.support, 3),
+                    FormatDouble(subgroup.p_value, 4),
+                    section.aligned_with_ibs[i] ? "yes" : "no"});
+    }
+    table.Print(out);
+  }
+  out << "\nIBS alignment of unfair subgroups: "
+      << FormatDouble(100.0 * report.AlignmentFraction(), 1) << "%\n";
+}
+
+}  // namespace remedy

@@ -1,0 +1,62 @@
+#ifndef REMEDY_FAIRNESS_REPORT_H_
+#define REMEDY_FAIRNESS_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/ibs_identify.h"
+#include "fairness/divergence.h"
+#include "fairness/fairness_violation.h"
+
+namespace remedy {
+
+// One-call fairness audit: evaluates a model's predictions on a test set
+// across statistics, connects the unfair subgroups back to the training
+// data's Implicit Biased Set, and summarizes everything in a printable
+// report. This is the "DivExplorer + IBS" view the paper's Fig. 3 shows.
+
+struct AuditOptions {
+  std::vector<Statistic> statistics = {Statistic::kFpr, Statistic::kFnr};
+  double discrimination_threshold = 0.1;  // tau_d
+  double alpha = 0.05;
+  double min_support = 0.05;
+  IbsParams ibs;  // identification parameters for the training data
+  int max_reported_subgroups = 10;
+};
+
+struct AuditStatisticSection {
+  Statistic statistic = Statistic::kFpr;
+  double overall = 0.0;
+  double fairness_index = 0.0;
+  double fairness_violation = 0.0;
+  std::vector<SubgroupReport> unfair;  // sorted by descending divergence
+  // Parallel to `unfair`: does the subgroup coincide with or dominate a
+  // region of the training data's IBS?
+  std::vector<bool> aligned_with_ibs;
+};
+
+struct AuditReport {
+  int test_rows = 0;
+  double accuracy = 0.0;
+  size_t ibs_size = 0;
+  std::vector<AuditStatisticSection> sections;
+
+  // Fraction of unfair subgroups (across sections) aligned with the IBS;
+  // 1.0 when there are none.
+  double AlignmentFraction() const;
+};
+
+// Runs the audit. `train` is the (pre-remedy) training data used to fit the
+// model; `predictions` are the model's outputs on `test`.
+AuditReport RunAudit(const Dataset& train, const Dataset& test,
+                     const std::vector<int>& predictions,
+                     const AuditOptions& options = {});
+
+// Human-readable rendering of the report.
+void PrintAuditReport(const AuditReport& report, const DataSchema& schema,
+                      std::ostream& out);
+
+}  // namespace remedy
+
+#endif  // REMEDY_FAIRNESS_REPORT_H_

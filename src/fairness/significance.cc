@@ -1,0 +1,110 @@
+#include "fairness/significance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+// Continued-fraction kernel of the incomplete beta function
+// (Numerical Recipes, betacf). Converges in ~50 iterations for the
+// arguments produced by t-distributions.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEpsilon = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  REMEDY_CHECK(a > 0.0 && b > 0.0);
+  REMEDY_CHECK(x >= 0.0 && x <= 1.0) << "x = " << x;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double log_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(log_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedPValue(double t, double df) {
+  if (df <= 0.0 || !std::isfinite(t)) return 1.0;
+  // P(|T| > t) = I_{df / (df + t^2)}(df/2, 1/2)
+  double x = df / (df + t * t);
+  return IncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult WelchTTest(double mean1, double variance1, int64_t n1,
+                       double mean2, double variance2, int64_t n2) {
+  TTestResult result;
+  if (n1 < 2 || n2 < 2) return result;  // not enough evidence: p = 1
+  double se1 = variance1 / static_cast<double>(n1);
+  double se2 = variance2 / static_cast<double>(n2);
+  double se = se1 + se2;
+  if (se <= 0.0) {
+    // Degenerate (constant) samples: identical means are not significant,
+    // different means are trivially so.
+    result.p_value = (mean1 == mean2) ? 1.0 : 0.0;
+    return result;
+  }
+  result.t = (mean1 - mean2) / std::sqrt(se);
+  double df_numerator = se * se;
+  double df_denominator =
+      se1 * se1 / static_cast<double>(n1 - 1) +
+      se2 * se2 / static_cast<double>(n2 - 1);
+  result.degrees_of_freedom =
+      df_denominator > 0.0 ? df_numerator / df_denominator : 0.0;
+  result.p_value = StudentTTwoSidedPValue(result.t,
+                                          result.degrees_of_freedom);
+  return result;
+}
+
+TTestResult WelchTTestBernoulli(int64_t successes1, int64_t n1,
+                                int64_t successes2, int64_t n2) {
+  auto sample_stats = [](int64_t successes, int64_t n, double* mean,
+                         double* variance) {
+    *mean = n > 0 ? static_cast<double>(successes) / n : 0.0;
+    // Sample variance of 0/1 data: n p (1-p) / (n - 1).
+    *variance = n > 1 ? (*mean) * (1.0 - *mean) * n / (n - 1.0) : 0.0;
+  };
+  double mean1, var1, mean2, var2;
+  sample_stats(successes1, n1, &mean1, &var1);
+  sample_stats(successes2, n2, &mean2, &var2);
+  return WelchTTest(mean1, var1, n1, mean2, var2, n2);
+}
+
+}  // namespace remedy

@@ -1,0 +1,38 @@
+#ifndef REMEDY_FAIRNESS_SIGNIFICANCE_H_
+#define REMEDY_FAIRNESS_SIGNIFICANCE_H_
+
+#include <cstdint>
+
+namespace remedy {
+
+// Welch's unequal-variance t-test, used (as in DivExplorer) to decide
+// whether a subgroup's statistic diverges significantly from the rest of the
+// dataset before it contributes to the fairness index.
+
+struct TTestResult {
+  double t = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  // two-sided
+};
+
+// Welch t-test from summary statistics (sample means, *sample* variances
+// with n-1 denominators, and sizes). Returns p = 1 when either sample is too
+// small (n < 2) or both variances vanish with equal means.
+TTestResult WelchTTest(double mean1, double variance1, int64_t n1,
+                       double mean2, double variance2, int64_t n2);
+
+// Convenience for Bernoulli samples (success counts): the subgroup-level
+// FPR/FNR statistics are means of 0/1 indicators.
+TTestResult WelchTTestBernoulli(int64_t successes1, int64_t n1,
+                                int64_t successes2, int64_t n2);
+
+// Regularized incomplete beta function I_x(a, b), exposed for testing.
+// Continued-fraction evaluation (Numerical Recipes betacf/betai).
+double IncompleteBeta(double a, double b, double x);
+
+// Two-sided p-value of a t statistic with `df` degrees of freedom.
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace remedy
+
+#endif  // REMEDY_FAIRNESS_SIGNIFICANCE_H_

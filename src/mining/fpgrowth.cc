@@ -1,0 +1,195 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+// One FP-tree node. Children are keyed by item id; node links chain nodes
+// holding the same item for the header table.
+struct FpNode {
+  int item = -1;
+  int64_t count = 0;
+  FpNode* parent = nullptr;
+  std::map<int, std::unique_ptr<FpNode>> children;
+  FpNode* next_same_item = nullptr;
+};
+
+struct HeaderEntry {
+  int64_t total = 0;
+  FpNode* head = nullptr;  // node-link chain
+};
+
+// FP-tree with its header table. Nodes are owned by the root's child maps.
+struct FpTree {
+  FpNode root;
+  // Ordered map => deterministic iteration (ascending item id).
+  std::map<int, HeaderEntry> header;
+
+  // Inserts an ordered item list with multiplicity `count`.
+  void Insert(const std::vector<int>& items, int64_t count) {
+    FpNode* node = &root;
+    for (int item : items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        HeaderEntry& entry = header[item];
+        child->next_same_item = entry.head;
+        entry.head = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      header[item].total += count;
+      node = it->second.get();
+    }
+  }
+
+  bool SinglePath() const {
+    const FpNode* node = &root;
+    while (!node->children.empty()) {
+      if (node->children.size() > 1) return false;
+      node = node->children.begin()->second.get();
+    }
+    return true;
+  }
+};
+
+// Frequency-descending (ties: ascending id) global item order; transactions
+// are inserted in this order so common prefixes share tree paths.
+std::vector<int> OrderItems(
+    const std::unordered_map<int, int64_t>& frequency, int64_t min_support) {
+  std::vector<std::pair<int64_t, int>> ranked;
+  for (const auto& [item, count] : frequency) {
+    if (count >= min_support) ranked.emplace_back(count, item);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<int> order;
+  order.reserve(ranked.size());
+  for (const auto& [count, item] : ranked) order.push_back(item);
+  return order;
+}
+
+// Recursive FP-growth over `tree`, emitting itemsets suffixed with `suffix`.
+void MineTree(const FpTree& tree, int64_t min_support,
+              std::vector<int>& suffix,
+              std::vector<FrequentItemset>* results) {
+  // Enumerate each frequent item in the tree as an extension of the suffix.
+  for (const auto& [item, entry] : tree.header) {
+    if (entry.total < min_support) continue;
+    suffix.push_back(item);
+    {
+      FrequentItemset itemset;
+      itemset.items = suffix;
+      std::sort(itemset.items.begin(), itemset.items.end());
+      itemset.support = entry.total;
+      results->push_back(std::move(itemset));
+    }
+
+    // Conditional pattern base: the prefix paths of every node holding
+    // `item`, weighted by that node's count.
+    std::unordered_map<int, int64_t> conditional_frequency;
+    std::vector<std::pair<std::vector<int>, int64_t>> paths;
+    for (FpNode* node = entry.head; node != nullptr;
+         node = node->next_same_item) {
+      std::vector<int> path;
+      for (FpNode* up = node->parent; up != nullptr && up->item >= 0;
+           up = up->parent) {
+        path.push_back(up->item);
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) {
+        for (int path_item : path) {
+          conditional_frequency[path_item] += node->count;
+        }
+        paths.emplace_back(std::move(path), node->count);
+      }
+    }
+
+    // Build and mine the conditional tree.
+    std::vector<int> order = OrderItems(conditional_frequency, min_support);
+    if (!order.empty()) {
+      std::unordered_map<int, int> rank;
+      for (size_t i = 0; i < order.size(); ++i) {
+        rank[order[i]] = static_cast<int>(i);
+      }
+      FpTree conditional;
+      for (const auto& [path, count] : paths) {
+        std::vector<int> filtered;
+        for (int path_item : path) {
+          if (rank.count(path_item)) filtered.push_back(path_item);
+        }
+        std::sort(filtered.begin(), filtered.end(),
+                  [&rank](int a, int b) { return rank[a] < rank[b]; });
+        if (!filtered.empty()) conditional.Insert(filtered, count);
+      }
+      MineTree(conditional, min_support, suffix, results);
+    }
+    suffix.pop_back();
+  }
+}
+
+}  // namespace
+
+FpGrowthMiner::FpGrowthMiner(int64_t min_support)
+    : min_support_(min_support) {
+  REMEDY_CHECK(min_support_ >= 1);
+}
+
+std::vector<FrequentItemset> FpGrowthMiner::Mine(
+    const std::vector<std::vector<int>>& transactions) const {
+  // First pass: global item frequencies.
+  std::unordered_map<int, int64_t> frequency;
+  for (const std::vector<int>& transaction : transactions) {
+    // Count each distinct item once per transaction.
+    std::vector<int> distinct = transaction;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (int item : distinct) {
+      REMEDY_CHECK(item >= 0) << "item ids must be non-negative";
+      ++frequency[item];
+    }
+  }
+
+  std::vector<int> order = OrderItems(frequency, min_support_);
+  std::unordered_map<int, int> rank;
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<int>(i);
+  }
+
+  // Second pass: build the FP-tree from frequency-ordered transactions.
+  FpTree tree;
+  for (const std::vector<int>& transaction : transactions) {
+    std::vector<int> filtered;
+    for (int item : transaction) {
+      if (rank.count(item)) filtered.push_back(item);
+    }
+    std::sort(filtered.begin(), filtered.end());
+    filtered.erase(std::unique(filtered.begin(), filtered.end()),
+                   filtered.end());
+    std::sort(filtered.begin(), filtered.end(),
+              [&rank](int a, int b) { return rank[a] < rank[b]; });
+    if (!filtered.empty()) tree.Insert(filtered, 1);
+  }
+
+  std::vector<FrequentItemset> results;
+  std::vector<int> suffix;
+  MineTree(tree, min_support_, suffix, &results);
+  std::sort(results.begin(), results.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return results;
+}
+
+}  // namespace remedy

@@ -1,0 +1,42 @@
+#ifndef REMEDY_MINING_FPGROWTH_H_
+#define REMEDY_MINING_FPGROWTH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace remedy {
+
+// FP-growth frequent-itemset miner (Han, Pei & Yin [14]).
+//
+// The paper grounds Theorem 1 in the correspondence between IBS
+// identification and frequent pattern mining: candidate regions are exactly
+// the patterns with more than k supporting instances. This miner provides
+// the classic prefix-tree algorithm as an alternative candidate enumerator
+// to the full lattice sweep (see mining/region_miner.h) — asymptotically it
+// skips the empty parts of the exponential region space that the per-node
+// group-by must still visit mask by mask.
+
+struct FrequentItemset {
+  std::vector<int> items;  // sorted ascending
+  int64_t support = 0;
+};
+
+class FpGrowthMiner {
+ public:
+  // Itemsets with support >= `min_support` are frequent. min_support >= 1.
+  explicit FpGrowthMiner(int64_t min_support);
+
+  // Mines all frequent itemsets (excluding the empty set) from the
+  // transactions. Item ids must be non-negative. Items may repeat within a
+  // transaction (duplicates are ignored). The result is deterministic:
+  // itemsets are sorted lexicographically.
+  std::vector<FrequentItemset> Mine(
+      const std::vector<std::vector<int>>& transactions) const;
+
+ private:
+  int64_t min_support_;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_MINING_FPGROWTH_H_

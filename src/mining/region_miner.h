@@ -1,0 +1,39 @@
+#ifndef REMEDY_MINING_REGION_MINER_H_
+#define REMEDY_MINING_REGION_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ibs_identify.h"
+#include "core/pattern.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Bridges FP-growth to the region lattice: every dataset row becomes a
+// transaction with one (attribute, value) item per protected attribute, so
+// the frequent itemsets are exactly the regions with at least `min_size`
+// instances. Two different attribute values never co-occur in a
+// transaction, so no invalid pattern can surface.
+
+struct MinedRegion {
+  Pattern pattern;
+  int64_t size = 0;
+};
+
+// All regions of the protected-attribute space with size >= `min_size`,
+// mined with FP-growth. Sorted by (node mask, key) like the lattice sweep.
+std::vector<MinedRegion> MineFrequentRegions(const Dataset& data,
+                                             int64_t min_size);
+
+// IBS identification using FP-growth for candidate enumeration and the
+// optimized dominating-region formula for the imbalance comparison.
+// Produces exactly the regions IdentifyIbs finds (property-tested), but
+// only materializes node counts for lattice levels that contain frequent
+// regions.
+std::vector<BiasedRegion> IdentifyIbsWithMiner(const Dataset& data,
+                                               const IbsParams& params);
+
+}  // namespace remedy
+
+#endif  // REMEDY_MINING_REGION_MINER_H_

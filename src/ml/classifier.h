@@ -1,0 +1,53 @@
+#ifndef REMEDY_ML_CLASSIFIER_H_
+#define REMEDY_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Binary classifier interface shared by every learner in the library.
+//
+// All learners consume categorical datasets (numeric learners one-hot encode
+// internally), honor per-instance weights from Dataset::Weight — which is
+// what the reweighting baselines rely on — and are deterministic given their
+// seed.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Trains on `train`; may be called again to retrain from scratch.
+  virtual void Fit(const Dataset& train) = 0;
+
+  // P(y = 1 | x) for row `row` of `data`. Requires a prior Fit.
+  virtual double PredictProba(const Dataset& data, int row) const = 0;
+
+  // Hard prediction at the 0.5 threshold.
+  virtual int Predict(const Dataset& data, int row) const {
+    return PredictProba(data, row) >= 0.5 ? 1 : 0;
+  }
+
+  // Hard predictions for every row.
+  std::vector<int> PredictAll(const Dataset& data) const {
+    std::vector<int> predictions(data.NumRows());
+    for (int r = 0; r < data.NumRows(); ++r) predictions[r] = Predict(data, r);
+    return predictions;
+  }
+
+  // Probabilities for every row.
+  std::vector<double> PredictProbaAll(const Dataset& data) const {
+    std::vector<double> probabilities(data.NumRows());
+    for (int r = 0; r < data.NumRows(); ++r) {
+      probabilities[r] = PredictProba(data, r);
+    }
+    return probabilities;
+  }
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_CLASSIFIER_H_

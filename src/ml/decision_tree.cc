@@ -1,0 +1,143 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+double Gini(double positive_weight, double total_weight) {
+  if (total_weight <= 0.0) return 0.0;
+  double p = positive_weight / total_weight;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeParams params)
+    : params_(params) {
+  REMEDY_CHECK(params_.max_depth >= 0);
+  REMEDY_CHECK(params_.min_samples_split >= 0.0);
+}
+
+void DecisionTree::Fit(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<int> rows(train.NumRows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<char> used_attributes(train.NumColumns(), 0);
+  Rng rng(params_.seed);
+  BuildNode(train, rows, 0, used_attributes, rng);
+}
+
+int DecisionTree::BuildNode(const Dataset& data, const std::vector<int>& rows,
+                            int depth, std::vector<char>& used_attributes,
+                            Rng& rng) {
+  depth_ = std::max(depth_, depth);
+
+  double total_weight = 0.0;
+  double positive_weight = 0.0;
+  for (int r : rows) {
+    total_weight += data.Weight(r);
+    positive_weight += data.Label(r) ? data.Weight(r) : 0.0;
+  }
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].positive_fraction =
+      total_weight > 0.0 ? positive_weight / total_weight : 0.5;
+
+  const bool pure = positive_weight <= 0.0 || positive_weight >= total_weight;
+  if (depth >= params_.max_depth || pure ||
+      total_weight < params_.min_samples_split) {
+    return node_index;
+  }
+
+  // Candidate attributes: unused on this path, optionally subsampled.
+  std::vector<int> candidates;
+  for (int c = 0; c < data.NumColumns(); ++c) {
+    if (!used_attributes[c]) candidates.push_back(c);
+  }
+  if (params_.max_features > 0 &&
+      static_cast<int>(candidates.size()) > params_.max_features) {
+    std::vector<int> picked = rng.SampleWithoutReplacement(
+        static_cast<int>(candidates.size()), params_.max_features);
+    std::sort(picked.begin(), picked.end());
+    std::vector<int> subset;
+    subset.reserve(picked.size());
+    for (int index : picked) subset.push_back(candidates[index]);
+    candidates = std::move(subset);
+  }
+  if (candidates.empty()) return node_index;
+
+  const double parent_impurity = Gini(positive_weight, total_weight);
+  int best_attribute = -1;
+  double best_gain = params_.min_gain;
+  std::vector<double> value_weight, value_positive;
+  for (int attribute : candidates) {
+    int cardinality = data.schema().attribute(attribute).Cardinality();
+    if (cardinality < 2) continue;
+    value_weight.assign(cardinality, 0.0);
+    value_positive.assign(cardinality, 0.0);
+    for (int r : rows) {
+      int value = data.Value(r, attribute);
+      double w = data.Weight(r);
+      value_weight[value] += w;
+      if (data.Label(r)) value_positive[value] += w;
+    }
+    double weighted_child_impurity = 0.0;
+    int non_empty = 0;
+    for (int v = 0; v < cardinality; ++v) {
+      if (value_weight[v] <= 0.0) continue;
+      ++non_empty;
+      weighted_child_impurity +=
+          (value_weight[v] / total_weight) * Gini(value_positive[v],
+                                                  value_weight[v]);
+    }
+    if (non_empty < 2) continue;  // split would not partition anything
+    double gain = parent_impurity - weighted_child_impurity;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_attribute = attribute;
+    }
+  }
+  if (best_attribute < 0) return node_index;
+
+  // Partition rows by the chosen attribute's value.
+  int cardinality = data.schema().attribute(best_attribute).Cardinality();
+  std::vector<std::vector<int>> partitions(cardinality);
+  for (int r : rows) partitions[data.Value(r, best_attribute)].push_back(r);
+
+  nodes_[node_index].attribute = best_attribute;
+  nodes_[node_index].children.assign(cardinality, -1);
+  used_attributes[best_attribute] = 1;
+  for (int v = 0; v < cardinality; ++v) {
+    if (partitions[v].empty()) continue;
+    int child =
+        BuildNode(data, partitions[v], depth + 1, used_attributes, rng);
+    // nodes_ may have reallocated during recursion; index again.
+    nodes_[node_index].children[v] = child;
+  }
+  used_attributes[best_attribute] = 0;
+  return node_index;
+}
+
+double DecisionTree::PredictProba(const Dataset& data, int row) const {
+  REMEDY_CHECK(!nodes_.empty()) << "DecisionTree::Fit has not been called";
+  int node = 0;
+  while (nodes_[node].attribute >= 0) {
+    int value = data.Value(row, nodes_[node].attribute);
+    int child = (value >= 0 &&
+                 value < static_cast<int>(nodes_[node].children.size()))
+                    ? nodes_[node].children[value]
+                    : -1;
+    if (child < 0) break;  // unseen value: back off to this node's estimate
+    node = child;
+  }
+  return nodes_[node].positive_fraction;
+}
+
+}  // namespace remedy

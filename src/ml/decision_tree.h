@@ -1,0 +1,58 @@
+#ifndef REMEDY_ML_DECISION_TREE_H_
+#define REMEDY_ML_DECISION_TREE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace remedy {
+
+struct DecisionTreeParams {
+  int max_depth = 12;
+  // Minimum weighted instance count for a node to be split further.
+  double min_samples_split = 10.0;
+  // Minimum Gini impurity decrease to accept a split.
+  double min_gain = 1e-7;
+  // Number of candidate attributes sampled per node; 0 means all (plain
+  // CART). Random forests set this to ~sqrt(m).
+  int max_features = 0;
+  uint64_t seed = 7;
+};
+
+// CART-style decision tree with multiway categorical splits and weighted
+// Gini impurity. The accuracy-optimizing, high-capacity behaviour of this
+// learner is exactly what Hypothesis 1 is about: it fits the majority class
+// of each biased region, producing the subgroup FPR/FNR divergence the paper
+// demonstrates.
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, int row) const override;
+
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  int Depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int attribute = -1;  // -1 marks a leaf
+    double positive_fraction = 0.5;
+    // Child node index per attribute value code; -1 when the value did not
+    // occur at this node during training.
+    std::vector<int> children;
+  };
+
+  // Builds the subtree over `rows`; returns its node index.
+  int BuildNode(const Dataset& data, const std::vector<int>& rows, int depth,
+                std::vector<char>& used_attributes, Rng& rng);
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_DECISION_TREE_H_

@@ -1,0 +1,163 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+// Newton leaf value with L2-ish damping to keep steps bounded.
+double LeafValue(double gradient_sum, double hessian_sum) {
+  constexpr double kDamping = 1.0;
+  constexpr double kMaxStep = 4.0;
+  double value = gradient_sum / (hessian_sum + kDamping);
+  return std::clamp(value, -kMaxStep, kMaxStep);
+}
+
+}  // namespace
+
+GradientBoosting::GradientBoosting(GradientBoostingParams params)
+    : params_(params) {
+  REMEDY_CHECK(params_.rounds > 0);
+  REMEDY_CHECK(params_.max_depth >= 1);
+  REMEDY_CHECK(params_.learning_rate > 0.0);
+}
+
+int GradientBoosting::BuildNode(const Dataset& data,
+                                const std::vector<int>& rows,
+                                const std::vector<double>& gradient,
+                                const std::vector<double>& hessian,
+                                int depth, Tree* tree) {
+  double gradient_sum = 0.0, hessian_sum = 0.0, weight_sum = 0.0;
+  for (int r : rows) {
+    gradient_sum += gradient[r];
+    hessian_sum += hessian[r];
+    weight_sum += data.Weight(r);
+  }
+
+  int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[node_index].value = LeafValue(gradient_sum, hessian_sum);
+  if (depth >= params_.max_depth ||
+      weight_sum < params_.min_samples_split) {
+    return node_index;
+  }
+
+  // Score = sum over children of G_c^2 / (H_c + 1); pick the attribute
+  // maximizing the gain over the unsplit node.
+  const double parent_score =
+      gradient_sum * gradient_sum / (hessian_sum + 1.0);
+  int best_attribute = -1;
+  double best_gain = 1e-9;
+  std::vector<double> child_gradient, child_hessian;
+  for (int attribute = 0; attribute < data.NumColumns(); ++attribute) {
+    int cardinality = data.schema().attribute(attribute).Cardinality();
+    if (cardinality < 2) continue;
+    child_gradient.assign(cardinality, 0.0);
+    child_hessian.assign(cardinality, 0.0);
+    for (int r : rows) {
+      int value = data.Value(r, attribute);
+      child_gradient[value] += gradient[r];
+      child_hessian[value] += hessian[r];
+    }
+    double score = 0.0;
+    int non_empty = 0;
+    for (int v = 0; v < cardinality; ++v) {
+      if (child_hessian[v] <= 0.0 && child_gradient[v] == 0.0) continue;
+      ++non_empty;
+      score += child_gradient[v] * child_gradient[v] /
+               (child_hessian[v] + 1.0);
+    }
+    if (non_empty < 2) continue;
+    double gain = score - parent_score;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_attribute = attribute;
+    }
+  }
+  if (best_attribute < 0) return node_index;
+
+  int cardinality = data.schema().attribute(best_attribute).Cardinality();
+  std::vector<std::vector<int>> partitions(cardinality);
+  for (int r : rows) partitions[data.Value(r, best_attribute)].push_back(r);
+
+  tree->nodes[node_index].attribute = best_attribute;
+  tree->nodes[node_index].children.assign(cardinality, -1);
+  for (int v = 0; v < cardinality; ++v) {
+    if (partitions[v].empty()) continue;
+    int child =
+        BuildNode(data, partitions[v], gradient, hessian, depth + 1, tree);
+    tree->nodes[node_index].children[v] = child;
+  }
+  return node_index;
+}
+
+double GradientBoosting::TreeValue(const Tree& tree, const Dataset& data,
+                                   int row) const {
+  int node = 0;
+  while (tree.nodes[node].attribute >= 0) {
+    int value = data.Value(row, tree.nodes[node].attribute);
+    int child = tree.nodes[node].children[value];
+    if (child < 0) break;  // value unseen at this node during training
+    node = child;
+  }
+  return tree.nodes[node].value;
+}
+
+void GradientBoosting::Fit(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  trees_.clear();
+
+  const int n = train.NumRows();
+  double positive_weight = 0.0, total_weight = 0.0;
+  for (int r = 0; r < n; ++r) {
+    total_weight += train.Weight(r);
+    if (train.Label(r)) positive_weight += train.Weight(r);
+  }
+  REMEDY_CHECK(total_weight > 0.0);
+  double prior = std::clamp(positive_weight / total_weight, 1e-6, 1 - 1e-6);
+  base_logit_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> logit(n, base_logit_);
+  std::vector<double> gradient(n), hessian(n);
+  std::vector<int> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  for (int round = 0; round < params_.rounds; ++round) {
+    for (int r = 0; r < n; ++r) {
+      double p = Sigmoid(logit[r]);
+      double w = train.Weight(r);
+      gradient[r] = w * (train.Label(r) - p);
+      hessian[r] = w * p * (1.0 - p);
+    }
+    Tree tree;
+    BuildNode(train, all_rows, gradient, hessian, 0, &tree);
+    for (int r = 0; r < n; ++r) {
+      logit[r] += params_.learning_rate * TreeValue(tree, train, r);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoosting::PredictProba(const Dataset& data, int row) const {
+  REMEDY_CHECK(fitted_) << "GradientBoosting::Fit has not been called";
+  double logit = base_logit_;
+  for (const Tree& tree : trees_) {
+    logit += params_.learning_rate * TreeValue(tree, data, row);
+  }
+  return Sigmoid(logit);
+}
+
+}  // namespace remedy

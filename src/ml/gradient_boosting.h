@@ -1,0 +1,65 @@
+#ifndef REMEDY_ML_GRADIENT_BOOSTING_H_
+#define REMEDY_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace remedy {
+
+struct GradientBoostingParams {
+  int rounds = 60;
+  int max_depth = 3;
+  double learning_rate = 0.2;
+  // Minimum weighted instance count for an internal split.
+  double min_samples_split = 20.0;
+  uint64_t seed = 19;
+};
+
+// Gradient-boosted trees on the logistic loss: shallow multiway regression
+// trees fit to the residuals, leaf values set by a Newton step.
+//
+// Not part of the paper's evaluation — it exists to stress the claim that
+// the remedy is model agnostic ("can be applied to any machine learning
+// classifiers"): boosting is also accuracy-optimizing, so Hypothesis 1
+// predicts it inherits subgroup unfairness from biased regions just like
+// DT / RF / LG / NN do (see bench/extension_model_agnostic).
+class GradientBoosting : public Classifier {
+ public:
+  explicit GradientBoosting(GradientBoostingParams params = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, int row) const override;
+
+  int NumTrees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  // Regression tree over categorical attributes: internal nodes split
+  // multiway on one attribute, leaves hold an additive logit value.
+  struct Node {
+    int attribute = -1;    // -1 marks a leaf
+    double value = 0.0;    // leaf logit increment (Newton step)
+    std::vector<int> children;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  // Builds a subtree over `rows` fitting `gradient`/`hessian`; returns the
+  // node index within `tree`.
+  int BuildNode(const Dataset& data, const std::vector<int>& rows,
+                const std::vector<double>& gradient,
+                const std::vector<double>& hessian, int depth, Tree* tree);
+
+  // Additive logit contribution of one tree for a row.
+  double TreeValue(const Tree& tree, const Dataset& data, int row) const;
+
+  GradientBoostingParams params_;
+  double base_logit_ = 0.0;
+  std::vector<Tree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_GRADIENT_BOOSTING_H_

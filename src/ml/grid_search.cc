@@ -1,0 +1,109 @@
+#include "ml/grid_search.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_network.h"
+#include "ml/random_forest.h"
+
+namespace remedy {
+
+GridSearchResult GridSearch(
+    const Dataset& train,
+    const std::vector<std::function<ClassifierPtr()>>& candidates,
+    double validation_fraction, uint64_t seed) {
+  REMEDY_CHECK(!candidates.empty());
+  REMEDY_CHECK(validation_fraction > 0.0 && validation_fraction < 1.0);
+  Rng rng(seed);
+  auto [fit_split, validation] =
+      train.TrainTestSplit(1.0 - validation_fraction, rng);
+
+  GridSearchResult result;
+  result.accuracies.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ClassifierPtr model = candidates[i]();
+    model->Fit(fit_split);
+    double accuracy = Accuracy(validation, model->PredictAll(validation));
+    result.accuracies.push_back(accuracy);
+    if (result.best_index < 0 || accuracy > result.best_accuracy) {
+      result.best_index = static_cast<int>(i);
+      result.best_accuracy = accuracy;
+    }
+  }
+  return result;
+}
+
+ClassifierPtr TunedClassifier(ModelType type, const Dataset& train,
+                              uint64_t seed) {
+  std::vector<std::function<ClassifierPtr()>> candidates;
+  switch (type) {
+    case ModelType::kDecisionTree:
+      for (int depth : {8, 12, 16}) {
+        candidates.push_back([depth, seed] {
+          DecisionTreeParams params;
+          params.max_depth = depth;
+          params.seed = seed;
+          return std::make_unique<DecisionTree>(params);
+        });
+      }
+      break;
+    case ModelType::kRandomForest:
+      for (int trees : {10, 20}) {
+        candidates.push_back([trees, seed] {
+          RandomForestParams params;
+          params.num_trees = trees;
+          params.seed = seed;
+          return std::make_unique<RandomForest>(params);
+        });
+      }
+      break;
+    case ModelType::kLogisticRegression:
+      for (double l2 : {1e-4, 1e-2}) {
+        candidates.push_back([l2] {
+          LogisticRegressionParams params;
+          params.l2 = l2;
+          return std::make_unique<LogisticRegression>(params);
+        });
+      }
+      break;
+    case ModelType::kNeuralNetwork:
+      for (int hidden : {8, 16}) {
+        candidates.push_back([hidden, seed] {
+          NeuralNetworkParams params;
+          params.hidden_units = hidden;
+          params.seed = seed;
+          return std::make_unique<NeuralNetwork>(params);
+        });
+      }
+      break;
+    case ModelType::kGradientBoosting:
+      for (int rounds : {40, 80}) {
+        candidates.push_back([rounds, seed] {
+          GradientBoostingParams params;
+          params.rounds = rounds;
+          params.seed = seed;
+          return std::make_unique<GradientBoosting>(params);
+        });
+      }
+      break;
+    case ModelType::kNaiveBayes:
+      for (double alpha : {0.5, 1.0, 2.0}) {
+        candidates.push_back([alpha] {
+          NaiveBayesParams params;
+          params.smoothing = alpha;
+          return std::make_unique<NaiveBayes>(params);
+        });
+      }
+      break;
+  }
+  GridSearchResult result = GridSearch(train, candidates, 0.2, seed);
+  ClassifierPtr best = candidates[result.best_index]();
+  best->Fit(train);
+  return best;
+}
+
+}  // namespace remedy

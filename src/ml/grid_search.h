@@ -1,0 +1,36 @@
+#ifndef REMEDY_ML_GRID_SEARCH_H_
+#define REMEDY_ML_GRID_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/model_factory.h"
+
+namespace remedy {
+
+// Hyper-parameter selection by held-out validation accuracy, mirroring the
+// paper's "grid search to obtain the optimal hyperparameters" step.
+
+struct GridSearchResult {
+  int best_index = -1;
+  double best_accuracy = 0.0;
+  std::vector<double> accuracies;  // one per candidate
+};
+
+// Evaluates each candidate factory on a (train, validation) split of `train`
+// and returns the index with the highest validation accuracy (ties go to the
+// earlier candidate). `validation_fraction` of rows are held out.
+GridSearchResult GridSearch(
+    const Dataset& train,
+    const std::vector<std::function<ClassifierPtr()>>& candidates,
+    double validation_fraction = 0.2, uint64_t seed = 17);
+
+// Grid-searches a small per-model hyper-parameter grid, then refits the
+// winner on all of `train` and returns it.
+ClassifierPtr TunedClassifier(ModelType type, const Dataset& train,
+                              uint64_t seed = 7);
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_GRID_SEARCH_H_

@@ -1,0 +1,86 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticRegressionParams params)
+    : params_(params) {
+  REMEDY_CHECK(params_.epochs > 0);
+  REMEDY_CHECK(params_.learning_rate > 0.0);
+  REMEDY_CHECK(params_.l2 >= 0.0);
+}
+
+void LogisticRegression::Fit(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  encoder_ = std::make_unique<OneHotEncoder>(train.schema());
+  const int width = encoder_->Width();
+  const int n = train.NumRows();
+  coefficients_.assign(width, 0.0);
+  intercept_ = 0.0;
+
+  // One-hot rows are sparse (exactly one active indicator per attribute),
+  // so train directly on the per-attribute active index.
+  const int num_columns = train.NumColumns();
+  std::vector<int> active(static_cast<size_t>(n) * num_columns);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < num_columns; ++c) {
+      active[static_cast<size_t>(r) * num_columns + c] =
+          encoder_->Offset(c) + train.Value(r, c);
+    }
+  }
+
+  std::vector<double> weights(n);
+  double total_weight = 0.0;
+  for (int r = 0; r < n; ++r) {
+    weights[r] = train.Weight(r);
+    total_weight += weights[r];
+  }
+  REMEDY_CHECK(total_weight > 0.0) << "all training weights are zero";
+
+  std::vector<double> gradient(width);
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double intercept_gradient = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const int* x = active.data() + static_cast<size_t>(r) * num_columns;
+      double z = intercept_;
+      for (int c = 0; c < num_columns; ++c) z += coefficients_[x[c]];
+      double error = (Sigmoid(z) - train.Label(r)) * weights[r];
+      for (int c = 0; c < num_columns; ++c) gradient[x[c]] += error;
+      intercept_gradient += error;
+    }
+    double step = params_.learning_rate / total_weight;
+    for (int j = 0; j < width; ++j) {
+      coefficients_[j] -=
+          step * gradient[j] + params_.learning_rate * params_.l2 *
+                                   coefficients_[j];
+    }
+    intercept_ -= step * intercept_gradient;
+  }
+}
+
+double LogisticRegression::PredictProba(const Dataset& data, int row) const {
+  REMEDY_CHECK(encoder_ != nullptr)
+      << "LogisticRegression::Fit has not been called";
+  double z = intercept_;
+  for (int c = 0; c < data.NumColumns(); ++c) {
+    z += coefficients_[encoder_->Offset(c) + data.Value(row, c)];
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace remedy

@@ -1,0 +1,83 @@
+#include "ml/metrics.h"
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+void Accumulate(int label, int prediction, ConfusionCounts* counts) {
+  if (label == 1) {
+    if (prediction == 1) {
+      ++counts->true_positives;
+    } else {
+      ++counts->false_negatives;
+    }
+  } else {
+    if (prediction == 1) {
+      ++counts->false_positives;
+    } else {
+      ++counts->true_negatives;
+    }
+  }
+}
+
+}  // namespace
+
+ConfusionCounts Confusion(const Dataset& data,
+                          const std::vector<int>& predictions) {
+  REMEDY_CHECK(static_cast<int>(predictions.size()) == data.NumRows());
+  ConfusionCounts counts;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    Accumulate(data.Label(r), predictions[r], &counts);
+  }
+  return counts;
+}
+
+ConfusionCounts ConfusionOnRows(const Dataset& data,
+                                const std::vector<int>& predictions,
+                                const std::vector<int>& rows) {
+  REMEDY_CHECK(static_cast<int>(predictions.size()) == data.NumRows());
+  ConfusionCounts counts;
+  for (int r : rows) {
+    REMEDY_DCHECK(r >= 0 && r < data.NumRows());
+    Accumulate(data.Label(r), predictions[r], &counts);
+  }
+  return counts;
+}
+
+double Accuracy(const ConfusionCounts& counts) {
+  int64_t total = counts.Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts.true_positives + counts.true_negatives) /
+         static_cast<double>(total);
+}
+
+double FalsePositiveRate(const ConfusionCounts& counts) {
+  int64_t negatives = counts.false_positives + counts.true_negatives;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(counts.false_positives) /
+         static_cast<double>(negatives);
+}
+
+double FalseNegativeRate(const ConfusionCounts& counts) {
+  int64_t positives = counts.true_positives + counts.false_negatives;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(counts.false_negatives) /
+         static_cast<double>(positives);
+}
+
+double Accuracy(const Dataset& data, const std::vector<int>& predictions) {
+  return Accuracy(Confusion(data, predictions));
+}
+
+double FalsePositiveRate(const Dataset& data,
+                         const std::vector<int>& predictions) {
+  return FalsePositiveRate(Confusion(data, predictions));
+}
+
+double FalseNegativeRate(const Dataset& data,
+                         const std::vector<int>& predictions) {
+  return FalseNegativeRate(Confusion(data, predictions));
+}
+
+}  // namespace remedy

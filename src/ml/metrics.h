@@ -1,0 +1,49 @@
+#ifndef REMEDY_ML_METRICS_H_
+#define REMEDY_ML_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Confusion-matrix counts of binary predictions against ground truth.
+struct ConfusionCounts {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+
+  int64_t Total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+};
+
+// Confusion counts over all rows of `data`.
+ConfusionCounts Confusion(const Dataset& data,
+                          const std::vector<int>& predictions);
+
+// Confusion counts restricted to `rows`.
+ConfusionCounts ConfusionOnRows(const Dataset& data,
+                                const std::vector<int>& predictions,
+                                const std::vector<int>& rows);
+
+// Fraction of correct predictions; 0 on empty input.
+double Accuracy(const ConfusionCounts& counts);
+
+// False positive rate Pr[h(x)=1 | y=0]; 0 when there are no negatives.
+double FalsePositiveRate(const ConfusionCounts& counts);
+
+// False negative rate Pr[h(x)=0 | y=1]; 0 when there are no positives.
+double FalseNegativeRate(const ConfusionCounts& counts);
+
+double Accuracy(const Dataset& data, const std::vector<int>& predictions);
+double FalsePositiveRate(const Dataset& data,
+                         const std::vector<int>& predictions);
+double FalseNegativeRate(const Dataset& data,
+                         const std::vector<int>& predictions);
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_METRICS_H_

@@ -1,0 +1,70 @@
+#include "ml/model_factory.h"
+
+#include "common/check.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_network.h"
+#include "ml/random_forest.h"
+
+namespace remedy {
+
+std::string ModelName(ModelType type) {
+  switch (type) {
+    case ModelType::kDecisionTree:
+      return "DT";
+    case ModelType::kRandomForest:
+      return "RF";
+    case ModelType::kLogisticRegression:
+      return "LG";
+    case ModelType::kNeuralNetwork:
+      return "NN";
+    case ModelType::kNaiveBayes:
+      return "NB";
+    case ModelType::kGradientBoosting:
+      return "GBT";
+  }
+  REMEDY_CHECK(false) << "unknown model type";
+  return "";
+}
+
+ClassifierPtr MakeClassifier(ModelType type, uint64_t seed) {
+  switch (type) {
+    case ModelType::kDecisionTree: {
+      DecisionTreeParams params;
+      params.seed = seed;
+      return std::make_unique<DecisionTree>(params);
+    }
+    case ModelType::kRandomForest: {
+      RandomForestParams params;
+      params.seed = seed;
+      return std::make_unique<RandomForest>(params);
+    }
+    case ModelType::kLogisticRegression: {
+      return std::make_unique<LogisticRegression>();
+    }
+    case ModelType::kNeuralNetwork: {
+      NeuralNetworkParams params;
+      params.seed = seed;
+      return std::make_unique<NeuralNetwork>(params);
+    }
+    case ModelType::kNaiveBayes: {
+      return std::make_unique<NaiveBayes>();
+    }
+    case ModelType::kGradientBoosting: {
+      GradientBoostingParams params;
+      params.seed = seed;
+      return std::make_unique<GradientBoosting>(params);
+    }
+  }
+  REMEDY_CHECK(false) << "unknown model type";
+  return nullptr;
+}
+
+std::vector<ModelType> StandardModels() {
+  return {ModelType::kDecisionTree, ModelType::kRandomForest,
+          ModelType::kLogisticRegression, ModelType::kNeuralNetwork};
+}
+
+}  // namespace remedy

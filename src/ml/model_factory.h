@@ -1,0 +1,35 @@
+#ifndef REMEDY_ML_MODEL_FACTORY_H_
+#define REMEDY_ML_MODEL_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace remedy {
+
+// The four downstream classifiers the paper evaluates (Sec. V-A/b), the
+// naive Bayes used as the pre-processing ranker, and gradient boosting as a
+// beyond-the-paper stress test of the model-agnostic claim.
+enum class ModelType {
+  kDecisionTree,
+  kRandomForest,
+  kLogisticRegression,
+  kNeuralNetwork,
+  kNaiveBayes,
+  kGradientBoosting,
+};
+
+// Short display name as used in the paper's figures: DT, RF, LG, NN, NB,
+// GBT.
+std::string ModelName(ModelType type);
+
+// Classifier with the library's default hyper-parameters.
+ClassifierPtr MakeClassifier(ModelType type, uint64_t seed = 7);
+
+// The four models of the paper's evaluation: DT, RF, LG, NN.
+std::vector<ModelType> StandardModels();
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_MODEL_FACTORY_H_

@@ -1,0 +1,73 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace remedy {
+
+NaiveBayes::NaiveBayes(NaiveBayesParams params) : params_(params) {
+  REMEDY_CHECK(params_.smoothing > 0.0);
+}
+
+void NaiveBayes::Fit(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  const int num_columns = train.NumColumns();
+  const double alpha = params_.smoothing;
+
+  double class_weight[2] = {alpha, alpha};
+  // counts[y][c][v]: weighted count of value v of attribute c in class y.
+  std::vector<std::vector<std::vector<double>>> counts(2);
+  for (int y = 0; y < 2; ++y) {
+    counts[y].resize(num_columns);
+    for (int c = 0; c < num_columns; ++c) {
+      counts[y][c].assign(train.schema().attribute(c).Cardinality(), alpha);
+    }
+  }
+  for (int r = 0; r < train.NumRows(); ++r) {
+    int y = train.Label(r);
+    double w = train.Weight(r);
+    class_weight[y] += w;
+    for (int c = 0; c < num_columns; ++c) {
+      counts[y][c][train.Value(r, c)] += w;
+    }
+  }
+
+  double total = class_weight[0] + class_weight[1];
+  log_prior_[0] = std::log(class_weight[0] / total);
+  log_prior_[1] = std::log(class_weight[1] / total);
+  log_likelihood_.assign(2, {});
+  for (int y = 0; y < 2; ++y) {
+    log_likelihood_[y].resize(num_columns);
+    for (int c = 0; c < num_columns; ++c) {
+      int cardinality = train.schema().attribute(c).Cardinality();
+      // Smoothing mass already added above; the denominator adds the raw
+      // class weight plus one alpha per value.
+      double denom = class_weight[y] - alpha + alpha * cardinality;
+      log_likelihood_[y][c].resize(cardinality);
+      for (int v = 0; v < cardinality; ++v) {
+        log_likelihood_[y][c][v] = std::log(counts[y][c][v] / denom);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double NaiveBayes::PredictProba(const Dataset& data, int row) const {
+  REMEDY_CHECK(fitted_) << "NaiveBayes::Fit has not been called";
+  double log_joint[2] = {log_prior_[0], log_prior_[1]};
+  for (int y = 0; y < 2; ++y) {
+    for (int c = 0; c < data.NumColumns(); ++c) {
+      log_joint[y] += log_likelihood_[y][c][data.Value(row, c)];
+    }
+  }
+  // P(y=1 | x) = 1 / (1 + exp(log_joint[0] - log_joint[1]))
+  double diff = log_joint[0] - log_joint[1];
+  if (diff >= 0) {
+    double e = std::exp(-diff);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(diff));
+}
+
+}  // namespace remedy

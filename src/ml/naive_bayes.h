@@ -1,0 +1,36 @@
+#ifndef REMEDY_ML_NAIVE_BAYES_H_
+#define REMEDY_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace remedy {
+
+struct NaiveBayesParams {
+  double smoothing = 1.0;  // Laplace / additive smoothing
+};
+
+// Categorical naive Bayes with Laplace smoothing and weighted counts.
+// Doubles as the borderline-instance ranker that preferential sampling and
+// data massaging use (Sec. IV-A), mirroring the paper's choice of a Naive
+// Bayes ranker.
+class NaiveBayes : public Classifier {
+ public:
+  explicit NaiveBayes(NaiveBayesParams params = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, int row) const override;
+
+ private:
+  NaiveBayesParams params_;
+  // log P(y)
+  double log_prior_[2] = {0.0, 0.0};
+  // log P(a_c = v | y): log_likelihood_[y][c][v]
+  std::vector<std::vector<std::vector<double>>> log_likelihood_;
+  bool fitted_ = false;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_NAIVE_BAYES_H_

@@ -1,0 +1,49 @@
+#ifndef REMEDY_ML_NEURAL_NETWORK_H_
+#define REMEDY_ML_NEURAL_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/encoding.h"
+#include "ml/classifier.h"
+
+namespace remedy {
+
+struct NeuralNetworkParams {
+  int hidden_units = 16;
+  double learning_rate = 0.05;
+  double l2 = 1e-5;
+  int epochs = 20;
+  int batch_size = 64;
+  uint64_t seed = 13;
+};
+
+// One-hidden-layer MLP (ReLU hidden, sigmoid output) over one-hot-encoded
+// features, trained by mini-batch SGD on weighted log-loss.
+class NeuralNetwork : public Classifier {
+ public:
+  explicit NeuralNetwork(NeuralNetworkParams params = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, int row) const override;
+
+ private:
+  // Forward pass for one sparse row (active one-hot index per attribute);
+  // fills the hidden activations and returns the output probability.
+  double Forward(const int* active, int num_columns,
+                 std::vector<double>* hidden) const;
+
+  NeuralNetworkParams params_;
+  std::unique_ptr<OneHotEncoder> encoder_;
+  int input_width_ = 0;
+  // hidden_weights_[h * input_width_ + j], hidden_bias_[h],
+  // output_weights_[h], output_bias_.
+  std::vector<double> hidden_weights_;
+  std::vector<double> hidden_bias_;
+  std::vector<double> output_weights_;
+  double output_bias_ = 0.0;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_ML_NEURAL_NETWORK_H_

@@ -1,0 +1,65 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace remedy {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {
+  REMEDY_CHECK(params_.num_trees > 0);
+}
+
+void RandomForest::Fit(const Dataset& train) {
+  REMEDY_CHECK(train.NumRows() > 0);
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+
+  DecisionTreeParams tree_params = params_.tree;
+  if (tree_params.max_features == 0) {
+    tree_params.max_features = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(train.NumColumns()))));
+  }
+
+  // Weighted bootstrap: draw rows with probability proportional to weight,
+  // via binary search over the cumulative weights (O(log n) per draw).
+  std::vector<double> cumulative(train.NumRows());
+  double total = 0.0;
+  for (int r = 0; r < train.NumRows(); ++r) {
+    total += train.Weight(r);
+    cumulative[r] = total;
+  }
+  REMEDY_CHECK(total > 0.0) << "all training weights are zero";
+
+  Rng rng(params_.seed);
+  for (int t = 0; t < params_.num_trees; ++t) {
+    std::vector<int> sample(train.NumRows());
+    for (int i = 0; i < train.NumRows(); ++i) {
+      double draw = rng.Uniform() * total;
+      auto it =
+          std::upper_bound(cumulative.begin(), cumulative.end(), draw);
+      sample[i] = static_cast<int>(
+          std::min<size_t>(it - cumulative.begin(), cumulative.size() - 1));
+    }
+    Dataset bootstrap = train.Select(sample);
+    // Bootstrapping already accounts for the weights; train unweighted.
+    for (int r = 0; r < bootstrap.NumRows(); ++r) bootstrap.SetWeight(r, 1.0);
+    tree_params.seed = rng.engine()();
+    DecisionTree tree(tree_params);
+    tree.Fit(bootstrap);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProba(const Dataset& data, int row) const {
+  REMEDY_CHECK(!trees_.empty()) << "RandomForest::Fit has not been called";
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    sum += tree.PredictProba(data, row);
+  }
+  return sum / trees_.size();
+}
+
+}  // namespace remedy

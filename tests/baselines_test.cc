@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/coverage.h"
+#include "baselines/fair_balance.h"
+#include "baselines/fair_smote.h"
+#include "baselines/gerry_fair.h"
+#include "baselines/reweighting.h"
+#include "common/rng.h"
+#include "core/region_counter.h"
+#include "fairness/fairness_violation.h"
+#include "ml/metrics.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::GridDataset;
+using ::remedy::testing::SmallSchema;
+
+Dataset Imbalanced() {
+  // Wildly different class balances per subgroup, plus an empty-ish corner.
+  return GridDataset({{{90, 10}, {20, 80}},
+                      {{50, 50}, {5, 95}},
+                      {{30, 10}, {0, 0}}});
+}
+
+TEST(ReweightingTest, WeightedLabelIsIndependentOfGroup) {
+  Dataset train = Imbalanced();
+  Dataset weighted = ApplyReweighting(train);
+  ASSERT_EQ(weighted.NumRows(), train.NumRows());
+  // Per subgroup, the weighted positive fraction equals the global rate.
+  double global_rate =
+      static_cast<double>(train.PositiveCount()) / train.NumRows();
+  RegionCounter counter(train.schema());
+  auto groups = counter.CollectRows(train, 0b11);
+  for (const auto& [key, rows] : groups) {
+    double weight = 0.0, positive_weight = 0.0;
+    for (int row : rows) {
+      weight += weighted.Weight(row);
+      if (weighted.Label(row)) positive_weight += weighted.Weight(row);
+    }
+    EXPECT_NEAR(positive_weight / weight, global_rate, 1e-9);
+  }
+}
+
+TEST(ReweightingTest, PreservesTotalWeightApproximately) {
+  Dataset train = Imbalanced();
+  Dataset weighted = ApplyReweighting(train);
+  EXPECT_NEAR(weighted.TotalWeight(), train.NumRows(),
+              train.NumRows() * 1e-9);
+}
+
+TEST(FairBalanceTest, BalancesClassesWithinEachGroup) {
+  Dataset train = Imbalanced();
+  Dataset weighted = ApplyFairBalance(train);
+  RegionCounter counter(train.schema());
+  auto groups = counter.CollectRows(train, 0b11);
+  for (const auto& [key, rows] : groups) {
+    double positive_weight = 0.0, negative_weight = 0.0;
+    for (int row : rows) {
+      (weighted.Label(row) ? positive_weight : negative_weight) +=
+          weighted.Weight(row);
+    }
+    if (positive_weight > 0 && negative_weight > 0) {
+      EXPECT_NEAR(positive_weight, negative_weight, 1e-9);
+    }
+  }
+}
+
+TEST(CoverageTest, RaisesEveryNonEmptyGroupToThreshold) {
+  Dataset train = GridDataset({{{40, 40}, {3, 2}},
+                               {{1, 0}, {60, 60}},
+                               {{10, 10}, {0, 0}}});
+  CoverageParams params;
+  params.threshold = 30;
+  CoverageStats stats;
+  Dataset covered = ApplyCoverage(train, params, &stats);
+  EXPECT_EQ(stats.uncovered_groups, 3);  // (a0,b1), (a1,b0), (a2,b0)
+  EXPECT_EQ(stats.empty_groups, 1);      // (a2,b1)
+  RegionCounter counter(train.schema());
+  for (const auto& [key, counts] : counter.CountNode(covered, 0b11)) {
+    EXPECT_GE(counts.Total(), 30);
+  }
+}
+
+TEST(CoverageTest, AddsNothingWhenCovered) {
+  Dataset train = GridDataset({{{40, 40}, {40, 40}},
+                               {{40, 40}, {40, 40}},
+                               {{40, 40}, {40, 40}}});
+  CoverageStats stats;
+  CoverageParams params;
+  params.threshold = 30;
+  Dataset covered = ApplyCoverage(train, params, &stats);
+  EXPECT_EQ(stats.instances_added, 0);
+  EXPECT_EQ(covered.NumRows(), train.NumRows());
+}
+
+TEST(CoverageTest, DuplicatesComeFromTheSameGroup) {
+  Dataset train = GridDataset({{{5, 5}, {50, 50}},
+                               {{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}}});
+  CoverageParams params;
+  params.threshold = 40;
+  Dataset covered = ApplyCoverage(train, params);
+  // All added rows land in (a0, b0).
+  RegionCounter counter(train.schema());
+  auto counts = counter.CountNode(covered, 0b11);
+  EXPECT_EQ(counts.at(counter.KeyFor(Pattern({0, 0}), 0b11)).Total(), 40);
+  EXPECT_EQ(covered.NumRows(), train.NumRows() + 30);
+}
+
+TEST(FairSmoteTest, BalancesEveryGroup) {
+  Dataset train = Imbalanced();
+  FairSmoteStats stats;
+  Dataset balanced = ApplyFairSmote(train, {}, &stats);
+  EXPECT_GT(stats.instances_added, 0);
+  RegionCounter counter(train.schema());
+  for (const auto& [key, counts] : counter.CountNode(balanced, 0b11)) {
+    EXPECT_EQ(counts.positives, counts.negatives)
+        << counter.PatternFor(key, 0b11).ToString(train.schema());
+  }
+}
+
+TEST(FairSmoteTest, SyntheticRowsStayInTheirSubgroup) {
+  Dataset train = Imbalanced();
+  Dataset balanced = ApplyFairSmote(train);
+  // Original rows are a prefix; synthetic rows follow. Each synthetic row's
+  // protected values must match an existing subgroup with a deficit.
+  RegionCounter counter(train.schema());
+  auto before = counter.CountNode(train, 0b11);
+  for (int r = train.NumRows(); r < balanced.NumRows(); ++r) {
+    uint64_t key = counter.RowKey(balanced, r, 0b11);
+    ASSERT_TRUE(before.count(key));
+    const RegionCounts& counts = before.at(key);
+    int minority = counts.positives <= counts.negatives ? 1 : 0;
+    EXPECT_EQ(balanced.Label(r), minority);
+  }
+}
+
+TEST(FairSmoteTest, DeterministicGivenSeed) {
+  Dataset train = Imbalanced();
+  FairSmoteParams params;
+  params.seed = 5;
+  Dataset a = ApplyFairSmote(train, params);
+  Dataset b = ApplyFairSmote(train, params);
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (int r = 0; r < a.NumRows(); ++r) EXPECT_EQ(a.Row(r), b.Row(r));
+}
+
+// A training set with one heavily FP-skewed subgroup for GerryFair.
+Dataset GerryTrainingSet() {
+  Rng rng(3);
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 3000; ++i) {
+    int a = rng.UniformInt(3), b = rng.UniformInt(2), f = rng.UniformInt(2);
+    double p = f == 1 ? 0.8 : 0.2;
+    if (a == 0 && b == 0) p = 0.95;  // skewed pocket
+    data.AddRow({a, b, f}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(GerryFairTest, ReducesTrainingFairnessViolation) {
+  Dataset train = GerryTrainingSet();
+
+  LogisticRegression plain;
+  plain.Fit(train);
+  double before = ComputeFairnessViolation(train, plain.PredictAll(train),
+                                           Statistic::kFpr)
+                      .violation;
+
+  GerryFairParams params;
+  params.iterations = 10;
+  params.learner.epochs = 80;
+  GerryFair fair(params);
+  fair.Fit(train);
+  double after = ComputeFairnessViolation(train, fair.PredictAll(train),
+                                          Statistic::kFpr)
+                     .violation;
+  EXPECT_LT(after, before);
+  EXPECT_FALSE(fair.violations().empty());
+}
+
+TEST(GerryFairTest, ViolationTrailShrinks) {
+  Dataset train = GerryTrainingSet();
+  GerryFairParams params;
+  params.iterations = 12;
+  params.learner.epochs = 60;
+  GerryFair fair(params);
+  fair.Fit(train);
+  const std::vector<double>& trail = fair.violations();
+  ASSERT_GE(trail.size(), 2u);
+  EXPECT_LT(trail.back(), trail.front());
+}
+
+TEST(GerryFairTest, AuditsFnrConstraintToo) {
+  // Mirror skew: a pocket with excess negatives drives FNR divergence.
+  Rng rng(4);
+  Dataset train(SmallSchema());
+  for (int i = 0; i < 3000; ++i) {
+    int a = rng.UniformInt(3), b = rng.UniformInt(2), f = rng.UniformInt(2);
+    double p = f == 1 ? 0.8 : 0.2;
+    if (a == 0 && b == 0) p = 0.05;
+    train.AddRow({a, b, f}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  LogisticRegression plain;
+  plain.Fit(train);
+  double before = ComputeFairnessViolation(train, plain.PredictAll(train),
+                                           Statistic::kFnr)
+                      .violation;
+  GerryFairParams params;
+  params.iterations = 10;
+  params.statistic = Statistic::kFnr;
+  params.learner.epochs = 80;
+  GerryFair fair(params);
+  fair.Fit(train);
+  double after = ComputeFairnessViolation(train, fair.PredictAll(train),
+                                          Statistic::kFnr)
+                     .violation;
+  EXPECT_LE(after, before);
+}
+
+TEST(GerryFairTest, StillPredictsAccurately) {
+  Dataset train = GerryTrainingSet();
+  GerryFairParams params;
+  params.iterations = 8;
+  params.learner.epochs = 60;
+  GerryFair fair(params);
+  fair.Fit(train);
+  EXPECT_GT(Accuracy(train, fair.PredictAll(train)), 0.6);
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace remedy {
+namespace {
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int draw = rng.UniformInt(7);
+    EXPECT_GE(draw, 0);
+    EXPECT_LT(draw, 7);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(1000), b.UniformInt(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    differences += a.UniformInt(1000) != b.UniformInt(1000);
+  }
+  EXPECT_GT(differences, 50);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(3);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliHandlesExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));  // clamped
+    EXPECT_TRUE(rng.Bernoulli(1.5));    // clamped
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.25, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.50, 0.02);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeight) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(7);
+  std::vector<int> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(8);
+  std::vector<int> sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, original);
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(10);
+  double sum = 0.0, sum_squares = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_squares += x * x;
+  }
+  double mean = sum / trials;
+  double variance = sum_squares / trials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(variance, 9.0, 0.5);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += parent.UniformInt(1000) == child.UniformInt(1000);
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_FALSE(StartsWith("hi", "hello"));
+}
+
+TEST(CsvTest, ParseWithHeader) {
+  CsvTable table;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("a,b\n1,2\n3,4\n", true, &table, &error)) << error;
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "4");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  CsvTable table;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("\"x,y\",\"he said \"\"hi\"\"\"\n", false, &table,
+                       &error))
+      << error;
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "x,y");
+  EXPECT_EQ(table.rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n", true, &table, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("\"abc\n", false, &table, &error));
+}
+
+TEST(CsvTest, WriteQuotesWhenNeeded) {
+  CsvTable table;
+  table.header = {"h1", "h,2"};
+  table.rows = {{"plain", "with \"quote\""}};
+  std::string text = WriteCsv(table);
+  CsvTable parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCsv(text, true, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.header[1], "h,2");
+  EXPECT_EQ(parsed.rows[0][1], "with \"quote\"");
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  CsvTable table;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("a,b\r\n1,2\r\n", true, &table, &error)) << error;
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(TablePrinterTest, PrintsAlignedRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow("beta", {2.5}, 1);
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  double first = timer.Seconds();
+  double second = timer.Seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);  // monotone
+  timer.Restart();
+  EXPECT_LE(timer.Seconds(), second + 1.0);
+  (void)sink;
+}
+
+}  // namespace
+}  // namespace remedy

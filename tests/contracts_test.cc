@@ -1,0 +1,126 @@
+// Contract (death) tests: the library aborts with a diagnostic on
+// programmer errors instead of corrupting state. These pin the REMEDY_CHECK
+// preconditions of the public API.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/region_counter.h"
+#include "core/remedy.h"
+#include "data/dataset.h"
+#include "data/discretize.h"
+#include "datagen/adult.h"
+#include "ml/cost_sensitive.h"
+#include "ml/model_factory.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::SmallSchema;
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, DatasetRejectsBadLabel) {
+  Dataset data(SmallSchema());
+  EXPECT_DEATH(data.AddRow({0, 0, 0}, 2), "label must be binary");
+}
+
+TEST(ContractsDeathTest, DatasetRejectsWrongWidth) {
+  Dataset data(SmallSchema());
+  EXPECT_DEATH(data.AddRow({0, 0}, 1), "row width");
+}
+
+TEST(ContractsDeathTest, DatasetRejectsNegativeWeight) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 0, 0}, 1);
+  EXPECT_DEATH(data.SetWeight(0, -1.0), "weight");
+}
+
+TEST(ContractsDeathTest, SelectRejectsOutOfRangeRow) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 0, 0}, 1);
+  EXPECT_DEATH(data.Select({5}), "");
+}
+
+TEST(ContractsDeathTest, SchemaRejectsDuplicateProtected) {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("a", {"x", "y"}),
+  };
+  EXPECT_DEATH(DataSchema(attributes, {0, 0}), "duplicate");
+}
+
+TEST(ContractsDeathTest, SchemaRejectsUnknownProtectedName) {
+  DataSchema schema = SmallSchema();
+  EXPECT_DEATH(schema.WithProtected({"no_such_attribute"}),
+               "unknown attribute");
+}
+
+TEST(ContractsDeathTest, RngRejectsNonPositiveBound) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(0), "positive bound");
+}
+
+TEST(ContractsDeathTest, RngRejectsZeroWeights) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Categorical({0.0, 0.0}), "sum to zero");
+}
+
+TEST(ContractsDeathTest, BucketizerRejectsUnorderedCuts) {
+  EXPECT_DEATH(Bucketizer("v", {3.0, 1.0}), "strictly increasing");
+}
+
+TEST(ContractsDeathTest, PredictBeforeFitDies) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 0, 0}, 1);
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  EXPECT_DEATH(model->PredictProba(data, 0), "Fit has not been called");
+}
+
+TEST(ContractsDeathTest, CostMatrixMustBePositive) {
+  CostMatrix costs;
+  costs.false_positive_cost = 0.0;
+  EXPECT_DEATH(CostSensitiveClassifier(
+                   MakeClassifier(ModelType::kNaiveBayes), costs),
+               "");
+}
+
+TEST(ContractsDeathTest, RegionCounterNeedsProtectedAttributes) {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("a", {"x", "y"}),
+  };
+  DataSchema schema(attributes, {});
+  EXPECT_DEATH(RegionCounter counter(schema), "protected");
+}
+
+TEST(ContractsDeathTest, TrainTestSplitRejectsDegenerateFraction) {
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 10; ++i) data.AddRow({0, 0, 0}, i % 2);
+  Rng rng(1);
+  EXPECT_DEATH(data.TrainTestSplit(0.0, rng), "");
+  EXPECT_DEATH(data.TrainTestSplit(1.0, rng), "");
+}
+
+TEST(ContractsDeathTest, RemedyRejectsEmptyDataset) {
+  Dataset data(SmallSchema());
+  RemedyParams params;
+  EXPECT_DEATH(RemedyDataset(data, params), "");
+}
+
+TEST(ContractsDeathTest, TablePrinterRejectsRaggedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one-cell"}), "cells");
+}
+
+TEST(ContractsDeathTest, ScalabilityProtectedRejectsBadCount) {
+  EXPECT_DEATH(AdultScalabilityProtected(9), "");
+  EXPECT_DEATH(AdultScalabilityProtected(0), "");
+}
+
+TEST(ContractsDeathTest, AttributeRejectsEmptyDomain) {
+  EXPECT_DEATH(AttributeSchema("empty", {}), "no values");
+}
+
+}  // namespace
+}  // namespace remedy

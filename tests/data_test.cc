@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/attribute.h"
+#include "data/dataset.h"
+#include "data/discretize.h"
+#include "data/encoding.h"
+#include "data/schema.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::AddRows;
+using ::remedy::testing::SmallSchema;
+
+TEST(AttributeTest, BasicAccessors) {
+  AttributeSchema attr("color", {"red", "green", "blue"});
+  EXPECT_EQ(attr.name(), "color");
+  EXPECT_EQ(attr.Cardinality(), 3);
+  EXPECT_EQ(attr.ValueIndex("green"), 1);
+  EXPECT_EQ(attr.ValueIndex("purple"), -1);
+  EXPECT_EQ(attr.ValueName(2), "blue");
+  EXPECT_FALSE(attr.ordinal());
+}
+
+TEST(AttributeTest, NominalDistanceIsDiscrete) {
+  AttributeSchema attr("color", {"red", "green", "blue"});
+  EXPECT_DOUBLE_EQ(attr.Distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(attr.Distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(attr.Distance(0, 2), 1.0);
+}
+
+TEST(AttributeTest, OrdinalDistanceRespectsOrdering) {
+  AttributeSchema attr("age", {"<25", "25-45", ">45"}, /*ordinal=*/true);
+  EXPECT_DOUBLE_EQ(attr.Distance(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(attr.Distance(1, 2), 1.0);
+}
+
+TEST(SchemaTest, ProtectedIndices) {
+  DataSchema schema = SmallSchema();
+  EXPECT_EQ(schema.NumAttributes(), 3);
+  EXPECT_EQ(schema.NumProtected(), 2);
+  EXPECT_TRUE(schema.IsProtected(0));
+  EXPECT_TRUE(schema.IsProtected(1));
+  EXPECT_FALSE(schema.IsProtected(2));
+  EXPECT_EQ(schema.AttributeIndex("f"), 2);
+  EXPECT_EQ(schema.AttributeIndex("nope"), -1);
+}
+
+TEST(SchemaTest, WithProtectedSwapsSet) {
+  DataSchema schema = SmallSchema().WithProtected({"b", "f"});
+  EXPECT_EQ(schema.NumProtected(), 2);
+  EXPECT_FALSE(schema.IsProtected(0));
+  EXPECT_TRUE(schema.IsProtected(1));
+  EXPECT_TRUE(schema.IsProtected(2));
+}
+
+TEST(DatasetTest, AddAndReadRows) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 1, 0}, 1, 2.0);
+  data.AddRow({2, 0, 1}, 0);
+  EXPECT_EQ(data.NumRows(), 2);
+  EXPECT_EQ(data.Value(0, 0), 0);
+  EXPECT_EQ(data.Value(1, 0), 2);
+  EXPECT_EQ(data.Label(0), 1);
+  EXPECT_EQ(data.Label(1), 0);
+  EXPECT_DOUBLE_EQ(data.Weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(data.Weight(1), 1.0);
+  EXPECT_EQ(data.Row(1), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(DatasetTest, CountsAndWeights) {
+  Dataset data(SmallSchema());
+  AddRows(data, 3, 0, 0, 0, 1);
+  AddRows(data, 5, 1, 1, 1, 0);
+  EXPECT_EQ(data.PositiveCount(), 3);
+  EXPECT_EQ(data.NegativeCount(), 5);
+  EXPECT_DOUBLE_EQ(data.TotalWeight(), 8.0);
+  data.SetWeight(0, 3.5);
+  EXPECT_DOUBLE_EQ(data.TotalWeight(), 10.5);
+}
+
+TEST(DatasetTest, SetLabelFlips) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 0, 0}, 0);
+  data.SetLabel(0, 1);
+  EXPECT_EQ(data.Label(0), 1);
+  EXPECT_EQ(data.PositiveCount(), 1);
+}
+
+TEST(DatasetTest, SelectAndRemove) {
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 5; ++i) data.AddRow({i % 3, i % 2, 0}, i % 2);
+  Dataset selected = data.Select({4, 0});
+  EXPECT_EQ(selected.NumRows(), 2);
+  EXPECT_EQ(selected.Value(0, 0), 4 % 3);
+  Dataset removed = data.Remove({1, 3});
+  EXPECT_EQ(removed.NumRows(), 3);
+  EXPECT_EQ(removed.Value(0, 0), 0);
+  EXPECT_EQ(removed.Value(1, 0), 2);
+}
+
+TEST(DatasetTest, AppendRowFromDuplicates) {
+  Dataset data(SmallSchema());
+  data.AddRow({1, 1, 1}, 1, 4.0);
+  data.AppendRowFrom(data, 0);  // self-append must be safe
+  EXPECT_EQ(data.NumRows(), 2);
+  EXPECT_EQ(data.Row(1), data.Row(0));
+  EXPECT_DOUBLE_EQ(data.Weight(1), 4.0);
+}
+
+TEST(DatasetTest, TrainTestSplitPartitions) {
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 100; ++i) data.AddRow({i % 3, i % 2, i % 2}, i % 2);
+  Rng rng(1);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  EXPECT_EQ(train.NumRows(), 70);
+  EXPECT_EQ(test.NumRows(), 30);
+  EXPECT_EQ(train.PositiveCount() + test.PositiveCount(),
+            data.PositiveCount());
+}
+
+TEST(DatasetTest, SampleRowsWithoutReplacement) {
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 50; ++i) data.AddRow({i % 3, i % 2, 0}, 0);
+  Rng rng(2);
+  Dataset sample = data.SampleRows(20, rng);
+  EXPECT_EQ(sample.NumRows(), 20);
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 1, 1}, 1);
+  data.AddRow({2, 0, 0}, 0);
+  CsvTable table = data.ToCsv();
+  EXPECT_EQ(table.header.back(), "label");
+  Dataset parsed;
+  std::string error;
+  ASSERT_TRUE(Dataset::FromCsv(data.schema(), table, &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.NumRows(), 2);
+  EXPECT_EQ(parsed.Row(0), data.Row(0));
+  EXPECT_EQ(parsed.Label(1), 0);
+}
+
+TEST(DatasetTest, FromCsvRejectsUnknownValue) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 0, 0}, 0);
+  CsvTable table = data.ToCsv();
+  table.rows[0][0] = "not-a-value";
+  Dataset parsed;
+  std::string error;
+  EXPECT_FALSE(Dataset::FromCsv(data.schema(), table, &parsed, &error));
+  EXPECT_NE(error.find("unknown value"), std::string::npos);
+}
+
+TEST(DatasetTest, FromCsvRejectsBadLabel) {
+  Dataset data(SmallSchema());
+  data.AddRow({0, 0, 0}, 0);
+  CsvTable table = data.ToCsv();
+  table.rows[0].back() = "2";
+  Dataset parsed;
+  std::string error;
+  EXPECT_FALSE(Dataset::FromCsv(data.schema(), table, &parsed, &error));
+}
+
+TEST(BucketizerTest, ExplicitCuts) {
+  Bucketizer buckets("age", {25.0, 45.0});
+  EXPECT_EQ(buckets.NumBuckets(), 3);
+  EXPECT_EQ(buckets.Code(10.0), 0);
+  EXPECT_EQ(buckets.Code(25.0), 0);  // right-closed
+  EXPECT_EQ(buckets.Code(30.0), 1);
+  EXPECT_EQ(buckets.Code(90.0), 2);
+}
+
+TEST(BucketizerTest, EqualWidth) {
+  std::vector<double> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Bucketizer buckets = Bucketizer::EqualWidth("v", values, 5);
+  EXPECT_EQ(buckets.NumBuckets(), 5);
+  EXPECT_EQ(buckets.Code(0.0), 0);
+  EXPECT_EQ(buckets.Code(10.0), 4);
+}
+
+TEST(BucketizerTest, QuantileBalancesPopulation) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  Bucketizer buckets = Bucketizer::Quantile("v", values, 4);
+  EXPECT_EQ(buckets.NumBuckets(), 4);
+  std::vector<int> counts(4, 0);
+  for (double v : values) ++counts[buckets.Code(v)];
+  for (int count : counts) EXPECT_NEAR(count, 250, 30);
+}
+
+TEST(BucketizerTest, QuantileCollapsesTies) {
+  std::vector<double> values(100, 5.0);
+  Bucketizer buckets = Bucketizer::Quantile("v", values, 4);
+  EXPECT_EQ(buckets.NumBuckets(), 1);
+}
+
+TEST(BucketizerTest, SchemaIsOrdinalWithRangeNames) {
+  Bucketizer buckets("age", {30.0, 45.0});
+  AttributeSchema schema = buckets.MakeSchema();
+  EXPECT_TRUE(schema.ordinal());
+  EXPECT_EQ(schema.Cardinality(), 3);
+  EXPECT_EQ(schema.ValueName(0), "<=30");
+  EXPECT_EQ(schema.ValueName(2), ">45");
+}
+
+TEST(OneHotEncoderTest, WidthAndOffsets) {
+  OneHotEncoder encoder(SmallSchema());
+  EXPECT_EQ(encoder.Width(), 3 + 2 + 2);
+  EXPECT_EQ(encoder.Offset(0), 0);
+  EXPECT_EQ(encoder.Offset(1), 3);
+  EXPECT_EQ(encoder.Offset(2), 5);
+}
+
+TEST(OneHotEncoderTest, EncodesIndicators) {
+  Dataset data(SmallSchema());
+  data.AddRow({2, 0, 1}, 1);
+  OneHotEncoder encoder(data.schema());
+  std::vector<float> row;
+  encoder.EncodeRow(data, 0, &row);
+  std::vector<float> expected = {0, 0, 1, 1, 0, 0, 1};
+  EXPECT_EQ(row, expected);
+  std::vector<float> all = encoder.EncodeAll(data);
+  EXPECT_EQ(all, expected);
+}
+
+}  // namespace
+}  // namespace remedy

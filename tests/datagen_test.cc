@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ibs_identify.h"
+#include "datagen/adult.h"
+#include "datagen/compas.h"
+#include "datagen/generator.h"
+#include "datagen/law_school.h"
+
+namespace remedy {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedRows) {
+  SyntheticSpec spec = CompasSpec(500);
+  Dataset data = GenerateSynthetic(spec, 1);
+  EXPECT_EQ(data.NumRows(), 500);
+  EXPECT_EQ(data.NumColumns(), 6);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  Dataset a = MakeCompas(300, 9);
+  Dataset b = MakeCompas(300, 9);
+  for (int r = 0; r < a.NumRows(); ++r) {
+    EXPECT_EQ(a.Row(r), b.Row(r));
+    EXPECT_EQ(a.Label(r), b.Label(r));
+  }
+  Dataset c = MakeCompas(300, 10);
+  int differences = 0;
+  for (int r = 0; r < a.NumRows(); ++r) differences += a.Label(r) != c.Label(r);
+  EXPECT_GT(differences, 0);
+}
+
+TEST(GeneratorTest, LabelLogitAddsTermsAndInjections) {
+  SyntheticSpec spec = CompasSpec(100);
+  // Afr-Am male with the strongest priors: base + priors>3 + age<25 +
+  // juvenile + felony + (Afr-Am male) + (young Afr-Am).
+  std::vector<int> values = {0, 0, 0, 2, 0, 1};
+  double expected = -1.9 + 1.9 + 0.4 + 0.9 + 0.5 + 1.0 + 0.8;
+  EXPECT_NEAR(LabelLogit(spec, values), expected, 1e-12);
+  // Older Caucasian female, no priors, misdemeanor, no juvenile record.
+  std::vector<int> benign = {2, 1, 1, 0, 1, 0};
+  EXPECT_NEAR(LabelLogit(spec, benign), -1.9 - 0.35 - 0.9 - 0.7, 1e-12);
+}
+
+TEST(GeneratorTest, ConditionalDependencyShowsInData) {
+  Dataset data = MakeCompas(6172, 3);
+  // P(priors > 3 | age > 45) should clearly exceed P(priors > 3 | age < 25).
+  int old_count = 0, old_high = 0, young_count = 0, young_high = 0;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    bool high = data.Value(r, 3) == 2;
+    if (data.Value(r, 0) == 2) {
+      ++old_count;
+      old_high += high;
+    } else if (data.Value(r, 0) == 0) {
+      ++young_count;
+      young_high += high;
+    }
+  }
+  ASSERT_GT(old_count, 100);
+  ASSERT_GT(young_count, 100);
+  EXPECT_GT(static_cast<double>(old_high) / old_count,
+            static_cast<double>(young_high) / young_count + 0.1);
+}
+
+TEST(CompasTest, MatchesPaperCharacteristics) {
+  Dataset data = MakeCompas();
+  EXPECT_EQ(data.NumRows(), 6172);
+  EXPECT_EQ(data.NumColumns(), 6);
+  EXPECT_EQ(data.schema().NumProtected(), 3);
+  double base_rate = static_cast<double>(data.PositiveCount()) /
+                     data.NumRows();
+  EXPECT_NEAR(base_rate, 0.45, 0.1);
+}
+
+TEST(CompasTest, PlantsIbsInProtectedSpace) {
+  Dataset data = MakeCompas();
+  IbsParams params;
+  params.imbalance_threshold = 0.3;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  EXPECT_FALSE(ibs.empty());
+  // The canonical Afr-Am male region must surface somewhere in the IBS
+  // (as itself or dominated by an injected ancestor).
+  int race = 1, sex = 2;  // protected positions: age=0, race=1, sex=2
+  // At least one Afr-Am-male region must be skewed toward positives.
+  bool found = false;
+  for (const BiasedRegion& region : ibs) {
+    if (region.pattern.Value(race) == 0 && region.pattern.Value(sex) == 0 &&
+        region.ratio > region.neighbor_ratio) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AdultTest, MatchesPaperCharacteristics) {
+  Dataset data = MakeAdult();
+  EXPECT_EQ(data.NumRows(), 45222);
+  EXPECT_EQ(data.NumColumns(), 13);
+  EXPECT_EQ(data.schema().NumProtected(), 6);
+  double base_rate = static_cast<double>(data.PositiveCount()) /
+                     data.NumRows();
+  EXPECT_NEAR(base_rate, 0.25, 0.08);
+}
+
+TEST(AdultTest, ScalabilityProtectedWidensTo8) {
+  Dataset data = MakeAdult(2000);
+  std::vector<std::string> names = AdultScalabilityProtected(8);
+  EXPECT_EQ(names.size(), 8u);
+  data.SetProtected(names);
+  EXPECT_EQ(data.schema().NumProtected(), 8);
+  EXPECT_TRUE(data.schema().IsProtected(
+      data.schema().AttributeIndex("education")));
+  // Narrowing works too.
+  data.SetProtected(AdultScalabilityProtected(3));
+  EXPECT_EQ(data.schema().NumProtected(), 3);
+}
+
+TEST(LawSchoolTest, MatchesPaperCharacteristics) {
+  Dataset data = MakeLawSchool();
+  EXPECT_EQ(data.NumRows(), 4590);
+  EXPECT_EQ(data.NumColumns(), 12);
+  EXPECT_EQ(data.schema().NumProtected(), 4);
+  // The paper balanced the labels ~1:1.
+  double base_rate = static_cast<double>(data.PositiveCount()) /
+                     data.NumRows();
+  EXPECT_NEAR(base_rate, 0.5, 0.08);
+}
+
+TEST(SpecValidationTest, AllSpecsValidate) {
+  AdultSpec().Validate();
+  CompasSpec().Validate();
+  LawSchoolSpec().Validate();
+}
+
+TEST(SpecValidationTest, SchemasExposeProtectedSets) {
+  DataSchema adult = AdultSpec().MakeSchema();
+  EXPECT_EQ(adult.NumProtected(), 6);
+  EXPECT_TRUE(adult.IsProtected(adult.AttributeIndex("gender")));
+  EXPECT_FALSE(adult.IsProtected(adult.AttributeIndex("education")));
+}
+
+TEST(AllDatasetsTest, EveryProtectedAttributeHasFullSupport) {
+  // Every protected value occurs: otherwise lattice nodes would silently
+  // shrink and paper comparisons would be apples-to-oranges.
+  for (Dataset data : {MakeCompas(), MakeAdult(20000), MakeLawSchool()}) {
+    for (int index : data.schema().protected_indices()) {
+      std::vector<int> seen(data.schema().attribute(index).Cardinality(), 0);
+      for (int r = 0; r < data.NumRows(); ++r) ++seen[data.Value(r, index)];
+      for (size_t v = 0; v < seen.size(); ++v) {
+        EXPECT_GT(seen[v], 0)
+            << data.schema().attribute(index).name() << "=" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fairness/divergence.h"
+#include "fairness/fairness_index.h"
+#include "fairness/fairness_violation.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::AddRows;
+using ::remedy::testing::SmallSchema;
+
+// A test set where predictions misclassify negatives only in (a0, b0):
+// that subgroup has FPR 1, everything else 0.
+Dataset SkewedErrors(std::vector<int>* predictions) {
+  Dataset data(SmallSchema());
+  predictions->clear();
+  // (a0, b0): 40 negatives, all predicted positive (FP).
+  AddRows(data, 40, 0, 0, 0, 0);
+  for (int i = 0; i < 40; ++i) predictions->push_back(1);
+  // (a1, b0): 60 negatives predicted negative.
+  AddRows(data, 60, 1, 0, 0, 0);
+  for (int i = 0; i < 60; ++i) predictions->push_back(0);
+  // (a2, b1): 60 positives predicted positive.
+  AddRows(data, 60, 2, 1, 1, 1);
+  for (int i = 0; i < 60; ++i) predictions->push_back(1);
+  // (a1, b1): 40 negatives predicted negative.
+  AddRows(data, 40, 1, 1, 0, 0);
+  for (int i = 0; i < 40; ++i) predictions->push_back(0);
+  return data;
+}
+
+TEST(AnalyzeSubgroupsTest, OverallStatistic) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr);
+  // 40 FP out of 140 negatives.
+  EXPECT_NEAR(analysis.overall, 40.0 / 140.0, 1e-12);
+}
+
+TEST(AnalyzeSubgroupsTest, FindsTheUnfairSubgroup) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr);
+  const SubgroupReport* worst = nullptr;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.pattern == Pattern({0, 0})) worst = &report;
+  }
+  ASSERT_NE(worst, nullptr);
+  EXPECT_DOUBLE_EQ(worst->statistic, 1.0);
+  EXPECT_NEAR(worst->divergence, 1.0 - 40.0 / 140.0, 1e-12);
+  EXPECT_LT(worst->p_value, 0.001);
+  EXPECT_EQ(worst->relevant, 40);
+  EXPECT_EQ(worst->errors, 40);
+}
+
+TEST(AnalyzeSubgroupsTest, EnumeratesAllLevels) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr);
+  int leaf_level = 0, level_one = 0;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    int d = report.pattern.NumDeterministic();
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 2);
+    (d == 2 ? leaf_level : level_one)++;
+  }
+  EXPECT_GT(leaf_level, 0);
+  EXPECT_GT(level_one, 0);
+}
+
+TEST(AnalyzeSubgroupsTest, SkipsGroupsWithoutRelevantPopulation) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  // Under FPR, (a2, b1) has no negatives: it must not be reported.
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr);
+  for (const SubgroupReport& report : analysis.subgroups) {
+    EXPECT_NE(report.pattern, Pattern({2, 1}));
+  }
+}
+
+TEST(AnalyzeSubgroupsTest, FnrMirrorsFpr) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  // Flip every prediction: FP become "correct", positives become FN.
+  for (int& p : predictions) p = 1 - p;
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFnr);
+  // All 60 positives are now misclassified.
+  EXPECT_DOUBLE_EQ(analysis.overall, 1.0);
+}
+
+TEST(AnalyzeSubgroupsTest, MinSupportFilters) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis loose =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr, 0.0);
+  SubgroupAnalysis tight =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr, 0.4);
+  EXPECT_LT(tight.subgroups.size(), loose.subgroups.size());
+  for (const SubgroupReport& report : tight.subgroups) {
+    EXPECT_GE(report.support, 0.4);
+  }
+}
+
+TEST(FilterUnfairTest, RespectsThresholdAndSignificance) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr);
+  std::vector<SubgroupReport> unfair = FilterUnfair(analysis, 0.1);
+  ASSERT_FALSE(unfair.empty());
+  // Sorted by descending divergence.
+  for (size_t i = 1; i < unfair.size(); ++i) {
+    EXPECT_GE(unfair[i - 1].divergence, unfair[i].divergence);
+  }
+  for (const SubgroupReport& report : unfair) {
+    EXPECT_GT(report.divergence, 0.1);
+    EXPECT_LT(report.p_value, 0.05);
+  }
+  // An absurd threshold filters everything.
+  EXPECT_TRUE(FilterUnfair(analysis, 2.0).empty());
+}
+
+TEST(FairnessIndexTest, ZeroForPerfectPredictions) {
+  Dataset data(SmallSchema());
+  AddRows(data, 50, 0, 0, 1, 1);
+  AddRows(data, 50, 1, 1, 0, 0);
+  std::vector<int> predictions(100);
+  for (int i = 0; i < 100; ++i) predictions[i] = data.Label(i);
+  EXPECT_DOUBLE_EQ(
+      ComputeFairnessIndex(data, predictions, Statistic::kFpr), 0.0);
+}
+
+TEST(FairnessIndexTest, PositiveForSkewedErrors) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  double index = ComputeFairnessIndex(data, predictions, Statistic::kFpr);
+  EXPECT_GT(index, 0.0);
+}
+
+TEST(FairnessIndexTest, SupportWeightingShrinksIndex) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr);
+  FairnessIndexOptions weighted;
+  FairnessIndexOptions plain;
+  plain.weight_by_support = false;
+  EXPECT_LT(FairnessIndex(analysis, weighted),
+            FairnessIndex(analysis, plain));
+}
+
+TEST(FairnessViolationTest, FindsWorstGroup) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  FairnessViolation violation =
+      ComputeFairnessViolation(data, predictions, Statistic::kFpr);
+  EXPECT_GT(violation.violation, 0.0);
+  // The worst violation is support * divergence; the (a0, b0) group at
+  // support 0.2 and divergence ~0.714 or its a0 / b0 parents dominate.
+  EXPECT_TRUE(Pattern({0, Pattern::kWildcard})
+                  .Dominates(violation.worst_pattern) ||
+              Pattern({Pattern::kWildcard, 0})
+                  .Dominates(violation.worst_pattern));
+}
+
+TEST(FairnessViolationTest, ZeroForPerfectPredictions) {
+  Dataset data(SmallSchema());
+  AddRows(data, 50, 0, 0, 1, 1);
+  AddRows(data, 50, 1, 1, 0, 0);
+  std::vector<int> predictions(100);
+  for (int i = 0; i < 100; ++i) predictions[i] = data.Label(i);
+  EXPECT_DOUBLE_EQ(
+      ComputeFairnessViolation(data, predictions, Statistic::kFpr).violation,
+      0.0);
+}
+
+TEST(StatisticNameTest, Names) {
+  EXPECT_EQ(StatisticName(Statistic::kFpr), "FPR");
+  EXPECT_EQ(StatisticName(Statistic::kFnr), "FNR");
+  EXPECT_EQ(StatisticName(Statistic::kStatisticalParity), "SP");
+  EXPECT_EQ(StatisticName(Statistic::kErrorRate), "ER");
+}
+
+TEST(AnalyzeSubgroupsTest, StatisticalParityIgnoresLabels) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kStatisticalParity);
+  // 100 positive predictions (40 FP + 60 TP) out of 200 rows.
+  EXPECT_DOUBLE_EQ(analysis.overall, 0.5);
+  // Every subgroup is relevant under SP (no class conditioning), so the
+  // positively-labelled-only group (a2, b1) now appears.
+  bool found = false;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.pattern == Pattern({2, 1})) {
+      found = true;
+      EXPECT_DOUBLE_EQ(report.statistic, 1.0);  // all predicted positive
+      EXPECT_EQ(report.relevant, report.size);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzeSubgroupsTest, ErrorRateCombinesBothClasses) {
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kErrorRate);
+  // Only the 40 false positives are wrong out of 200 rows.
+  EXPECT_DOUBLE_EQ(analysis.overall, 0.2);
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.pattern == Pattern({0, 0})) {
+      EXPECT_DOUBLE_EQ(report.statistic, 1.0);  // fully misclassified
+    }
+    if (report.pattern == Pattern({2, 1})) {
+      EXPECT_DOUBLE_EQ(report.statistic, 0.0);  // fully correct
+    }
+  }
+}
+
+TEST(AnalyzeSubgroupsTest, ErrorRateDivergenceMirrorsAccuracyDivergence) {
+  // |acc_g - acc_D| == |err_g - err_D|, so one statistic serves both.
+  std::vector<int> predictions;
+  Dataset data = SkewedErrors(&predictions);
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kErrorRate);
+  for (const SubgroupReport& report : analysis.subgroups) {
+    double accuracy_g = 1.0 - report.statistic;
+    double accuracy_d = 1.0 - analysis.overall;
+    EXPECT_NEAR(report.divergence, std::fabs(accuracy_g - accuracy_d),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,222 @@
+// Tests for the beyond-the-paper extensions: bootstrap confidence
+// intervals, the threshold post-processing baseline, and the ordinal
+// attribute-metric variant of the COMPAS generator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/threshold_postprocess.h"
+#include "common/rng.h"
+#include "core/ibs_identify.h"
+#include "datagen/compas.h"
+#include "fairness/bootstrap.h"
+#include "ml/metrics.h"
+#include "ml/model_factory.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::AddRows;
+using ::remedy::testing::SmallSchema;
+
+// ---------------------------------------------------------------------------
+// Bootstrap confidence intervals.
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapTest, IntervalBracketsPointEstimate) {
+  Rng rng(3);
+  Dataset data = MakeCompas(2000, 40);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  model->Fit(train);
+  std::vector<int> predictions = model->PredictAll(test);
+
+  BootstrapOptions options;
+  options.replicates = 100;
+  BootstrapInterval interval =
+      BootstrapFairnessIndex(test, predictions, Statistic::kFpr, options);
+  EXPECT_LE(interval.lower, interval.upper);
+  EXPECT_GT(interval.point, 0.0);
+  // The point estimate should fall inside (or at worst at the edge of) a
+  // 95% interval of its own sampling distribution.
+  EXPECT_GE(interval.point, interval.lower - 0.05);
+  EXPECT_LE(interval.point, interval.upper + 0.05);
+  EXPECT_EQ(interval.replicates, 100);
+}
+
+TEST(BootstrapTest, DeterministicGivenSeed) {
+  Rng rng(4);
+  Dataset data = MakeCompas(800, 41);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  ClassifierPtr model = MakeClassifier(ModelType::kNaiveBayes);
+  model->Fit(train);
+  std::vector<int> predictions = model->PredictAll(test);
+  BootstrapOptions options;
+  options.replicates = 50;
+  BootstrapInterval a =
+      BootstrapFairnessIndex(test, predictions, Statistic::kFpr, options);
+  BootstrapInterval b =
+      BootstrapFairnessIndex(test, predictions, Statistic::kFpr, options);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, ZeroIndexHasDegenerateInterval) {
+  // Perfect predictions: index 0 in every replicate.
+  Dataset data(SmallSchema());
+  AddRows(data, 100, 0, 0, 1, 1);
+  AddRows(data, 100, 1, 1, 0, 0);
+  std::vector<int> predictions(200);
+  for (int r = 0; r < 200; ++r) predictions[r] = data.Label(r);
+  BootstrapOptions options;
+  options.replicates = 50;
+  BootstrapInterval interval =
+      BootstrapFairnessIndex(data, predictions, Statistic::kFpr, options);
+  EXPECT_DOUBLE_EQ(interval.point, 0.0);
+  EXPECT_DOUBLE_EQ(interval.lower, 0.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Threshold post-processing.
+// ---------------------------------------------------------------------------
+
+// A world where one subgroup's scores are inflated: the post-processor
+// should raise that subgroup's threshold.
+Dataset SkewedScores(uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 4000; ++i) {
+    int a = rng.UniformInt(3), b = rng.UniformInt(2), f = rng.UniformInt(2);
+    double p = f == 1 ? 0.75 : 0.25;
+    if (a == 0) p = std::min(0.95, p + 0.35);  // inflated pocket
+    data.AddRow({a, b, f}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(ThresholdPostprocessTest, EqualizesSubgroupFpr) {
+  Rng rng(9);
+  Dataset data = SkewedScores(8);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+
+  ClassifierPtr plain = MakeClassifier(ModelType::kLogisticRegression);
+  plain->Fit(train);
+  ThresholdPostprocessor post(
+      MakeClassifier(ModelType::kLogisticRegression));
+  post.Fit(train);
+
+  // Max subgroup FPR divergence before vs after.
+  auto worst_divergence = [&](const std::vector<int>& predictions) {
+    SubgroupAnalysis analysis =
+        AnalyzeSubgroups(test, predictions, Statistic::kFpr, 0.05, 30);
+    double worst = 0.0;
+    for (const SubgroupReport& report : analysis.subgroups) {
+      worst = std::max(worst, report.divergence);
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_divergence(post.PredictAll(test)),
+            worst_divergence(plain->PredictAll(test)));
+}
+
+TEST(ThresholdPostprocessTest, ThresholdsDifferAcrossSubgroups) {
+  Rng rng(10);
+  Dataset data = SkewedScores(11);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  ThresholdPostprocessor post(
+      MakeClassifier(ModelType::kLogisticRegression));
+  post.Fit(train);
+  double min_threshold = 1.0, max_threshold = 0.0;
+  for (int r = 0; r < test.NumRows(); ++r) {
+    double threshold = post.ThresholdFor(test, r);
+    min_threshold = std::min(min_threshold, threshold);
+    max_threshold = std::max(max_threshold, threshold);
+  }
+  EXPECT_LT(min_threshold, max_threshold);
+}
+
+TEST(ThresholdPostprocessTest, ProbabilitiesComeFromBaseModel) {
+  Rng rng(11);
+  Dataset data = SkewedScores(12);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  ClassifierPtr base = MakeClassifier(ModelType::kNaiveBayes);
+  base->Fit(train);
+  ThresholdPostprocessor post(MakeClassifier(ModelType::kNaiveBayes));
+  post.Fit(train);
+  for (int r = 0; r < 30; ++r) {
+    EXPECT_DOUBLE_EQ(post.PredictProba(test, r), base->PredictProba(test, r));
+  }
+}
+
+TEST(ThresholdPostprocessTest, SmallGroupsKeepDefaultThreshold) {
+  // Tiny dataset: every subgroup is below min_group_size.
+  Dataset data(SmallSchema());
+  AddRows(data, 10, 0, 0, 1, 1);
+  AddRows(data, 10, 1, 1, 0, 0);
+  ThresholdPostprocessParams params;
+  params.min_group_size = 100;
+  ThresholdPostprocessor post(MakeClassifier(ModelType::kNaiveBayes),
+                              params);
+  post.Fit(data);
+  for (int r = 0; r < data.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(post.ThresholdFor(data, r), 0.5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ordinal COMPAS variant.
+// ---------------------------------------------------------------------------
+
+TEST(OrdinalCompasTest, DeclaresOrdinalMetrics) {
+  Dataset data = MakeCompasOrdinal(500);
+  const DataSchema& schema = data.schema();
+  EXPECT_TRUE(schema.attribute(schema.AttributeIndex("age")).ordinal());
+  EXPECT_TRUE(schema.attribute(schema.AttributeIndex("priors")).ordinal());
+  EXPECT_FALSE(schema.attribute(schema.AttributeIndex("race")).ordinal());
+}
+
+TEST(OrdinalCompasTest, SameDataDifferentMetric) {
+  // Identical draws: ordinality changes distances, not the sampled values.
+  Dataset nominal = MakeCompas(400, 77);
+  Dataset ordinal = MakeCompasOrdinal(400, 77);
+  ASSERT_EQ(nominal.NumRows(), ordinal.NumRows());
+  for (int r = 0; r < nominal.NumRows(); ++r) {
+    EXPECT_EQ(nominal.Row(r), ordinal.Row(r));
+    EXPECT_EQ(nominal.Label(r), ordinal.Label(r));
+  }
+}
+
+TEST(OrdinalCompasTest, AdjacentOnlyNeighborsAtTOne) {
+  Dataset data = MakeCompasOrdinal(6172);
+  Hierarchy hierarchy(data);
+  NeighborhoodCalculator neighborhood(hierarchy, 1.0);
+  // The optimized identity no longer holds on the age axis.
+  uint32_t age_mask = 0b001;  // protected order: age, race, sex
+  EXPECT_FALSE(neighborhood.SupportsOptimized(age_mask));
+
+  // Age '<25' (code 0): its only distance-1 neighbor is '25-45' (code 1).
+  const auto& node = hierarchy.NodeCounts(age_mask);
+  Pattern young(std::vector<int>{0, Pattern::kWildcard, Pattern::kWildcard});
+  Pattern middle(std::vector<int>{1, Pattern::kWildcard, Pattern::kWildcard});
+  RegionCounts middle_counts =
+      node.at(hierarchy.counter().KeyFor(middle, age_mask));
+  EXPECT_EQ(neighborhood.NaiveNeighborCounts(young), middle_counts);
+}
+
+TEST(OrdinalCompasTest, IdentificationFallsBackToNaive) {
+  Dataset data = MakeCompasOrdinal(6172);
+  IbsParams params;  // optimized requested, naive used where unsupported
+  std::vector<BiasedRegion> optimized_request = IdentifyIbs(data, params);
+  params.algorithm = IbsAlgorithm::kNaive;
+  std::vector<BiasedRegion> naive_request = IdentifyIbs(data, params);
+  ASSERT_EQ(optimized_request.size(), naive_request.size());
+  for (size_t i = 0; i < naive_request.size(); ++i) {
+    EXPECT_EQ(optimized_request[i].pattern, naive_request[i].pattern);
+    EXPECT_EQ(optimized_request[i].neighbor_counts,
+              naive_request[i].neighbor_counts);
+  }
+}
+
+}  // namespace
+}  // namespace remedy

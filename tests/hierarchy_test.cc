@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "core/hierarchy.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::GridDataset;
+
+Dataset ThreeByTwo() {
+  return GridDataset({{{2, 3}, {1, 2}},
+                      {{4, 1}, {5, 5}},
+                      {{1, 1}, {3, 2}}});
+}
+
+TEST(HierarchyTest, LeafMask) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  EXPECT_EQ(hierarchy.NumProtected(), 2);
+  EXPECT_EQ(hierarchy.LeafMask(), 0b11u);
+}
+
+TEST(HierarchyTest, TotalCounts) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  EXPECT_EQ(hierarchy.TotalCounts().positives, data.PositiveCount());
+  EXPECT_EQ(hierarchy.TotalCounts().negatives, data.NegativeCount());
+}
+
+TEST(HierarchyTest, NodeCountsAreMemoized) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  const auto& first = hierarchy.NodeCounts(0b11);
+  const auto& second = hierarchy.NodeCounts(0b11);
+  EXPECT_EQ(&first, &second);  // same map instance
+}
+
+TEST(HierarchyTest, InvalidateRefreshesAfterMutation) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  int64_t before = hierarchy.TotalCounts().positives;
+  data.AddRow({0, 0, 1}, 1);
+  // Stale until invalidated.
+  EXPECT_EQ(hierarchy.TotalCounts().positives, before);
+  hierarchy.Invalidate();
+  EXPECT_EQ(hierarchy.TotalCounts().positives, before + 1);
+}
+
+TEST(HierarchyTest, ParentMasksRemoveOneBit) {
+  std::vector<uint32_t> parents = Hierarchy::ParentMasks(0b111);
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<uint32_t>{0b011, 0b101, 0b110}));
+  // Level-1 nodes have no parents here (level 0 is TotalCounts()).
+  EXPECT_TRUE(Hierarchy::ParentMasks(0b100).empty());
+}
+
+TEST(HierarchyTest, MasksAtLevelHaveRightPopcount) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  std::vector<uint32_t> level1 = hierarchy.MasksAtLevel(1);
+  EXPECT_EQ(level1, (std::vector<uint32_t>{0b01, 0b10}));
+  std::vector<uint32_t> level2 = hierarchy.MasksAtLevel(2);
+  EXPECT_EQ(level2, (std::vector<uint32_t>{0b11}));
+}
+
+TEST(HierarchyTest, BottomUpOrderIsLeafFirst) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  std::vector<uint32_t> masks = hierarchy.BottomUpMasks();
+  ASSERT_EQ(masks.size(), 3u);
+  EXPECT_EQ(masks[0], 0b11u);
+  // Levels are non-increasing along the traversal.
+  for (size_t i = 1; i < masks.size(); ++i) {
+    EXPECT_LE(std::popcount(masks[i]), std::popcount(masks[i - 1]));
+  }
+}
+
+TEST(HierarchyTest, BottomUpCoversAllNonEmptyMasks) {
+  Dataset data = ThreeByTwo();
+  Hierarchy hierarchy(data);
+  std::vector<uint32_t> masks = hierarchy.BottomUpMasks();
+  std::sort(masks.begin(), masks.end());
+  EXPECT_EQ(masks, (std::vector<uint32_t>{0b01, 0b10, 0b11}));
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/ibs_identify.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::GridDataset;
+using ::remedy::testing::SmallSchema;
+
+// A grid with one strongly skewed cell (a0, b0): ratio 4.0 vs balanced
+// neighbors at ratio ~1.0.
+Dataset PlantedBias() {
+  return GridDataset({{{200, 50}, {50, 50}},
+                      {{50, 50}, {50, 50}},
+                      {{50, 50}, {50, 50}}});
+}
+
+TEST(IbsIdentifyTest, FindsPlantedBiasedRegion) {
+  IbsParams params;
+  params.imbalance_threshold = 1.0;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params);
+  ASSERT_FALSE(ibs.empty());
+  bool found = false;
+  for (const BiasedRegion& region : ibs) {
+    if (region.pattern == Pattern({0, 0})) {
+      found = true;
+      EXPECT_DOUBLE_EQ(region.ratio, 4.0);
+      EXPECT_NEAR(region.neighbor_ratio, 1.0, 0.01);
+      EXPECT_EQ(region.counts.positives, 200);
+      EXPECT_EQ(region.counts.negatives, 50);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IbsIdentifyTest, BalancedDataHasNoIbs) {
+  Dataset data = GridDataset({{{50, 50}, {50, 50}},
+                              {{50, 50}, {50, 50}},
+                              {{50, 50}, {50, 50}}});
+  IbsParams params;
+  params.imbalance_threshold = 0.1;
+  EXPECT_TRUE(IdentifyIbs(data, params).empty());
+}
+
+TEST(IbsIdentifyTest, SizeFilterSkipsSmallRegions) {
+  // The skewed cell has only 20 instances; k = 30 must skip it.
+  Dataset data = GridDataset({{{18, 2}, {50, 50}},
+                              {{50, 50}, {50, 50}},
+                              {{50, 50}, {50, 50}}});
+  IbsParams params;
+  params.imbalance_threshold = 0.5;
+  params.min_region_size = 30;
+  for (const BiasedRegion& region : IdentifyIbs(data, params)) {
+    EXPECT_NE(region.pattern, Pattern({0, 0}));
+  }
+  params.min_region_size = 10;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  bool found = std::any_of(ibs.begin(), ibs.end(), [](const BiasedRegion& r) {
+    return r.pattern == Pattern({0, 0});
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(IbsIdentifyTest, ThresholdControlsSensitivity) {
+  Dataset data = PlantedBias();
+  IbsParams loose;
+  loose.imbalance_threshold = 0.05;
+  IbsParams tight;
+  tight.imbalance_threshold = 5.0;
+  EXPECT_GE(IdentifyIbs(data, loose).size(),
+            IdentifyIbs(data, tight).size());
+  EXPECT_TRUE(IdentifyIbs(data, tight).empty());
+}
+
+TEST(IbsIdentifyTest, LeafScopeOnlyLeafLevel) {
+  IbsParams params;
+  params.imbalance_threshold = 0.3;
+  params.scope = IbsScope::kLeaf;
+  for (const BiasedRegion& region : IdentifyIbs(PlantedBias(), params)) {
+    EXPECT_EQ(region.pattern.NumDeterministic(), 2);
+  }
+}
+
+TEST(IbsIdentifyTest, TopScopeOnlyLevelOne) {
+  IbsParams params;
+  params.imbalance_threshold = 0.05;
+  params.scope = IbsScope::kTop;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params);
+  for (const BiasedRegion& region : ibs) {
+    EXPECT_EQ(region.pattern.NumDeterministic(), 1);
+  }
+  // The a0 marginal (250 pos / 100 neg vs others ~1.0) must show up.
+  bool found = std::any_of(ibs.begin(), ibs.end(), [](const BiasedRegion& r) {
+    return r.pattern == Pattern({0, Pattern::kWildcard});
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(IbsIdentifyTest, LatticeScopeIsSupersetOfLeafAndTop) {
+  IbsParams params;
+  params.imbalance_threshold = 0.3;
+  std::vector<BiasedRegion> lattice = IdentifyIbs(PlantedBias(), params);
+  params.scope = IbsScope::kLeaf;
+  std::vector<BiasedRegion> leaf = IdentifyIbs(PlantedBias(), params);
+  params.scope = IbsScope::kTop;
+  std::vector<BiasedRegion> top = IdentifyIbs(PlantedBias(), params);
+  EXPECT_EQ(lattice.size(), leaf.size() + top.size());
+}
+
+TEST(IbsIdentifyTest, AllPositiveRegionUsesSentinel) {
+  Dataset data = GridDataset({{{60, 0}, {30, 30}},
+                              {{30, 30}, {30, 30}},
+                              {{30, 30}, {30, 30}}});
+  IbsParams params;
+  params.imbalance_threshold = 1.0;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  bool found = false;
+  for (const BiasedRegion& region : ibs) {
+    if (region.pattern == Pattern({0, 0})) {
+      found = true;
+      EXPECT_DOUBLE_EQ(region.ratio, kAllPositiveRatio);
+    }
+  }
+  // |(-1) - ~1.0| = 2 > 1: the sentinel makes the region biased.
+  EXPECT_TRUE(found);
+}
+
+TEST(IbsIdentifyTest, DominatesAnyBiasedRegion) {
+  IbsParams params;
+  params.imbalance_threshold = 1.0;
+  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params);
+  // (a=0) dominates the biased (a0, b0).
+  EXPECT_TRUE(
+      DominatesAnyBiasedRegion(Pattern({0, Pattern::kWildcard}), ibs));
+  EXPECT_FALSE(
+      DominatesAnyBiasedRegion(Pattern({2, Pattern::kWildcard}), ibs));
+}
+
+// Property: naive and optimized algorithms find identical IBS on random
+// data, for T = 1 and for the whole-node regime.
+class IbsAlgorithmEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(IbsAlgorithmEquivalenceTest, NaiveEqualsOptimized) {
+  auto [seed, distance_threshold] = GetParam();
+  Rng rng(seed);
+  Dataset data(SmallSchema());
+  for (int i = 0; i < 400; ++i) {
+    int a = rng.UniformInt(3), b = rng.UniformInt(2);
+    // Skew some cells so the IBS is non-trivial.
+    double p = (a == 0 && b == 0) ? 0.8 : (a == 2 ? 0.2 : 0.5);
+    data.AddRow({a, b, rng.UniformInt(2)}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  IbsParams params;
+  params.imbalance_threshold = 0.2;
+  params.min_region_size = 10;
+  params.distance_threshold = distance_threshold;
+  params.algorithm = IbsAlgorithm::kNaive;
+  std::vector<BiasedRegion> naive = IdentifyIbs(data, params);
+  params.algorithm = IbsAlgorithm::kOptimized;
+  std::vector<BiasedRegion> optimized = IdentifyIbs(data, params);
+  ASSERT_EQ(naive.size(), optimized.size());
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(naive[i].pattern, optimized[i].pattern);
+    EXPECT_EQ(naive[i].neighbor_counts, optimized[i].neighbor_counts);
+    EXPECT_DOUBLE_EQ(naive[i].neighbor_ratio, optimized[i].neighbor_ratio);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThresholds, IbsAlgorithmEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(1.0, 2.0)));
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,181 @@
+// End-to-end pipeline tests: generate data, train classifiers, audit
+// subgroup fairness, remedy the training set, and verify the paper's
+// qualitative claims hold on the simulated datasets.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ibs_identify.h"
+#include "core/remedy.h"
+#include "datagen/compas.h"
+#include "datagen/law_school.h"
+#include "fairness/fairness_index.h"
+#include "ml/metrics.h"
+#include "ml/model_factory.h"
+
+namespace remedy {
+namespace {
+
+struct Pipeline {
+  Dataset train;
+  Dataset test;
+};
+
+Pipeline CompasSplit() {
+  Rng rng(17);
+  Dataset data = MakeCompas();
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  return {std::move(train), std::move(test)};
+}
+
+TEST(IntegrationTest, BiasedTrainingYieldsUnfairSubgroups) {
+  Pipeline pipeline = CompasSplit();
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  model->Fit(pipeline.train);
+  std::vector<int> predictions = model->PredictAll(pipeline.test);
+
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(pipeline.test, predictions, Statistic::kFpr);
+  std::vector<SubgroupReport> unfair = FilterUnfair(analysis, 0.1);
+  EXPECT_FALSE(unfair.empty())
+      << "the planted representation bias must surface as subgroup "
+         "unfairness";
+}
+
+TEST(IntegrationTest, UnfairSubgroupsAlignWithIbs) {
+  // The Fig. 3 claim: unfair subgroups are in the IBS or dominate regions
+  // in it.
+  Pipeline pipeline = CompasSplit();
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  model->Fit(pipeline.train);
+  std::vector<int> predictions = model->PredictAll(pipeline.test);
+
+  IbsParams params;  // tau_c = 0.1, T = 1 as in Sec. V-B1
+  std::vector<BiasedRegion> ibs = IdentifyIbs(pipeline.train, params);
+  ASSERT_FALSE(ibs.empty());
+
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(pipeline.test, predictions, Statistic::kFpr);
+  std::vector<SubgroupReport> unfair = FilterUnfair(analysis, 0.1);
+  ASSERT_FALSE(unfair.empty());
+
+  int aligned = 0;
+  for (const SubgroupReport& report : unfair) {
+    aligned += DominatesAnyBiasedRegion(report.pattern, ibs);
+  }
+  // "Nearly all" in the paper; demand a clear majority here.
+  EXPECT_GT(aligned * 2, static_cast<int>(unfair.size()));
+}
+
+TEST(IntegrationTest, RemedyImprovesFairnessIndex) {
+  Pipeline pipeline = CompasSplit();
+
+  ClassifierPtr original = MakeClassifier(ModelType::kDecisionTree);
+  original->Fit(pipeline.train);
+  double index_before = ComputeFairnessIndex(
+      pipeline.test, original->PredictAll(pipeline.test), Statistic::kFpr);
+
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.1;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset remedied = RemedyDataset(pipeline.train, params);
+
+  ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
+  treated->Fit(remedied);
+  double index_after = ComputeFairnessIndex(
+      pipeline.test, treated->PredictAll(pipeline.test), Statistic::kFpr);
+
+  EXPECT_LT(index_after, index_before);
+}
+
+TEST(IntegrationTest, RemedyKeepsAccuracyLossBounded) {
+  // The paper reports < 0.1 accuracy decrease across datasets and models.
+  Pipeline pipeline = CompasSplit();
+
+  ClassifierPtr original = MakeClassifier(ModelType::kDecisionTree);
+  original->Fit(pipeline.train);
+  double accuracy_before =
+      Accuracy(pipeline.test, original->PredictAll(pipeline.test));
+
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.1;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset remedied = RemedyDataset(pipeline.train, params);
+  ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
+  treated->Fit(remedied);
+  double accuracy_after =
+      Accuracy(pipeline.test, treated->PredictAll(pipeline.test));
+
+  EXPECT_GT(accuracy_after, accuracy_before - 0.12);
+}
+
+TEST(IntegrationTest, RemedyHelpsBothStatisticsAtOnce) {
+  // Fixing ratio_r > ratio_rn and ratio_r < ratio_rn regions improves FPR
+  // and FNR unfairness concurrently (Sec. V-B2).
+  Pipeline pipeline = CompasSplit();
+
+  ClassifierPtr original = MakeClassifier(ModelType::kDecisionTree);
+  original->Fit(pipeline.train);
+  std::vector<int> before = original->PredictAll(pipeline.test);
+
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.1;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset remedied = RemedyDataset(pipeline.train, params);
+  ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
+  treated->Fit(remedied);
+  std::vector<int> after = treated->PredictAll(pipeline.test);
+
+  double fpr_index_change =
+      ComputeFairnessIndex(pipeline.test, after, Statistic::kFpr) -
+      ComputeFairnessIndex(pipeline.test, before, Statistic::kFpr);
+  double fnr_index_change =
+      ComputeFairnessIndex(pipeline.test, after, Statistic::kFnr) -
+      ComputeFairnessIndex(pipeline.test, before, Statistic::kFnr);
+  EXPECT_LE(fpr_index_change, 0.0);
+  EXPECT_LE(fnr_index_change, 0.05);  // must not blow FNR up while fixing FPR
+}
+
+TEST(IntegrationTest, RemedyIsModelAgnostic) {
+  // The pre-processing happens before training, so any downstream learner
+  // benefits; check a second model family end-to-end.
+  Pipeline pipeline = CompasSplit();
+
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.1;
+  params.technique = RemedyTechnique::kUndersample;
+  Dataset remedied = RemedyDataset(pipeline.train, params);
+
+  for (ModelType type :
+       {ModelType::kLogisticRegression, ModelType::kNaiveBayes}) {
+    ClassifierPtr original = MakeClassifier(type);
+    original->Fit(pipeline.train);
+    double before = ComputeFairnessIndex(
+        pipeline.test, original->PredictAll(pipeline.test), Statistic::kFpr);
+
+    ClassifierPtr treated = MakeClassifier(type);
+    treated->Fit(remedied);
+    double after = ComputeFairnessIndex(
+        pipeline.test, treated->PredictAll(pipeline.test), Statistic::kFpr);
+    EXPECT_LE(after, before + 1e-9) << ModelName(type);
+  }
+}
+
+TEST(IntegrationTest, LawSchoolPipelineRuns) {
+  Rng rng(23);
+  Dataset data = MakeLawSchool();
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.1;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset remedied = RemedyDataset(train, params);
+
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  model->Fit(remedied);
+  double accuracy = Accuracy(test, model->PredictAll(test));
+  EXPECT_GT(accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace remedy

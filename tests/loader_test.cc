@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "data/loader.h"
+
+namespace remedy {
+namespace {
+
+CsvTable MakeTable(const std::string& csv) {
+  CsvTable table;
+  std::string error;
+  EXPECT_TRUE(ParseCsv(csv, /*has_header=*/true, &table, &error)) << error;
+  return table;
+}
+
+TEST(LoaderTest, BuildsCategoricalDataset) {
+  CsvTable table = MakeTable(
+      "race,sex,outcome\n"
+      "white,male,1\n"
+      "black,female,0\n"
+      "white,female,1\n"
+      "black,male,0\n");
+  LoaderOptions options;
+  options.protected_attributes = {"race", "sex"};
+  Dataset dataset;
+  std::string error;
+  LoaderReport report;
+  ASSERT_TRUE(BuildDataset(table, options, &dataset, &error, &report))
+      << error;
+  EXPECT_EQ(dataset.NumRows(), 4);
+  EXPECT_EQ(dataset.NumColumns(), 2);
+  EXPECT_EQ(dataset.schema().NumProtected(), 2);
+  EXPECT_EQ(dataset.schema().label_name(), "outcome");
+  EXPECT_EQ(dataset.PositiveCount(), 2);
+  EXPECT_EQ(report.categorical_columns, 2);
+  EXPECT_EQ(report.numeric_columns, 0);
+}
+
+TEST(LoaderTest, LabelColumnByName) {
+  CsvTable table = MakeTable(
+      "y,a\n"
+      "yes,p\n"
+      "no,q\n");
+  LoaderOptions options;
+  options.label_column = "y";
+  options.positive_label = "yes";
+  Dataset dataset;
+  std::string error;
+  ASSERT_TRUE(BuildDataset(table, options, &dataset, &error)) << error;
+  EXPECT_EQ(dataset.NumColumns(), 1);
+  EXPECT_EQ(dataset.Label(0), 1);
+  EXPECT_EQ(dataset.Label(1), 0);
+}
+
+TEST(LoaderTest, NumericColumnsGetQuantileBuckets) {
+  std::string csv = "age,label\n";
+  for (int i = 0; i < 100; ++i) {
+    csv += std::to_string(20 + i) + "," + std::to_string(i % 2) + "\n";
+  }
+  LoaderOptions options;
+  options.numeric_buckets = 4;
+  Dataset dataset;
+  std::string error;
+  LoaderReport report;
+  ASSERT_TRUE(BuildDataset(MakeTable(csv), options, &dataset, &error,
+                           &report))
+      << error;
+  EXPECT_EQ(report.numeric_columns, 1);
+  const AttributeSchema& age = dataset.schema().attribute(0);
+  EXPECT_EQ(age.Cardinality(), 4);
+  EXPECT_TRUE(age.ordinal());
+  // Buckets roughly balanced.
+  std::vector<int> counts(4, 0);
+  for (int r = 0; r < dataset.NumRows(); ++r) ++counts[dataset.Value(r, 0)];
+  for (int count : counts) EXPECT_NEAR(count, 25, 10);
+}
+
+TEST(LoaderTest, SmallNumericDomainStaysCategorical) {
+  CsvTable table = MakeTable(
+      "flag,label\n"
+      "0,1\n"
+      "1,0\n"
+      "0,1\n"
+      "1,0\n");
+  LoaderOptions options;
+  Dataset dataset;
+  std::string error;
+  LoaderReport report;
+  ASSERT_TRUE(BuildDataset(table, options, &dataset, &error, &report))
+      << error;
+  EXPECT_EQ(report.categorical_columns, 1);
+  EXPECT_FALSE(dataset.schema().attribute(0).ordinal());
+}
+
+TEST(LoaderTest, DropsRowsWithMissingValues) {
+  CsvTable table = MakeTable(
+      "a,label\n"
+      "x,1\n"
+      ",0\n"
+      "?,0\n"
+      "y,0\n");
+  LoaderOptions options;
+  Dataset dataset;
+  std::string error;
+  LoaderReport report;
+  ASSERT_TRUE(BuildDataset(table, options, &dataset, &error, &report))
+      << error;
+  EXPECT_EQ(dataset.NumRows(), 2);
+  EXPECT_EQ(report.rows_dropped_missing, 2);
+}
+
+TEST(LoaderTest, PoolsRareCategoriesIntoOther) {
+  std::string csv = "city,label\n";
+  // Two frequent values plus 30 singletons.
+  for (int i = 0; i < 40; ++i) csv += "metropolis," + std::to_string(i % 2) + "\n";
+  for (int i = 0; i < 40; ++i) csv += "gotham," + std::to_string(i % 2) + "\n";
+  for (int i = 0; i < 30; ++i) {
+    csv += "village" + std::to_string(i) + ",0\n";
+  }
+  LoaderOptions options;
+  options.max_categories = 4;
+  Dataset dataset;
+  std::string error;
+  LoaderReport report;
+  ASSERT_TRUE(BuildDataset(MakeTable(csv), options, &dataset, &error,
+                           &report))
+      << error;
+  const AttributeSchema& city = dataset.schema().attribute(0);
+  EXPECT_EQ(city.Cardinality(), 4);
+  EXPECT_GE(city.ValueIndex("<other>"), 0);
+  EXPECT_GE(city.ValueIndex("metropolis"), 0);
+  EXPECT_EQ(report.pooled_columns, 1);
+  // Three values are kept (metropolis, gotham, and the highest-ranked
+  // village); the remaining 29 villages share the pooled code.
+  int other_code = city.ValueIndex("<other>");
+  int pooled = 0;
+  for (int r = 0; r < dataset.NumRows(); ++r) {
+    pooled += dataset.Value(r, 0) == other_code;
+  }
+  EXPECT_EQ(pooled, 29);
+}
+
+TEST(LoaderTest, RejectsUnknownProtectedAttribute) {
+  CsvTable table = MakeTable("a,label\nx,1\ny,0\n");
+  LoaderOptions options;
+  options.protected_attributes = {"nonexistent"};
+  Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(BuildDataset(table, options, &dataset, &error));
+  EXPECT_NE(error.find("nonexistent"), std::string::npos);
+}
+
+TEST(LoaderTest, RejectsUnknownLabelColumn) {
+  CsvTable table = MakeTable("a,label\nx,1\ny,0\n");
+  LoaderOptions options;
+  options.label_column = "missing";
+  Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(BuildDataset(table, options, &dataset, &error));
+}
+
+TEST(LoaderTest, RejectsConstantLabels) {
+  CsvTable table = MakeTable("a,label\nx,1\ny,1\n");
+  LoaderOptions options;
+  Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(BuildDataset(table, options, &dataset, &error));
+  EXPECT_NE(error.find("constant"), std::string::npos);
+}
+
+TEST(LoaderTest, RoundTripsThroughDatasetCsv) {
+  // Export a dataset to CSV, reload it, and check the cells agree.
+  CsvTable table = MakeTable(
+      "race,sex,outcome\n"
+      "white,male,1\n"
+      "black,female,0\n"
+      "asian,male,1\n");
+  LoaderOptions options;
+  options.protected_attributes = {"race"};
+  Dataset first;
+  std::string error;
+  ASSERT_TRUE(BuildDataset(table, options, &first, &error)) << error;
+
+  CsvTable exported = first.ToCsv();
+  Dataset second;
+  ASSERT_TRUE(BuildDataset(exported, options, &second, &error)) << error;
+  ASSERT_EQ(second.NumRows(), first.NumRows());
+  for (int r = 0; r < first.NumRows(); ++r) {
+    EXPECT_EQ(second.Label(r), first.Label(r));
+    // Codes may be permuted (frequency order), so compare value names.
+    for (int c = 0; c < first.NumColumns(); ++c) {
+      EXPECT_EQ(
+          second.schema().attribute(c).ValueName(second.Value(r, c)),
+          first.schema().attribute(c).ValueName(first.Value(r, c)));
+    }
+  }
+}
+
+TEST(LoaderTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "loader_test.csv";
+  CsvTable table = MakeTable("a,label\nx,1\ny,0\n");
+  std::string error;
+  ASSERT_TRUE(WriteCsvFile(path, table, &error)) << error;
+  LoaderOptions options;
+  Dataset dataset;
+  ASSERT_TRUE(LoadCsvDataset(path, options, &dataset, &error)) << error;
+  EXPECT_EQ(dataset.NumRows(), 2);
+  EXPECT_FALSE(LoadCsvDataset("/nonexistent/file.csv", options, &dataset,
+                              &error));
+}
+
+}  // namespace
+}  // namespace remedy

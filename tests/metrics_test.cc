@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::AddRows;
+using ::remedy::testing::SmallSchema;
+
+// 4 positives, 6 negatives; predictions hit 3 TP, 1 FN, 4 TN, 2 FP.
+Dataset TenRows(std::vector<int>* predictions) {
+  Dataset data(SmallSchema());
+  AddRows(data, 4, 0, 0, 1, 1);
+  AddRows(data, 6, 1, 1, 0, 0);
+  *predictions = {1, 1, 1, 0, 1, 1, 0, 0, 0, 0};
+  return data;
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  std::vector<int> predictions;
+  Dataset data = TenRows(&predictions);
+  ConfusionCounts counts = Confusion(data, predictions);
+  EXPECT_EQ(counts.true_positives, 3);
+  EXPECT_EQ(counts.false_negatives, 1);
+  EXPECT_EQ(counts.false_positives, 2);
+  EXPECT_EQ(counts.true_negatives, 4);
+  EXPECT_EQ(counts.Total(), 10);
+}
+
+TEST(MetricsTest, DerivedRates) {
+  std::vector<int> predictions;
+  Dataset data = TenRows(&predictions);
+  EXPECT_DOUBLE_EQ(Accuracy(data, predictions), 0.7);
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(data, predictions), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(FalseNegativeRate(data, predictions), 1.0 / 4.0);
+}
+
+TEST(MetricsTest, ConfusionOnRowsSubset) {
+  std::vector<int> predictions;
+  Dataset data = TenRows(&predictions);
+  // Only the negatives (rows 4..9).
+  ConfusionCounts counts =
+      ConfusionOnRows(data, predictions, {4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(counts.false_positives, 2);
+  EXPECT_EQ(counts.true_negatives, 4);
+  EXPECT_EQ(counts.true_positives, 0);
+}
+
+TEST(MetricsTest, EmptyDenominatorsAreZero) {
+  ConfusionCounts counts;  // all zero
+  EXPECT_DOUBLE_EQ(Accuracy(counts), 0.0);
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(counts), 0.0);
+  EXPECT_DOUBLE_EQ(FalseNegativeRate(counts), 0.0);
+}
+
+TEST(MetricsTest, PerfectPredictions) {
+  Dataset data(SmallSchema());
+  AddRows(data, 5, 0, 0, 1, 1);
+  AddRows(data, 5, 1, 1, 0, 0);
+  std::vector<int> predictions = {1, 1, 1, 1, 1, 0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(data, predictions), 1.0);
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(data, predictions), 0.0);
+  EXPECT_DOUBLE_EQ(FalseNegativeRate(data, predictions), 0.0);
+}
+
+}  // namespace
+}  // namespace remedy

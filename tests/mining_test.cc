@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/hierarchy.h"
+#include "datagen/compas.h"
+#include "mining/fpgrowth.h"
+#include "mining/region_miner.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::GridDataset;
+using ::remedy::testing::SmallSchema;
+
+// ---------------------------------------------------------------------------
+// FpGrowthMiner on hand-checked transaction sets.
+// ---------------------------------------------------------------------------
+
+TEST(FpGrowthTest, TextbookExample) {
+  // Transactions over items {0..4}; min support 3.
+  std::vector<std::vector<int>> transactions = {
+      {0, 1, 2}, {0, 1}, {0, 3}, {0, 1, 3}, {1, 4}, {0, 1, 4},
+  };
+  FpGrowthMiner miner(3);
+  std::vector<FrequentItemset> result = miner.Mine(transactions);
+  std::map<std::vector<int>, int64_t> support;
+  for (const FrequentItemset& itemset : result) {
+    support[itemset.items] = itemset.support;
+  }
+  EXPECT_EQ(support.at({0}), 5);
+  EXPECT_EQ(support.at({1}), 5);
+  EXPECT_EQ(support.at({0, 1}), 4);
+  EXPECT_EQ(support.count({2}), 0u);     // support 1
+  EXPECT_EQ(support.count({0, 3}), 0u);  // support 2
+  EXPECT_EQ(support.count({}), 0u);      // empty set never reported
+}
+
+TEST(FpGrowthTest, SingleItemTransactions) {
+  std::vector<std::vector<int>> transactions = {{7}, {7}, {7}, {9}};
+  FpGrowthMiner miner(2);
+  std::vector<FrequentItemset> result = miner.Mine(transactions);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].items, (std::vector<int>{7}));
+  EXPECT_EQ(result[0].support, 3);
+}
+
+TEST(FpGrowthTest, DuplicateItemsCountOnce) {
+  std::vector<std::vector<int>> transactions = {{1, 1, 1}, {1}};
+  FpGrowthMiner miner(2);
+  std::vector<FrequentItemset> result = miner.Mine(transactions);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].support, 2);
+}
+
+TEST(FpGrowthTest, MinSupportOneFindsEverything) {
+  std::vector<std::vector<int>> transactions = {{0, 1}, {2}};
+  FpGrowthMiner miner(1);
+  std::vector<FrequentItemset> result = miner.Mine(transactions);
+  // {0}, {1}, {0,1}, {2}
+  EXPECT_EQ(result.size(), 4u);
+}
+
+TEST(FpGrowthTest, EmptyInput) {
+  FpGrowthMiner miner(1);
+  EXPECT_TRUE(miner.Mine({}).empty());
+  EXPECT_TRUE(miner.Mine({{}, {}}).empty());
+}
+
+// Brute-force oracle: enumerate all itemsets over the (small) item universe
+// and count supports directly.
+std::map<std::vector<int>, int64_t> BruteForceFrequent(
+    const std::vector<std::vector<int>>& transactions, int64_t min_support,
+    int universe) {
+  std::map<std::vector<int>, int64_t> result;
+  for (int mask = 1; mask < (1 << universe); ++mask) {
+    std::vector<int> items;
+    for (int i = 0; i < universe; ++i) {
+      if (mask & (1 << i)) items.push_back(i);
+    }
+    int64_t support = 0;
+    for (const std::vector<int>& transaction : transactions) {
+      std::set<int> have(transaction.begin(), transaction.end());
+      bool all = true;
+      for (int item : items) all &= have.count(item) > 0;
+      support += all;
+    }
+    if (support >= min_support) result[items] = support;
+  }
+  return result;
+}
+
+class FpGrowthPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpGrowthPropertyTest, MatchesBruteForceOracle) {
+  Rng rng(GetParam());
+  constexpr int kUniverse = 8;
+  std::vector<std::vector<int>> transactions(40 + rng.UniformInt(40));
+  for (auto& transaction : transactions) {
+    int size = 1 + rng.UniformInt(5);
+    for (int i = 0; i < size; ++i) {
+      transaction.push_back(rng.UniformInt(kUniverse));
+    }
+  }
+  int64_t min_support = 2 + rng.UniformInt(6);
+
+  FpGrowthMiner miner(min_support);
+  std::vector<FrequentItemset> mined = miner.Mine(transactions);
+  std::map<std::vector<int>, int64_t> expected =
+      BruteForceFrequent(transactions, min_support, kUniverse);
+
+  ASSERT_EQ(mined.size(), expected.size()) << "seed " << GetParam();
+  for (const FrequentItemset& itemset : mined) {
+    auto it = expected.find(itemset.items);
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(itemset.support, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpGrowthPropertyTest,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Region mining over datasets.
+// ---------------------------------------------------------------------------
+
+TEST(RegionMinerTest, FindsAllLargeRegions) {
+  Dataset data = GridDataset({{{40, 40}, {10, 10}},
+                              {{25, 25}, {5, 5}},
+                              {{0, 0}, {30, 30}}});
+  std::vector<MinedRegion> regions = MineFrequentRegions(data, 30);
+  // Leaf regions with >= 30 rows: (a0,b0)=80, (a1,b1)... wait (a1,b0)=50,
+  // (a2,b1)=60; plus all level-1 regions with >= 30 rows.
+  std::set<std::string> names;
+  for (const MinedRegion& region : regions) {
+    names.insert(region.pattern.ToString(data.schema()));
+    // Mined support equals the actual region size.
+    int64_t actual = 0;
+    for (int r = 0; r < data.NumRows(); ++r) {
+      actual += region.pattern.Matches(data, r);
+    }
+    EXPECT_EQ(region.size, actual);
+  }
+  EXPECT_TRUE(names.count("(a=a0, b=b0)"));
+  EXPECT_TRUE(names.count("(a=a1, b=b0)"));
+  EXPECT_TRUE(names.count("(a=a2, b=b1)"));
+  EXPECT_FALSE(names.count("(a=a1, b=b1)"));  // only 10 rows
+  EXPECT_TRUE(names.count("(a=a0)"));
+  EXPECT_TRUE(names.count("(b=b1)"));
+}
+
+TEST(RegionMinerTest, MatchesLatticeEnumeration) {
+  Dataset data = MakeCompas(2000, 77);
+  const int64_t min_size = 30;
+  std::vector<MinedRegion> mined = MineFrequentRegions(data, min_size);
+
+  // Oracle: the hierarchy's node counts.
+  Hierarchy hierarchy(data);
+  std::set<std::string> expected;
+  for (uint32_t mask : hierarchy.BottomUpMasks()) {
+    for (const auto& [key, counts] : hierarchy.NodeCounts(mask)) {
+      if (counts.Total() >= min_size) {
+        expected.insert(
+            hierarchy.counter().PatternFor(key, mask).ToString(
+                data.schema()));
+      }
+    }
+  }
+  std::set<std::string> actual;
+  for (const MinedRegion& region : mined) {
+    actual.insert(region.pattern.ToString(data.schema()));
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+class MinerIbsEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinerIbsEquivalenceTest, IdentifyIbsWithMinerMatchesLattice) {
+  Dataset data = MakeCompas(1500, 500 + GetParam());
+  IbsParams params;
+  params.imbalance_threshold = 0.15;
+  std::vector<BiasedRegion> lattice = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> mined = IdentifyIbsWithMiner(data, params);
+  ASSERT_EQ(lattice.size(), mined.size()) << "seed " << GetParam();
+  for (size_t i = 0; i < lattice.size(); ++i) {
+    EXPECT_EQ(lattice[i].pattern, mined[i].pattern);
+    EXPECT_EQ(lattice[i].counts, mined[i].counts);
+    EXPECT_EQ(lattice[i].neighbor_counts, mined[i].neighbor_counts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerIbsEquivalenceTest,
+                         ::testing::Range(0, 5));
+
+TEST(MinerIbsTest, RespectsScopes) {
+  Dataset data = MakeCompas(3000, 9);
+  IbsParams params;
+  params.imbalance_threshold = 0.1;
+  params.scope = IbsScope::kLeaf;
+  for (const BiasedRegion& region : IdentifyIbsWithMiner(data, params)) {
+    EXPECT_EQ(region.pattern.NumDeterministic(), 3);
+  }
+  params.scope = IbsScope::kTop;
+  for (const BiasedRegion& region : IdentifyIbsWithMiner(data, params)) {
+    EXPECT_EQ(region.pattern.NumDeterministic(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,218 @@
+// Brute-force oracle tests: re-implement the core computations the naive
+// way (scan every row, enumerate every pattern) and check the optimized
+// library paths against them on randomized datasets. These are the
+// strongest correctness guarantees in the suite — any indexing, packing or
+// caching bug in the fast paths diverges from the oracles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hierarchy.h"
+#include "core/ibs_identify.h"
+#include "fairness/divergence.h"
+#include "fairness/fairness_index.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::SmallSchema;
+
+// Random dataset over the 3x2(x2) small schema.
+Dataset RandomDataset(int seed, int rows) {
+  Rng rng(seed);
+  Dataset data(SmallSchema());
+  for (int i = 0; i < rows; ++i) {
+    int a = rng.UniformInt(3), b = rng.UniformInt(2), f = rng.UniformInt(2);
+    double p = 0.2 + 0.15 * a + 0.25 * b;
+    data.AddRow({a, b, f}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  return data;
+}
+
+// Every pattern over the protected attributes (including wildcards),
+// excluding the all-wildcard level-0 pattern.
+std::vector<Pattern> AllPatterns(const DataSchema& schema) {
+  std::vector<Pattern> patterns;
+  const auto& protected_cols = schema.protected_indices();
+  int arity = static_cast<int>(protected_cols.size());
+  // Odometer over domains extended with the wildcard.
+  std::vector<int> state(arity, -1);
+  while (true) {
+    Pattern pattern(state);
+    if (pattern.NumDeterministic() > 0) patterns.push_back(pattern);
+    int position = arity - 1;
+    while (position >= 0) {
+      int cardinality =
+          schema.attribute(protected_cols[position]).Cardinality();
+      if (++state[position] >= cardinality) {
+        state[position] = -1;
+        --position;
+      } else {
+        break;
+      }
+    }
+    if (position < 0) break;
+  }
+  return patterns;
+}
+
+RegionCounts OracleCounts(const Dataset& data, const Pattern& pattern) {
+  RegionCounts counts;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    if (!pattern.Matches(data, r)) continue;
+    if (data.Label(r) == 1) {
+      ++counts.positives;
+    } else {
+      ++counts.negatives;
+    }
+  }
+  return counts;
+}
+
+class OracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleTest, HierarchyCountsMatchRowScan) {
+  Dataset data = RandomDataset(GetParam(), 300);
+  Hierarchy hierarchy(data);
+  for (const Pattern& pattern : AllPatterns(data.schema())) {
+    RegionCounts expected = OracleCounts(data, pattern);
+    uint32_t mask = pattern.DeterministicMask();
+    const auto& node = hierarchy.NodeCounts(mask);
+    auto it = node.find(hierarchy.counter().KeyFor(pattern, mask));
+    RegionCounts actual =
+        it == node.end() ? RegionCounts{} : it->second;
+    EXPECT_EQ(actual, expected)
+        << pattern.ToString(data.schema()) << " seed " << GetParam();
+  }
+}
+
+TEST_P(OracleTest, NeighborCountsMatchPairwiseDistanceScan) {
+  Dataset data = RandomDataset(GetParam(), 300);
+  Hierarchy hierarchy(data);
+  const double T = 1.0;
+  NeighborhoodCalculator neighborhood(hierarchy, T);
+  for (const Pattern& pattern : AllPatterns(data.schema())) {
+    // Oracle: sum counts over all same-node patterns within distance T.
+    RegionCounts expected;
+    for (const Pattern& other : AllPatterns(data.schema())) {
+      if (!other.SameNode(pattern) || other == pattern) continue;
+      if (pattern.Distance(other, data.schema()) > T + 1e-12) continue;
+      RegionCounts counts = OracleCounts(data, other);
+      expected.positives += counts.positives;
+      expected.negatives += counts.negatives;
+    }
+    EXPECT_EQ(neighborhood.NaiveNeighborCounts(pattern), expected)
+        << pattern.ToString(data.schema());
+    RegionCounts region = OracleCounts(data, pattern);
+    EXPECT_EQ(neighborhood.OptimizedNeighborCounts(pattern, region),
+              expected)
+        << pattern.ToString(data.schema());
+  }
+}
+
+TEST_P(OracleTest, IdentifyIbsMatchesDefinitionalScan) {
+  Dataset data = RandomDataset(GetParam(), 400);
+  IbsParams params;
+  params.imbalance_threshold = 0.15;
+  params.min_region_size = 20;
+
+  // Oracle: apply Definition 5 literally to every pattern.
+  std::map<std::string, bool> expected;
+  Hierarchy hierarchy(data);
+  NeighborhoodCalculator neighborhood(hierarchy,
+                                      params.distance_threshold);
+  for (const Pattern& pattern : AllPatterns(data.schema())) {
+    RegionCounts counts = OracleCounts(data, pattern);
+    if (counts.Total() <= params.min_region_size) continue;
+    double ratio = ImbalanceScore(counts);
+    double neighbor_ratio =
+        ImbalanceScore(neighborhood.NaiveNeighborCounts(pattern));
+    if (std::fabs(ratio - neighbor_ratio) > params.imbalance_threshold) {
+      expected[pattern.ToString(data.schema())] = true;
+    }
+  }
+
+  std::map<std::string, bool> actual;
+  for (const BiasedRegion& region : IdentifyIbs(data, params)) {
+    actual[region.pattern.ToString(data.schema())] = true;
+  }
+  EXPECT_EQ(actual, expected) << "seed " << GetParam();
+}
+
+TEST_P(OracleTest, SubgroupStatisticsMatchRowScan) {
+  Dataset data = RandomDataset(GetParam(), 300);
+  Rng rng(GetParam() + 1000);
+  std::vector<int> predictions(data.NumRows());
+  for (int& p : predictions) p = rng.UniformInt(2);
+
+  for (Statistic statistic :
+       {Statistic::kFpr, Statistic::kFnr, Statistic::kStatisticalParity,
+        Statistic::kErrorRate}) {
+    SubgroupAnalysis analysis =
+        AnalyzeSubgroups(data, predictions, statistic);
+    for (const SubgroupReport& report : analysis.subgroups) {
+      // Oracle statistic by direct scan.
+      int64_t relevant = 0, events = 0;
+      for (int r = 0; r < data.NumRows(); ++r) {
+        if (!report.pattern.Matches(data, r)) continue;
+        bool in_class = true;
+        bool event = false;
+        switch (statistic) {
+          case Statistic::kFpr:
+            in_class = data.Label(r) == 0;
+            event = in_class && predictions[r] == 1;
+            break;
+          case Statistic::kFnr:
+            in_class = data.Label(r) == 1;
+            event = in_class && predictions[r] == 0;
+            break;
+          case Statistic::kStatisticalParity:
+            event = predictions[r] == 1;
+            break;
+          case Statistic::kErrorRate:
+            event = predictions[r] != data.Label(r);
+            break;
+        }
+        relevant += in_class;
+        events += event;
+      }
+      ASSERT_GT(relevant, 0);
+      EXPECT_EQ(report.relevant, relevant);
+      EXPECT_EQ(report.errors, events);
+      EXPECT_NEAR(report.statistic,
+                  static_cast<double>(events) / relevant, 1e-12);
+    }
+  }
+}
+
+TEST_P(OracleTest, FairnessIndexMatchesManualSum) {
+  Dataset data = RandomDataset(GetParam(), 400);
+  Rng rng(GetParam() + 2000);
+  std::vector<int> predictions(data.NumRows());
+  for (int& p : predictions) p = rng.UniformInt(2);
+
+  FairnessIndexOptions options;
+  SubgroupAnalysis analysis =
+      AnalyzeSubgroups(data, predictions, Statistic::kFpr,
+                       options.min_support);
+  double expected = 0.0;
+  for (const SubgroupReport& report : analysis.subgroups) {
+    if (report.support >= options.min_support &&
+        report.p_value < options.alpha) {
+      expected += report.support * report.divergence;
+    }
+  }
+  EXPECT_NEAR(ComputeFairnessIndex(data, predictions, Statistic::kFpr,
+                                   options),
+              expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace remedy

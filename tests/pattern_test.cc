@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::SmallSchema;
+
+TEST(PatternTest, WildcardConstruction) {
+  Pattern pattern(3);
+  EXPECT_EQ(pattern.Arity(), 3);
+  EXPECT_EQ(pattern.NumDeterministic(), 0);
+  EXPECT_EQ(pattern.DeterministicMask(), 0u);
+  EXPECT_FALSE(pattern.IsDeterministic(1));
+}
+
+TEST(PatternTest, DeterministicMaskAndCount) {
+  Pattern pattern({1, Pattern::kWildcard, 0});
+  EXPECT_EQ(pattern.NumDeterministic(), 2);
+  EXPECT_EQ(pattern.DeterministicMask(), 0b101u);
+  EXPECT_TRUE(pattern.IsDeterministic(0));
+  EXPECT_FALSE(pattern.IsDeterministic(1));
+}
+
+TEST(PatternTest, MatchesRows) {
+  Dataset data(SmallSchema());
+  data.AddRow({1, 0, 1}, 1);
+  data.AddRow({1, 1, 0}, 0);
+  data.AddRow({2, 0, 0}, 0);
+  Pattern a1({1, Pattern::kWildcard});
+  EXPECT_TRUE(a1.Matches(data, 0));
+  EXPECT_TRUE(a1.Matches(data, 1));
+  EXPECT_FALSE(a1.Matches(data, 2));
+  Pattern a1b0({1, 0});
+  EXPECT_TRUE(a1b0.Matches(data, 0));
+  EXPECT_FALSE(a1b0.Matches(data, 1));
+  Pattern everything(2);
+  EXPECT_TRUE(everything.Matches(data, 2));
+}
+
+TEST(PatternTest, DominanceDefinition) {
+  // (a=1) dominates (a=1, b=0): replace b's element with X.
+  Pattern general({1, Pattern::kWildcard});
+  Pattern specific({1, 0});
+  EXPECT_TRUE(general.Dominates(specific));
+  EXPECT_FALSE(specific.Dominates(general));
+  // Every pattern dominates itself.
+  EXPECT_TRUE(general.Dominates(general));
+  EXPECT_TRUE(specific.Dominates(specific));
+  // The all-wildcard pattern dominates everything.
+  Pattern top(2);
+  EXPECT_TRUE(top.Dominates(specific));
+  // Conflicting values break dominance.
+  Pattern other({2, Pattern::kWildcard});
+  EXPECT_FALSE(other.Dominates(specific));
+}
+
+TEST(PatternTest, SameNodeComparesDeterministicSets) {
+  Pattern a({1, Pattern::kWildcard});
+  Pattern b({2, Pattern::kWildcard});
+  Pattern c({Pattern::kWildcard, 0});
+  EXPECT_TRUE(a.SameNode(b));
+  EXPECT_FALSE(a.SameNode(c));
+}
+
+TEST(PatternTest, DistanceWithinNode) {
+  DataSchema schema = SmallSchema();
+  Pattern a({0, 0});
+  Pattern b({1, 0});
+  Pattern c({1, 1});
+  EXPECT_DOUBLE_EQ(a.Distance(b, schema), 1.0);
+  EXPECT_DOUBLE_EQ(a.Distance(c, schema), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(a.Distance(a, schema), 0.0);
+}
+
+TEST(PatternTest, DistanceUsesOrdinalMetric) {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("age", {"a", "b", "c", "d"}, /*ordinal=*/true),
+  };
+  DataSchema schema(std::move(attributes), {0});
+  // NB: Pattern({0}) would resolve to the arity constructor; spell the
+  // vector out for single-element patterns.
+  Pattern first(std::vector<int>{0});
+  Pattern last(std::vector<int>{3});
+  EXPECT_DOUBLE_EQ(first.Distance(last, schema), 3.0);
+}
+
+TEST(PatternTest, ToStringOmitsWildcards) {
+  DataSchema schema = SmallSchema();
+  Pattern pattern({1, Pattern::kWildcard});
+  EXPECT_EQ(pattern.ToString(schema), "(a=a1)");
+  Pattern leaf({2, 0});
+  EXPECT_EQ(leaf.ToString(schema), "(a=a2, b=b0)");
+  Pattern top(2);
+  EXPECT_EQ(top.ToString(schema), "(*)");
+}
+
+TEST(PatternTest, OrderingIsLexicographic) {
+  Pattern a({0, 1});
+  Pattern b({1, 0});
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == Pattern({0, 1}));
+}
+
+}  // namespace
+}  // namespace remedy

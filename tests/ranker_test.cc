@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ranker.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::AddRows;
+using ::remedy::testing::SmallSchema;
+
+// Feature f predicts the label strongly; some rows are "borderline" (their
+// feature disagrees with their label).
+Dataset SignalDataset() {
+  Dataset data(SmallSchema());
+  AddRows(data, 80, 0, 0, 1, 1);  // clear positives (f=1)
+  AddRows(data, 80, 1, 1, 0, 0);  // clear negatives (f=0)
+  AddRows(data, 10, 2, 0, 0, 1);  // borderline positives (f=0)
+  AddRows(data, 10, 2, 1, 1, 0);  // borderline negatives (f=1)
+  return data;
+}
+
+TEST(BorderlineRankerTest, ScoresFollowSignal) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  // First clear positive vs first borderline positive.
+  EXPECT_GT(ranker.Score(data, 0), ranker.Score(data, 160));
+}
+
+TEST(BorderlineRankerTest, BorderlinePositivesRankFirst) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  std::vector<int> positives;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    if (data.Label(r) == 1) positives.push_back(r);
+  }
+  std::vector<int> ranked = ranker.RankBorderline(data, positives, 1);
+  ASSERT_EQ(ranked.size(), positives.size());
+  // The 10 borderline positives (rows 160..169) must lead the ranking.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GE(ranked[i], 160);
+    EXPECT_LT(ranked[i], 170);
+  }
+}
+
+TEST(BorderlineRankerTest, BorderlineNegativesRankFirst) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  std::vector<int> negatives;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    if (data.Label(r) == 0) negatives.push_back(r);
+  }
+  std::vector<int> ranked = ranker.RankBorderline(data, negatives, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GE(ranked[i], 170);  // rows 170..179 look positive
+  }
+}
+
+TEST(BorderlineRankerTest, RankingIsDeterministic) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  std::vector<int> rows;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    if (data.Label(r) == 0) rows.push_back(r);
+  }
+  EXPECT_EQ(ranker.RankBorderline(data, rows, 0),
+            ranker.RankBorderline(data, rows, 0));
+}
+
+TEST(BorderlineRankerTest, EmptyInputGivesEmptyRanking) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  EXPECT_TRUE(ranker.RankBorderline(data, {}, 1).empty());
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/region_counter.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::GridDataset;
+using ::remedy::testing::SmallSchema;
+
+TEST(RegionCounterTest, KeyPatternRoundTrip) {
+  RegionCounter counter(SmallSchema());
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      Pattern pattern({a, b});
+      uint64_t key = counter.KeyFor(pattern, 0b11);
+      EXPECT_EQ(counter.PatternFor(key, 0b11), pattern);
+    }
+  }
+  // Single-attribute node.
+  Pattern only_b({Pattern::kWildcard, 1});
+  uint64_t key = counter.KeyFor(only_b, 0b10);
+  EXPECT_EQ(counter.PatternFor(key, 0b10), only_b);
+}
+
+TEST(RegionCounterTest, KeysAreUniquePerNode) {
+  RegionCounter counter(SmallSchema());
+  std::set<uint64_t> keys;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      keys.insert(counter.KeyFor(Pattern({a, b}), 0b11));
+    }
+  }
+  EXPECT_EQ(keys.size(), 6u);
+}
+
+TEST(RegionCounterTest, CountNodeLeaf) {
+  // cells[a][b] = {positives, negatives}
+  Dataset data = GridDataset({{{2, 3}, {1, 0}},
+                              {{0, 4}, {5, 5}},
+                              {{1, 1}, {0, 0}}});
+  RegionCounter counter(data.schema());
+  auto counts = counter.CountNode(data, 0b11);
+  EXPECT_EQ(counts.size(), 5u);  // (a2,b1) is empty, absent from the map
+  RegionCounts cell = counts.at(counter.KeyFor(Pattern({0, 0}), 0b11));
+  EXPECT_EQ(cell.positives, 2);
+  EXPECT_EQ(cell.negatives, 3);
+  EXPECT_EQ(cell.Total(), 5);
+}
+
+TEST(RegionCounterTest, CountNodeMarginalizes) {
+  Dataset data = GridDataset({{{2, 3}, {1, 0}},
+                              {{0, 4}, {5, 5}},
+                              {{1, 1}, {0, 0}}});
+  RegionCounter counter(data.schema());
+  auto by_a = counter.CountNode(data, 0b01);
+  RegionCounts a0 = by_a.at(counter.KeyFor(
+      Pattern({0, Pattern::kWildcard}), 0b01));
+  EXPECT_EQ(a0.positives, 3);  // 2 + 1
+  EXPECT_EQ(a0.negatives, 3);
+  auto by_b = counter.CountNode(data, 0b10);
+  RegionCounts b1 = by_b.at(counter.KeyFor(
+      Pattern({Pattern::kWildcard, 1}), 0b10));
+  EXPECT_EQ(b1.positives, 6);  // 1 + 5 + 0
+  EXPECT_EQ(b1.negatives, 5);
+}
+
+TEST(RegionCounterTest, NodeCountsSumToDataset) {
+  Dataset data = GridDataset({{{2, 3}, {1, 2}},
+                              {{4, 0}, {5, 5}},
+                              {{1, 1}, {3, 2}}});
+  RegionCounter counter(data.schema());
+  for (uint32_t mask : {0b01u, 0b10u, 0b11u}) {
+    int64_t positives = 0, negatives = 0;
+    for (const auto& [key, counts] : counter.CountNode(data, mask)) {
+      positives += counts.positives;
+      negatives += counts.negatives;
+    }
+    EXPECT_EQ(positives, data.PositiveCount()) << "mask " << mask;
+    EXPECT_EQ(negatives, data.NegativeCount()) << "mask " << mask;
+  }
+}
+
+TEST(RegionCounterTest, CollectRowsPartitions) {
+  Dataset data = GridDataset({{{1, 1}, {0, 0}},
+                              {{0, 0}, {2, 0}},
+                              {{0, 0}, {0, 0}}});
+  RegionCounter counter(data.schema());
+  auto rows = counter.CollectRows(data, 0b11);
+  EXPECT_EQ(rows.size(), 2u);
+  size_t total = 0;
+  for (const auto& [key, group] : rows) total += group.size();
+  EXPECT_EQ(total, static_cast<size_t>(data.NumRows()));
+  // Every row in a group matches the group's pattern.
+  for (const auto& [key, group] : rows) {
+    Pattern pattern = counter.PatternFor(key, 0b11);
+    for (int row : group) EXPECT_TRUE(pattern.Matches(data, row));
+  }
+}
+
+TEST(RegionCounterTest, RowKeyMatchesPatternKey) {
+  Dataset data = GridDataset({{{1, 0}, {1, 0}},
+                              {{1, 0}, {1, 0}},
+                              {{1, 0}, {1, 0}}});
+  RegionCounter counter(data.schema());
+  for (int r = 0; r < data.NumRows(); ++r) {
+    Pattern pattern({data.Value(r, 0), data.Value(r, 1)});
+    EXPECT_EQ(counter.RowKey(data, r, 0b11),
+              counter.KeyFor(pattern, 0b11));
+  }
+}
+
+TEST(RegionCounterTest, DatasetCounts) {
+  Dataset data = GridDataset({{{2, 3}, {0, 0}},
+                              {{0, 0}, {0, 0}},
+                              {{0, 0}, {0, 0}}});
+  RegionCounter counter(data.schema());
+  RegionCounts total = counter.DatasetCounts(data);
+  EXPECT_EQ(total.positives, 2);
+  EXPECT_EQ(total.negatives, 3);
+}
+
+}  // namespace
+}  // namespace remedy

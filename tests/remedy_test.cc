@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/remedy.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::GridDataset;
+
+// ---------------------------------------------------------------------------
+// ComputeUpdate: the Eq. (1) arithmetic, checked against the paper's
+// Example 8 (region with 882 positives, 397 negatives, ratio_rn = 0.64).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kExamplePositives = 882;
+constexpr int64_t kExampleNegatives = 397;
+
+TEST(ComputeUpdateTest, OversampleMatchesExample8) {
+  // Paper: add ~981-984 negatives so 882 / (397 + n) = 0.64.
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kOversample, kExamplePositives,
+                    kExampleNegatives, 0.64);
+  EXPECT_EQ(update.delta_positives, 0);
+  EXPECT_NEAR(static_cast<double>(update.delta_negatives), 981.0, 2.0);
+  double new_ratio =
+      static_cast<double>(kExamplePositives) /
+      (kExampleNegatives + update.delta_negatives);
+  EXPECT_NEAR(new_ratio, 0.64, 0.01);
+}
+
+TEST(ComputeUpdateTest, UndersampleMatchesExample8) {
+  // Paper: remove ~628 positives so (882 - p) / 397 = 0.64.
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kUndersample, kExamplePositives,
+                    kExampleNegatives, 0.64);
+  EXPECT_EQ(update.delta_negatives, 0);
+  EXPECT_NEAR(static_cast<double>(-update.delta_positives), 628.0, 2.0);
+  double new_ratio =
+      static_cast<double>(kExamplePositives + update.delta_positives) /
+      kExampleNegatives;
+  EXPECT_NEAR(new_ratio, 0.64, 0.01);
+}
+
+TEST(ComputeUpdateTest, PreferentialSamplingMatchesExample8) {
+  // Paper: move ~383-384 each way so (882 - k) / (397 + k) = 0.64.
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kPreferentialSampling,
+                    kExamplePositives, kExampleNegatives, 0.64);
+  EXPECT_EQ(update.delta_positives, -update.delta_negatives);
+  EXPECT_NEAR(static_cast<double>(update.delta_negatives), 383.0, 2.0);
+  double new_ratio =
+      static_cast<double>(kExamplePositives + update.delta_positives) /
+      (kExampleNegatives + update.delta_negatives);
+  EXPECT_NEAR(new_ratio, 0.64, 0.01);
+}
+
+TEST(ComputeUpdateTest, MassagingMatchesExample8) {
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kMassaging, kExamplePositives,
+                    kExampleNegatives, 0.64);
+  EXPECT_NEAR(static_cast<double>(update.flips), 383.0, 2.0);
+  EXPECT_EQ(update.delta_positives, -update.flips);
+  EXPECT_EQ(update.delta_negatives, update.flips);
+}
+
+TEST(ComputeUpdateTest, MirroredDirectionAddsPositives) {
+  // Region at ratio 0.25 with target 1.0.
+  RegionUpdate over =
+      ComputeUpdate(RemedyTechnique::kOversample, 25, 100, 1.0);
+  EXPECT_EQ(over.delta_positives, 75);
+  EXPECT_EQ(over.delta_negatives, 0);
+  RegionUpdate under =
+      ComputeUpdate(RemedyTechnique::kUndersample, 25, 100, 1.0);
+  EXPECT_EQ(under.delta_negatives, -75);
+  RegionUpdate ps = ComputeUpdate(RemedyTechnique::kPreferentialSampling, 25,
+                                  100, 1.0);
+  // (25 + k) / (100 - k) = 1  =>  k = 37.5 -> 38 (rounded)
+  EXPECT_EQ(ps.delta_positives, 38);
+  EXPECT_EQ(ps.delta_negatives, -38);
+}
+
+TEST(ComputeUpdateTest, AlreadyMatchingIsNoOp) {
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kOversample, 50, 100, 0.5);
+  EXPECT_EQ(update.delta_positives, 0);
+  EXPECT_EQ(update.delta_negatives, 0);
+  EXPECT_TRUE(update.reachable);
+}
+
+TEST(ComputeUpdateTest, AllPositiveRegionIsTooPositive) {
+  // ratio_r = -1 sentinel must be treated as "too positive", not compared
+  // numerically against the finite target.
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kOversample, 100, 0, 1.0);
+  EXPECT_EQ(update.delta_negatives, 100);
+  EXPECT_EQ(update.delta_positives, 0);
+}
+
+TEST(ComputeUpdateTest, AllPositiveNeighborhoodTargets) {
+  // target_ratio = -1: the neighborhood has no negatives.
+  RegionUpdate over =
+      ComputeUpdate(RemedyTechnique::kOversample, 10, 40, kAllPositiveRatio);
+  EXPECT_FALSE(over.reachable);
+  RegionUpdate under = ComputeUpdate(RemedyTechnique::kUndersample, 10, 40,
+                                     kAllPositiveRatio);
+  EXPECT_EQ(under.delta_negatives, -40);
+  RegionUpdate massage = ComputeUpdate(RemedyTechnique::kMassaging, 10, 40,
+                                       kAllPositiveRatio);
+  EXPECT_EQ(massage.flips, 40);
+}
+
+TEST(ComputeUpdateTest, ZeroTargetUnreachableByOversampling) {
+  RegionUpdate update =
+      ComputeUpdate(RemedyTechnique::kOversample, 50, 50, 0.0);
+  EXPECT_FALSE(update.reachable);
+  // ... but undersampling can remove all positives.
+  RegionUpdate under =
+      ComputeUpdate(RemedyTechnique::kUndersample, 50, 50, 0.0);
+  EXPECT_EQ(under.delta_positives, -50);
+}
+
+TEST(ComputeUpdateTest, ClampsRemovalsToAvailableInstances) {
+  // PS removals are bounded by the class population; duplicates may repeat,
+  // so here k = (100 - 0.02) / 1.01 = 99 positions are removed and the two
+  // borderline negatives are duplicated 99 times.
+  RegionUpdate ps = ComputeUpdate(RemedyTechnique::kPreferentialSampling,
+                                  100, 2, 0.01);
+  EXPECT_EQ(ps.delta_positives, -99);
+  EXPECT_EQ(ps.delta_negatives, 99);
+  double new_ratio = (100.0 - 99.0) / (2.0 + 99.0);
+  EXPECT_NEAR(new_ratio, 0.01, 0.001);
+  // Undersampling can never remove more than the class holds.
+  RegionUpdate under =
+      ComputeUpdate(RemedyTechnique::kUndersample, 5, 1000, 10.0);
+  EXPECT_GE(under.delta_negatives, -1000);
+}
+
+// ---------------------------------------------------------------------------
+// RemedyDataset end-to-end on a grid with planted bias.
+// ---------------------------------------------------------------------------
+
+Dataset PlantedBias() {
+  return GridDataset({{{200, 50}, {50, 50}},
+                      {{50, 50}, {50, 50}},
+                      {{50, 50}, {50, 50}}});
+}
+
+class RemedyTechniqueTest
+    : public ::testing::TestWithParam<RemedyTechnique> {};
+
+TEST_P(RemedyTechniqueTest, ReducesIbsCount) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = GetParam();
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(train, params, &stats);
+  EXPECT_GT(stats.regions_processed, 0);
+  std::vector<BiasedRegion> before = IdentifyIbs(train, params.ibs);
+  std::vector<BiasedRegion> after = IdentifyIbs(remedied, params.ibs);
+  EXPECT_LT(after.size(), before.size())
+      << TechniqueName(GetParam());
+}
+
+TEST_P(RemedyTechniqueTest, InputDatasetIsUntouched) {
+  Dataset train = PlantedBias();
+  int rows_before = train.NumRows();
+  int positives_before = train.PositiveCount();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = GetParam();
+  RemedyDataset(train, params);
+  EXPECT_EQ(train.NumRows(), rows_before);
+  EXPECT_EQ(train.PositiveCount(), positives_before);
+}
+
+TEST_P(RemedyTechniqueTest, IsDeterministic) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = GetParam();
+  params.seed = 77;
+  Dataset first = RemedyDataset(train, params);
+  Dataset second = RemedyDataset(train, params);
+  ASSERT_EQ(first.NumRows(), second.NumRows());
+  for (int r = 0; r < first.NumRows(); ++r) {
+    EXPECT_EQ(first.Row(r), second.Row(r));
+    EXPECT_EQ(first.Label(r), second.Label(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, RemedyTechniqueTest,
+    ::testing::Values(RemedyTechnique::kOversample,
+                      RemedyTechnique::kUndersample,
+                      RemedyTechnique::kPreferentialSampling,
+                      RemedyTechnique::kMassaging),
+    [](const ::testing::TestParamInfo<RemedyTechnique>& info) {
+      return TechniqueName(info.param);
+    });
+
+TEST(RemedyDatasetTest, OversampleOnlyAdds) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kOversample;
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(train, params, &stats);
+  EXPECT_EQ(stats.instances_removed, 0);
+  EXPECT_EQ(stats.labels_flipped, 0);
+  EXPECT_GT(stats.instances_added, 0);
+  EXPECT_EQ(remedied.NumRows(), train.NumRows() + stats.instances_added);
+}
+
+TEST(RemedyDatasetTest, UndersampleOnlyRemoves) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kUndersample;
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(train, params, &stats);
+  EXPECT_EQ(stats.instances_added, 0);
+  EXPECT_GT(stats.instances_removed, 0);
+  EXPECT_EQ(remedied.NumRows(), train.NumRows() - stats.instances_removed);
+}
+
+TEST(RemedyDatasetTest, MassagingPreservesSize) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kMassaging;
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(train, params, &stats);
+  EXPECT_EQ(remedied.NumRows(), train.NumRows());
+  EXPECT_GT(stats.labels_flipped, 0);
+  // Flips move mass from positive to negative in the too-positive region.
+  EXPECT_LT(remedied.PositiveCount(), train.PositiveCount());
+}
+
+TEST(RemedyDatasetTest, PreferentialSamplingPreservesSize) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(train, params, &stats);
+  // PS adds and removes the same count per region.
+  EXPECT_EQ(stats.instances_added, stats.instances_removed);
+  EXPECT_EQ(remedied.NumRows(), train.NumRows());
+}
+
+TEST(RemedyDatasetTest, TargetRatioApproached) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kUndersample;
+  Dataset remedied = RemedyDataset(train, params);
+  // The planted cell's imbalance must now be near its neighbors' ~1.0.
+  int positives = 0, negatives = 0;
+  Pattern cell({0, 0});
+  for (int r = 0; r < remedied.NumRows(); ++r) {
+    if (!cell.Matches(remedied, r)) continue;
+    (remedied.Label(r) ? positives : negatives)++;
+  }
+  ASSERT_GT(negatives, 0);
+  EXPECT_NEAR(static_cast<double>(positives) / negatives, 1.0, 0.55);
+}
+
+TEST(RemedyDatasetTest, AddBudgetIsRespected) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kOversample;
+  params.max_added_total = 10;
+  RemedyStats stats;
+  RemedyDataset(train, params, &stats);
+  EXPECT_LE(stats.instances_added, 10);
+  EXPECT_TRUE(stats.add_budget_exhausted);
+}
+
+TEST(PlanRemedyTest, PreviewsEveryBiasedRegion) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kUndersample;
+  std::vector<PlannedAction> plan = PlanRemedy(train, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params.ibs);
+  ASSERT_EQ(plan.size(), ibs.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].region.pattern, ibs[i].pattern);
+    // The planned update solves Eq. (1) for the previewed counts.
+    RegionUpdate expected = ComputeUpdate(
+        params.technique, ibs[i].counts.positives, ibs[i].counts.negatives,
+        ibs[i].neighbor_ratio);
+    EXPECT_EQ(plan[i].update.delta_positives, expected.delta_positives);
+    EXPECT_EQ(plan[i].update.delta_negatives, expected.delta_negatives);
+  }
+}
+
+TEST(PlanRemedyTest, DoesNotTouchTheDataset) {
+  Dataset train = PlantedBias();
+  int rows = train.NumRows();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  PlanRemedy(train, params);
+  EXPECT_EQ(train.NumRows(), rows);
+}
+
+TEST(PlanRemedyTest, EmptyOnCleanData) {
+  Dataset train = GridDataset({{{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}}});
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.2;
+  EXPECT_TRUE(PlanRemedy(train, params).empty());
+}
+
+// Property sweep over random grids: every technique moves each processed
+// region's imbalance score to (or clearly toward) the Eq. (1) target it was
+// computed against — the per-region postcondition Algorithm 2 guarantees.
+// (The gap against the *recomputed* neighborhood may grow, because fixing
+// one region shifts its neighbors' scores; that is the limitation the paper
+// concedes in Sec. VI and the iterative remedy addresses.)
+class RemedyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, RemedyTechnique>> {};
+
+TEST_P(RemedyPropertyTest, ProcessedRegionsReachTheirOriginalTarget) {
+  auto [seed, technique] = GetParam();
+  Rng rng(seed);
+  std::vector<std::vector<std::pair<int, int>>> cells(3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      cells[a].push_back({40 + rng.UniformInt(150), 40 + rng.UniformInt(150)});
+    }
+  }
+  Dataset train = GridDataset(cells);
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.25;
+  params.ibs.scope = IbsScope::kLeaf;
+  params.technique = technique;
+  params.seed = seed;
+
+  std::vector<BiasedRegion> before = IdentifyIbs(train, params.ibs);
+  ASSERT_FALSE(before.empty()) << "uninformative draw, adjust the seed set";
+  Dataset remedied = RemedyDataset(train, params);
+
+  Hierarchy hierarchy(remedied);
+  uint32_t leaf = hierarchy.LeafMask();
+  const auto& node = hierarchy.NodeCounts(leaf);
+  for (const BiasedRegion& region : before) {
+    auto it = node.find(hierarchy.counter().KeyFor(region.pattern, leaf));
+    if (it == node.end()) continue;  // fully undersampled away
+    double target = region.neighbor_ratio;  // the Eq. (1) target
+    double distance_before = std::fabs(region.ratio - target);
+    double distance_after = std::fabs(ImbalanceScore(it->second) - target);
+    // Rounding to whole instances leaves at most a small residual.
+    EXPECT_LT(distance_after,
+              std::max(0.05, 0.5 * distance_before))
+        << TechniqueName(technique) << " seed " << seed << " region "
+        << region.pattern.ToString(train.schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, RemedyPropertyTest,
+    ::testing::Combine(
+        ::testing::Range(0, 5),
+        ::testing::Values(RemedyTechnique::kOversample,
+                          RemedyTechnique::kUndersample,
+                          RemedyTechnique::kPreferentialSampling,
+                          RemedyTechnique::kMassaging)),
+    [](const ::testing::TestParamInfo<std::tuple<int, RemedyTechnique>>&
+           info) {
+      return TechniqueName(std::get<1>(info.param)) +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(IterativeRemedyTest, ConvergesOnPlantedBias) {
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.5;
+  params.technique = RemedyTechnique::kUndersample;
+  IterativeRemedyResult result = RemedyUntilConverged(train, params, 5);
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_GT(result.total_stats.instances_removed, 0);
+  // Residual IBS shrinks monotonically to convergence (or stalls).
+  std::vector<BiasedRegion> residual =
+      IdentifyIbs(result.dataset, params.ibs);
+  if (result.converged) {
+    EXPECT_TRUE(residual.empty());
+  } else {
+    EXPECT_LE(residual.size(), IdentifyIbs(train, params.ibs).size());
+  }
+}
+
+TEST(IterativeRemedyTest, CleanDataConvergesInZeroRounds) {
+  Dataset train = GridDataset({{{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}}});
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.2;
+  IterativeRemedyResult result = RemedyUntilConverged(train, params);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0);
+  EXPECT_EQ(result.dataset.NumRows(), train.NumRows());
+}
+
+TEST(IterativeRemedyTest, ExtraRoundsReduceResidualIbs) {
+  // One pass typically leaves some residual bias (the paper's stated
+  // limitation); extra passes must not leave more.
+  Dataset train = PlantedBias();
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.3;
+  params.technique = RemedyTechnique::kPreferentialSampling;
+  Dataset one_pass = RemedyDataset(train, params);
+  size_t residual_after_one = IdentifyIbs(one_pass, params.ibs).size();
+  IterativeRemedyResult iterated = RemedyUntilConverged(train, params, 4);
+  size_t residual_after_many =
+      IdentifyIbs(iterated.dataset, params.ibs).size();
+  EXPECT_LE(residual_after_many, residual_after_one);
+}
+
+TEST(RemedyDatasetTest, CleanDataIsANoOp) {
+  Dataset train = GridDataset({{{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}},
+                               {{50, 50}, {50, 50}}});
+  RemedyParams params;
+  params.ibs.imbalance_threshold = 0.2;
+  RemedyStats stats;
+  Dataset remedied = RemedyDataset(train, params, &stats);
+  EXPECT_EQ(stats.regions_processed, 0);
+  EXPECT_EQ(remedied.NumRows(), train.NumRows());
+}
+
+}  // namespace
+}  // namespace remedy

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "fairness/report.h"
+#include "ml/model_factory.h"
+#include "test_util.h"
+
+namespace remedy {
+namespace {
+
+using ::remedy::testing::AddRows;
+using ::remedy::testing::GridDataset;
+
+// Planted bias grid: (a0, b0) is heavily positive-skewed. The feature
+// column is deliberately uninformative (constant) so classifiers fall back
+// on region majorities — the mechanism behind Hypothesis 1.
+Dataset Biased() {
+  Dataset data(remedy::testing::SmallSchema());
+  auto cell = [&](int a, int b, int positives, int negatives) {
+    AddRows(data, positives, a, b, /*f=*/0, 1);
+    AddRows(data, negatives, a, b, /*f=*/0, 0);
+  };
+  cell(0, 0, 240, 60);  // positive-skewed pocket
+  cell(0, 1, 50, 70);   // everything else leans slightly negative
+  cell(1, 0, 50, 70);
+  cell(1, 1, 50, 70);
+  cell(2, 0, 50, 70);
+  cell(2, 1, 50, 70);
+  return data;
+}
+
+struct Fixture {
+  Dataset train;
+  Dataset test;
+  std::vector<int> predictions;
+};
+
+Fixture MakeFixture() {
+  Rng rng(5);
+  Dataset data = Biased();
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
+  model->Fit(train);
+  return {train, test, model->PredictAll(test)};
+}
+
+TEST(AuditReportTest, ProducesSectionsPerStatistic) {
+  Fixture fixture = MakeFixture();
+  AuditOptions options;
+  options.statistics = {Statistic::kFpr, Statistic::kFnr,
+                        Statistic::kStatisticalParity};
+  AuditReport report =
+      RunAudit(fixture.train, fixture.test, fixture.predictions, options);
+  ASSERT_EQ(report.sections.size(), 3u);
+  EXPECT_EQ(report.sections[0].statistic, Statistic::kFpr);
+  EXPECT_EQ(report.sections[2].statistic, Statistic::kStatisticalParity);
+  EXPECT_EQ(report.test_rows, fixture.test.NumRows());
+  EXPECT_GT(report.accuracy, 0.5);
+  EXPECT_GT(report.ibs_size, 0u);
+}
+
+TEST(AuditReportTest, UnfairSubgroupsAlignWithIbs) {
+  Fixture fixture = MakeFixture();
+  AuditReport report =
+      RunAudit(fixture.train, fixture.test, fixture.predictions);
+  bool any_unfair = false;
+  for (const auto& section : report.sections) {
+    any_unfair |= !section.unfair.empty();
+    ASSERT_EQ(section.unfair.size(), section.aligned_with_ibs.size());
+  }
+  EXPECT_TRUE(any_unfair);
+  EXPECT_GT(report.AlignmentFraction(), 0.5);
+}
+
+TEST(AuditReportTest, MaxReportedSubgroupsCaps) {
+  Fixture fixture = MakeFixture();
+  AuditOptions options;
+  options.max_reported_subgroups = 1;
+  options.discrimination_threshold = 0.01;
+  AuditReport report =
+      RunAudit(fixture.train, fixture.test, fixture.predictions, options);
+  for (const auto& section : report.sections) {
+    EXPECT_LE(section.unfair.size(), 1u);
+  }
+}
+
+TEST(AuditReportTest, AlignmentFractionIsOneWithoutUnfairness) {
+  // Balanced data, perfect predictions: nothing unfair.
+  Dataset data = GridDataset({{{60, 60}, {60, 60}},
+                              {{60, 60}, {60, 60}},
+                              {{60, 60}, {60, 60}}});
+  Rng rng(6);
+  auto [train, test] = data.TrainTestSplit(0.7, rng);
+  std::vector<int> predictions(test.NumRows());
+  for (int r = 0; r < test.NumRows(); ++r) predictions[r] = test.Label(r);
+  AuditReport report = RunAudit(train, test, predictions);
+  EXPECT_DOUBLE_EQ(report.AlignmentFraction(), 1.0);
+  for (const auto& section : report.sections) {
+    EXPECT_TRUE(section.unfair.empty());
+    EXPECT_DOUBLE_EQ(section.fairness_index, 0.0);
+  }
+}
+
+TEST(AuditReportTest, PrintsReadableReport) {
+  Fixture fixture = MakeFixture();
+  AuditReport report =
+      RunAudit(fixture.train, fixture.test, fixture.predictions);
+  std::ostringstream out;
+  PrintAuditReport(report, fixture.test.schema(), out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("Fairness audit"), std::string::npos);
+  EXPECT_NE(text.find("[FPR]"), std::string::npos);
+  EXPECT_NE(text.find("IBS alignment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remedy

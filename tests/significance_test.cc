@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairness/significance.h"
+
+namespace remedy {
+namespace {
+
+TEST(IncompleteBetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(IncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(IncompleteBeta(2.0, 2.0, x), x * x * (3 - 2 * x), 1e-10);
+  }
+  // I_x(1, b) = 1 - (1 - x)^b.
+  EXPECT_NEAR(IncompleteBeta(1.0, 4.0, 0.3), 1 - std::pow(0.7, 4), 1e-10);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(IncompleteBeta(3.0, 5.0, 0.4),
+              1.0 - IncompleteBeta(5.0, 3.0, 0.6), 1e-10);
+}
+
+TEST(StudentTTest, ReferencePValues) {
+  // R: 2 * pt(-2.0, df = 10) = 0.07338803
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.0, 10.0), 0.0733880, 1e-6);
+  // R: 2 * pt(-1.0, df = 30) = 0.3253086
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.0, 30.0), 0.3253086, 1e-6);
+  // Large t is overwhelmingly significant.
+  EXPECT_LT(StudentTTwoSidedPValue(10.0, 50.0), 1e-10);
+  // t = 0 is perfectly insignificant.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(StudentTTest, SymmetricInT) {
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(2.5, 12.0),
+                   StudentTTwoSidedPValue(-2.5, 12.0));
+}
+
+TEST(WelchTTest, EqualSamplesAreInsignificant) {
+  TTestResult result = WelchTTest(0.5, 0.25, 100, 0.5, 0.25, 100);
+  EXPECT_NEAR(result.t, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(WelchTTest, ClearlyDifferentMeansAreSignificant) {
+  TTestResult result = WelchTTest(0.9, 0.09, 200, 0.1, 0.09, 200);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(std::fabs(result.t), 5.0);
+}
+
+TEST(WelchTTest, ReferenceValue) {
+  // Means 5 vs 4, sample variances 2 vs 3, sizes 30 vs 40:
+  //   t  = 1 / sqrt(2/30 + 3/40)           = 2.65684
+  //   df = se^2 / (se1^2/29 + se2^2/39)    = 67.4632
+  //   p  = 2 * P(T_df > t)                 = 0.0098365
+  TTestResult result = WelchTTest(5.0, 2.0, 30, 4.0, 3.0, 40);
+  EXPECT_NEAR(result.t, 2.65684, 1e-4);
+  EXPECT_NEAR(result.degrees_of_freedom, 67.4632, 1e-3);
+  EXPECT_NEAR(result.p_value, 0.0098365, 1e-6);
+}
+
+TEST(WelchTTest, TinySamplesAreNeverSignificant) {
+  EXPECT_DOUBLE_EQ(WelchTTest(1.0, 0.0, 1, 0.0, 0.0, 100).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(WelchTTest(1.0, 0.0, 0, 0.0, 0.25, 100).p_value, 1.0);
+}
+
+TEST(WelchTTest, DegenerateVariances) {
+  // Two constant samples with the same mean: not significant.
+  EXPECT_DOUBLE_EQ(WelchTTest(0.3, 0.0, 50, 0.3, 0.0, 50).p_value, 1.0);
+  // Two constant samples with different means: trivially significant.
+  EXPECT_DOUBLE_EQ(WelchTTest(0.0, 0.0, 50, 1.0, 0.0, 50).p_value, 0.0);
+}
+
+TEST(WelchTTestBernoulli, MatchesManualComputation) {
+  // 30/100 vs 10/100 successes.
+  TTestResult bernoulli = WelchTTestBernoulli(30, 100, 10, 100);
+  double p1 = 0.3, p2 = 0.1;
+  double v1 = p1 * (1 - p1) * 100 / 99.0, v2 = p2 * (1 - p2) * 100 / 99.0;
+  TTestResult manual = WelchTTest(p1, v1, 100, p2, v2, 100);
+  EXPECT_DOUBLE_EQ(bernoulli.t, manual.t);
+  EXPECT_DOUBLE_EQ(bernoulli.p_value, manual.p_value);
+  EXPECT_LT(bernoulli.p_value, 0.01);
+}
+
+TEST(WelchTTestBernoulli, SameRatesInsignificant) {
+  EXPECT_GT(WelchTTestBernoulli(20, 100, 200, 1000).p_value, 0.9);
+}
+
+TEST(WelchTTestBernoulli, ZeroSuccessesBothSides) {
+  // Constant all-failure samples: equal means, never significant.
+  EXPECT_DOUBLE_EQ(WelchTTestBernoulli(0, 50, 0, 500).p_value, 1.0);
+  // One side all-failure, other side all-success: trivially significant.
+  EXPECT_DOUBLE_EQ(WelchTTestBernoulli(0, 50, 500, 500).p_value, 0.0);
+}
+
+TEST(WelchTTestBernoulli, MoreEvidenceIsMoreSignificant) {
+  // Same rates (0.3 vs 0.15), growing sample sizes: p must shrink.
+  double previous = 1.0;
+  for (int n : {40, 100, 400, 1600}) {
+    double p = WelchTTestBernoulli(3 * n / 10, n, 3 * n / 20, n).p_value;
+    EXPECT_LT(p, previous + 1e-12) << n;
+    previous = p;
+  }
+  EXPECT_LT(previous, 0.001);
+}
+
+}  // namespace
+}  // namespace remedy

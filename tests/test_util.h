@@ -1,0 +1,48 @@
+#ifndef REMEDY_TESTS_TEST_UTIL_H_
+#define REMEDY_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace remedy::testing {
+
+// A tiny two-protected-attribute schema used across the unit tests:
+//   a (protected, 3 values), b (protected, 2 values), f (feature, 2 values).
+inline DataSchema SmallSchema() {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("a", {"a0", "a1", "a2"}),
+      AttributeSchema("b", {"b0", "b1"}),
+      AttributeSchema("f", {"f0", "f1"}),
+  };
+  return DataSchema(std::move(attributes), {0, 1});
+}
+
+// Adds `count` copies of the row (a, b, f) with the given label.
+inline void AddRows(Dataset& data, int count, int a, int b, int f,
+                    int label) {
+  for (int i = 0; i < count; ++i) data.AddRow({a, b, f}, label);
+}
+
+// A dataset whose (a, b) cells have hand-picked positive/negative counts:
+// cells[a][b] = {positives, negatives}. The feature column mirrors the
+// label so classifiers have signal.
+inline Dataset GridDataset(
+    const std::vector<std::vector<std::pair<int, int>>>& cells) {
+  Dataset data(SmallSchema());
+  for (size_t a = 0; a < cells.size(); ++a) {
+    for (size_t b = 0; b < cells[a].size(); ++b) {
+      AddRows(data, cells[a][b].first, static_cast<int>(a),
+              static_cast<int>(b), 1, 1);
+      AddRows(data, cells[a][b].second, static_cast<int>(a),
+              static_cast<int>(b), 0, 0);
+    }
+  }
+  return data;
+}
+
+}  // namespace remedy::testing
+
+#endif  // REMEDY_TESTS_TEST_UTIL_H_
