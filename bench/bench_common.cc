@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "common/rng.h"
 #include "fairness/fairness_index.h"
@@ -34,6 +38,70 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref,
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("Expected shape: %s\n", expectation.c_str());
   std::printf("==============================================================\n\n");
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+void JsonResultWriter::AddRecord(const std::string& section,
+                                 const Record& record) {
+  for (auto& [name, records] : sections_) {
+    if (name == section) {
+      records.push_back(record);
+      return;
+    }
+  }
+  sections_.push_back({section, {record}});
+}
+
+namespace {
+
+void AppendNumber(std::ostringstream& out, double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    out << static_cast<int64_t>(value);
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    out << buffer;
+  }
+}
+
+}  // namespace
+
+std::string JsonResultWriter::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    out << "  \"" << sections_[s].first << "\": [\n";
+    const std::vector<Record>& records = sections_[s].second;
+    for (size_t r = 0; r < records.size(); ++r) {
+      out << "    {";
+      for (size_t f = 0; f < records[r].size(); ++f) {
+        out << "\"" << records[r][f].first << "\": ";
+        AppendNumber(out, records[r][f].second);
+        if (f + 1 < records[r].size()) out << ", ";
+      }
+      out << (r + 1 < records.size() ? "},\n" : "}\n");
+    }
+    out << (s + 1 < sections_.size() ? "  ],\n" : "  ]\n");
+  }
+  out << "}\n";
+  return out.str();
+}
+
+bool JsonResultWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << ToJson();
+  return static_cast<bool>(out);
 }
 
 }  // namespace remedy::bench

@@ -30,6 +30,33 @@ EvalResult Evaluate(const Dataset& train, const Dataset& test, ModelType type,
 void PrintBanner(const std::string& experiment, const std::string& paper_ref,
                  const std::string& expectation);
 
+// Returns the value following a `--json <path>` argument, or "" when the
+// flag is absent. Lets experiment binaries emit machine-readable results
+// next to their console tables.
+std::string JsonPathFromArgs(int argc, char** argv);
+
+// Minimal machine-readable results sink: named sections, each an array of
+// flat numeric records, serialized as one JSON object. Covers everything
+// the bench tables report (sizes, timings, speedups) without pulling in a
+// JSON dependency.
+class JsonResultWriter {
+ public:
+  using Record = std::vector<std::pair<std::string, double>>;
+
+  // Appends `record` to `section` (sections appear in first-use order).
+  void AddRecord(const std::string& section, const Record& record);
+
+  // Serializes all sections, e.g. {"section": [{"k": 1, ...}, ...], ...}.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`. Returns false (and prints to stderr) on I/O
+  // failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<Record>>> sections_;
+};
+
 }  // namespace remedy::bench
 
 #endif  // REMEDY_BENCH_BENCH_COMMON_H_

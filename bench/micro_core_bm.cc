@@ -54,7 +54,52 @@ void BM_HierarchyAllNodes(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_HierarchyAllNodes)->Arg(3)->Arg(5)->Arg(6);
+BENCHMARK(BM_HierarchyAllNodes)->Arg(3)->Arg(5)->Arg(6)->Arg(8);
+
+// One rollup step: derive a level-7 node from the |X| = 8 leaf. This is the
+// per-node cost the lattice pays instead of a dataset scan.
+void BM_RollUpOneLevel(benchmark::State& state) {
+  const Dataset& data = AdultData(8);
+  RegionCounter counter(data.schema());
+  const uint32_t leaf = (1u << counter.NumProtected()) - 1u;
+  const NodeTable leaf_table = counter.CountNode(data, leaf);
+  const uint32_t parent = leaf & ~1u;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.RollUp(leaf_table, leaf, parent));
+  }
+  state.SetItemsProcessed(state.iterations() * leaf_table.size());
+}
+BENCHMARK(BM_RollUpOneLevel);
+
+// Whole-lattice build through EagerBuild at the given worker count.
+void BM_EagerBuild(benchmark::State& state) {
+  const Dataset& data = AdultData(8);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Hierarchy hierarchy(data);
+    hierarchy.EagerBuild(threads);
+    benchmark::DoNotOptimize(hierarchy.NodeCounts(hierarchy.LeafMask()));
+  }
+}
+BENCHMARK(BM_EagerBuild)->Arg(1)->Arg(4);
+
+// Binary-search lookups against the flat sorted node storage.
+void BM_NodeTableFind(benchmark::State& state) {
+  const Dataset& data = AdultData(8);
+  RegionCounter counter(data.schema());
+  const uint32_t leaf = (1u << counter.NumProtected()) - 1u;
+  const NodeTable table = counter.CountNode(data, leaf);
+  std::vector<uint64_t> keys;
+  keys.reserve(table.size());
+  for (const auto& [key, counts] : table) keys.push_back(key);
+  for (auto _ : state) {
+    for (uint64_t key : keys) {
+      benchmark::DoNotOptimize(table.find(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_NodeTableFind);
 
 void BM_NeighborCountsNaive(benchmark::State& state) {
   const Dataset& data = CompasData();

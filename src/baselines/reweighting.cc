@@ -1,7 +1,5 @@
 #include "baselines/reweighting.h"
 
-#include <unordered_map>
-
 #include "common/check.h"
 #include "core/region_counter.h"
 
@@ -11,8 +9,7 @@ Dataset ApplyReweighting(const Dataset& train) {
   REMEDY_CHECK(train.NumRows() > 0);
   RegionCounter counter(train.schema());
   uint32_t leaf_mask = (1u << counter.NumProtected()) - 1u;
-  std::unordered_map<uint64_t, RegionCounts> groups =
-      counter.CountNode(train, leaf_mask);
+  NodeTable groups = counter.CountNode(train, leaf_mask);
 
   const double n = train.NumRows();
   const double positives = train.PositiveCount();

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace remedy {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  REMEDY_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    REMEDY_CHECK(!stop_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  if (num_threads() == 1 || count == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Per-call completion state so concurrent ParallelFor / Submit callers
+  // cannot observe each other through Wait().
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t running = 0;
+  };
+  auto state = std::make_shared<State>();
+  const int64_t tasks =
+      std::min<int64_t>(count, static_cast<int64_t>(num_threads()));
+  state->running = tasks;
+  for (int64_t t = 0; t < tasks; ++t) {
+    // `fn` outlives the call because we block below.
+    Submit([state, count, &fn] {
+      for (int64_t i = state->next.fetch_add(1); i < count;
+           i = state->next.fetch_add(1)) {
+        fn(i);
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->running == 0) state->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->running == 0; });
+}
+
+int ThreadPool::DefaultThreads() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace remedy

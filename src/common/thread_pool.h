@@ -1,0 +1,63 @@
+#ifndef REMEDY_COMMON_THREAD_POOL_H_
+#define REMEDY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace remedy {
+
+// Small reusable worker pool for data-parallel phases (e.g. the hierarchy's
+// EagerBuild, which evaluates all lattice nodes of one level concurrently).
+//
+// Tasks are plain std::function<void()> drained FIFO by `num_threads` worker
+// threads. The pool is intentionally minimal: no futures, no task stealing —
+// callers that need a barrier use Wait() or the blocking ParallelFor().
+// Exceptions must not escape tasks (the library is exception-free; CHECK
+// aborts instead).
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Joins the workers after draining already-submitted tasks.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Runs fn(i) for every i in [0, count) across the pool and blocks until
+  // all calls have returned. Work is claimed one index at a time off a
+  // shared counter, so uneven per-index costs balance automatically.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  // std::thread::hardware_concurrency() with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task queued / stop
+  std::condition_variable idle_cv_;  // signals Wait(): pending_ hit zero
+  int64_t pending_ = 0;              // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_COMMON_THREAD_POOL_H_

@@ -3,21 +3,70 @@
 #include <bit>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace remedy {
 
 Hierarchy::Hierarchy(const Dataset& data)
     : data_(&data), counter_(data.schema()) {}
 
-const std::unordered_map<uint64_t, RegionCounts>& Hierarchy::NodeCounts(
-    uint32_t mask) {
+const NodeTable& Hierarchy::NodeCounts(uint32_t mask) {
   REMEDY_CHECK(mask != 0 && (mask & ~LeafMask()) == 0)
       << "invalid node mask " << mask;
   auto it = node_cache_.find(mask);
   if (it == node_cache_.end()) {
-    it = node_cache_.emplace(mask, counter_.CountNode(*data_, mask)).first;
+    NodeTable table = BuildNode(mask);
+    it = node_cache_.emplace(mask, std::move(table)).first;
   }
   return it->second;
+}
+
+NodeTable Hierarchy::BuildNode(uint32_t mask) {
+  if (mask == LeafMask()) return counter_.CountNode(*data_, mask);
+  // Prefer any already-built child (one extra deterministic attribute);
+  // otherwise recurse through the lowest missing position, terminating at
+  // the leaf scan. Any child yields the same counts: rolling up a marginal
+  // is exact whichever attribute order the projection takes.
+  const uint32_t missing = LeafMask() & ~mask;
+  for (uint32_t bits = missing; bits != 0; bits &= bits - 1) {
+    const uint32_t child = mask | (bits & (~bits + 1));
+    auto it = node_cache_.find(child);
+    if (it != node_cache_.end()) {
+      return counter_.RollUp(it->second, child, mask);
+    }
+  }
+  const uint32_t child = mask | (missing & (~missing + 1));
+  return counter_.RollUp(NodeCounts(child), child, mask);
+}
+
+void Hierarchy::EagerBuild(int threads) {
+  if (threads <= 0) threads = ThreadPool::DefaultThreads();
+  NodeCounts(LeafMask());  // the one dataset scan
+  TotalCounts();
+  if (NumProtected() == 1) return;
+
+  ThreadPool pool(threads);
+  for (int level = NumProtected() - 1; level >= 1; --level) {
+    // Pre-insert this level's slots single-threaded so the parallel phase
+    // never mutates the cache map — workers fill distinct, already-inserted
+    // values and only read the fully-built level below.
+    std::vector<std::pair<uint32_t, NodeTable*>> work;
+    for (uint32_t mask : MasksAtLevel(level)) {
+      auto [it, inserted] = node_cache_.try_emplace(mask);
+      if (inserted) work.emplace_back(mask, &it->second);
+    }
+    pool.ParallelFor(
+        static_cast<int64_t>(work.size()), [this, &work](int64_t i) {
+          const uint32_t mask = work[i].first;
+          // Fixed child choice (lowest missing position) keeps the build
+          // independent of scheduling; every level-(L+1) superset exists.
+          const uint32_t missing = LeafMask() & ~mask;
+          const uint32_t child = mask | (missing & (~missing + 1));
+          auto child_it = node_cache_.find(child);
+          REMEDY_CHECK(child_it != node_cache_.end());
+          *work[i].second = counter_.RollUp(child_it->second, child, mask);
+        });
+  }
 }
 
 const RegionCounts& Hierarchy::TotalCounts() {
@@ -40,11 +89,20 @@ std::vector<uint32_t> Hierarchy::ParentMasks(uint32_t mask) {
 }
 
 std::vector<uint32_t> Hierarchy::MasksAtLevel(int level) const {
-  REMEDY_CHECK(level >= 1 && level <= NumProtected());
+  const int n = NumProtected();
+  REMEDY_CHECK(level >= 1 && level <= n);
+  if (level == n) return {LeafMask()};
+  // Enumerate the C(n, level) masks directly with Gosper's hack: from each
+  // combination, the next one in ascending numeric order is formed from its
+  // lowest set bit `low` and the carry `ripple`. No scan over all 2^n masks.
   std::vector<uint32_t> masks;
-  const uint32_t leaf = LeafMask();
-  for (uint32_t mask = 1; mask <= leaf; ++mask) {
-    if (std::popcount(mask) == level) masks.push_back(mask);
+  uint64_t mask = (uint64_t{1} << level) - 1;
+  const uint64_t limit = LeafMask();
+  while (mask <= limit) {
+    masks.push_back(static_cast<uint32_t>(mask));
+    const uint64_t low = mask & (~mask + 1);
+    const uint64_t ripple = mask + low;
+    mask = (((mask ^ ripple) >> 2) / low) | ripple;
   }
   return masks;
 }

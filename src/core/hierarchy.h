@@ -16,10 +16,13 @@ namespace remedy {
 // popcount of that mask. Level 0 is the entire dataset, the leaf level has
 // all attributes deterministic.
 //
-// Node region counts are computed lazily (one dataset pass per node) and
-// memoized, so callers that only touch a slice of the lattice — the Leaf /
-// Top identification scopes, or the per-node re-identification of the remedy
-// loop — pay only for what they use. `Invalidate()` drops the memo after the
+// Counting engine: only the leaf node is ever counted with a dataset scan;
+// every coarser node is derived from an already-built node one level below
+// via RegionCounter::RollUp, so materializing any slice of the lattice costs
+// at most one O(rows) pass plus per-node merges over the non-empty regions.
+// Nodes are memoized lazily on first access; EagerBuild() precomputes the
+// whole lattice level by level, optionally fanning the independent nodes of
+// a level out over a thread pool. `Invalidate()` drops the memo after the
 // underlying dataset changes.
 class Hierarchy {
  public:
@@ -35,8 +38,16 @@ class Hierarchy {
   const RegionCounter& counter() const { return counter_; }
   const Dataset& data() const { return *data_; }
 
-  // Region counts of node `mask` (memoized).
-  const std::unordered_map<uint64_t, RegionCounts>& NodeCounts(uint32_t mask);
+  // Region counts of node `mask` (memoized; built by rollup, see above).
+  const NodeTable& NodeCounts(uint32_t mask);
+
+  // Materializes every lattice node (leaf scan + bottom-up rollups) plus the
+  // level-0 totals. `threads` > 1 evaluates the nodes of each level in
+  // parallel; 0 means ThreadPool::DefaultThreads(). Levels are barriers: the
+  // workers of level L only read the already-built level L + 1, never nodes
+  // of their own level, so the build is race-free and its result is
+  // identical for every thread count.
+  void EagerBuild(int threads = 0);
 
   // Counts of the whole dataset (level-0 node).
   const RegionCounts& TotalCounts();
@@ -57,10 +68,13 @@ class Hierarchy {
   void Invalidate();
 
  private:
+  // Computes node `mask` from the cheapest available source: a leaf scan,
+  // or a rollup of a (possibly recursively built) child one level below.
+  NodeTable BuildNode(uint32_t mask);
+
   const Dataset* data_;
   RegionCounter counter_;
-  std::unordered_map<uint32_t, std::unordered_map<uint64_t, RegionCounts>>
-      node_cache_;
+  std::unordered_map<uint32_t, NodeTable> node_cache_;
   RegionCounts total_counts_;
   bool total_valid_ = false;
 };

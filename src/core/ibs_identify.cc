@@ -1,7 +1,7 @@
 #include "core/ibs_identify.h"
 
-#include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/check.h"
 
@@ -33,18 +33,13 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
       params.algorithm == IbsAlgorithm::kOptimized &&
       neighborhood.SupportsOptimized(mask);
 
-  // Sort region keys for deterministic output (hash-map order is not).
-  const auto& node = hierarchy.NodeCounts(mask);
-  std::vector<uint64_t> keys;
-  keys.reserve(node.size());
-  for (const auto& [key, counts] : node) {
-    if (counts.Total() > params.min_region_size) keys.push_back(key);
-  }
-  std::sort(keys.begin(), keys.end());
-
+  // NodeTable iteration is already in ascending key order, so the sweep is
+  // deterministic without re-sorting, and each entry carries its counts —
+  // no second lookup per region.
+  const NodeTable& node = hierarchy.NodeCounts(mask);
   std::vector<BiasedRegion> biased;
-  for (uint64_t key : keys) {
-    const RegionCounts& counts = node.at(key);
+  for (const auto& [key, counts] : node) {
+    if (counts.Total() <= params.min_region_size) continue;
     Pattern pattern = hierarchy.counter().PatternFor(key, mask);
     RegionCounts neighbor_counts =
         use_optimized

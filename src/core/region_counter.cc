@@ -1,8 +1,51 @@
 #include "core/region_counter.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/check.h"
 
 namespace remedy {
+namespace {
+
+// Below this key-space size CountNode accumulates into a dense array indexed
+// by key instead of a hash map: one predictable store per row, no hashing,
+// and the collection pass emits keys already sorted.
+constexpr uint64_t kDenseKeySpaceLimit = uint64_t{1} << 21;
+
+}  // namespace
+
+NodeTable::NodeTable(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  // Merge duplicate keys in place (rollup projections collapse sibling
+  // regions onto the same parent key).
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].first == entries_[i].first) {
+      entries_[out - 1].second.positives += entries_[i].second.positives;
+      entries_[out - 1].second.negatives += entries_[i].second.negatives;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+NodeTable::const_iterator NodeTable::find(uint64_t key) const {
+  const_iterator it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& entry, uint64_t k) { return entry.first < k; });
+  if (it == entries_.end() || it->first != key) return entries_.end();
+  return it;
+}
+
+const RegionCounts& NodeTable::at(uint64_t key) const {
+  const_iterator it = find(key);
+  REMEDY_CHECK(it != end()) << "region key " << key << " not in node";
+  return it->second;
+}
 
 RegionCounter::RegionCounter(const DataSchema& schema)
     : protected_cols_(schema.protected_indices()) {
@@ -20,6 +63,14 @@ RegionCounter::RegionCounter(const DataSchema& schema)
         << "protected-attribute domain too large to pack into 64-bit keys";
     capacity *= static_cast<uint64_t>(cardinality);
   }
+}
+
+uint64_t RegionCounter::KeySpace(uint32_t mask) const {
+  uint64_t space = 1;
+  for (int i = 0; i < NumProtected(); ++i) {
+    if (mask & (1u << i)) space *= static_cast<uint64_t>(cardinalities_[i]);
+  }
+  return space;
 }
 
 uint64_t RegionCounter::KeyFor(const Pattern& pattern, uint32_t mask) const {
@@ -58,18 +109,66 @@ uint64_t RegionCounter::RowKey(const Dataset& data, int row,
   return key;
 }
 
-std::unordered_map<uint64_t, RegionCounts> RegionCounter::CountNode(
-    const Dataset& data, uint32_t mask) const {
-  std::unordered_map<uint64_t, RegionCounts> counts;
-  for (int r = 0; r < data.NumRows(); ++r) {
-    RegionCounts& entry = counts[RowKey(data, r, mask)];
-    if (data.Label(r) == 1) {
-      ++entry.positives;
-    } else {
-      ++entry.negatives;
+NodeTable RegionCounter::CountNode(const Dataset& data, uint32_t mask) const {
+  std::vector<NodeTable::Entry> entries;
+  const uint64_t key_space = KeySpace(mask);
+  if (key_space <= kDenseKeySpaceLimit) {
+    std::vector<RegionCounts> dense(key_space);
+    for (int r = 0; r < data.NumRows(); ++r) {
+      RegionCounts& entry = dense[RowKey(data, r, mask)];
+      if (data.Label(r) == 1) {
+        ++entry.positives;
+      } else {
+        ++entry.negatives;
+      }
+    }
+    for (uint64_t key = 0; key < key_space; ++key) {
+      if (dense[key].Total() > 0) entries.emplace_back(key, dense[key]);
+    }
+  } else {
+    std::unordered_map<uint64_t, RegionCounts> counts;
+    for (int r = 0; r < data.NumRows(); ++r) {
+      RegionCounts& entry = counts[RowKey(data, r, mask)];
+      if (data.Label(r) == 1) {
+        ++entry.positives;
+      } else {
+        ++entry.negatives;
+      }
+    }
+    entries.assign(counts.begin(), counts.end());
+  }
+  return NodeTable(std::move(entries));
+}
+
+NodeTable RegionCounter::RollUp(const NodeTable& child, uint32_t child_mask,
+                                uint32_t parent_mask) const {
+  REMEDY_CHECK((parent_mask & ~child_mask) == 0)
+      << "parent node must drop attributes of the child node";
+  const uint32_t removed = child_mask ^ parent_mask;
+  REMEDY_CHECK(removed != 0 && (removed & (removed - 1)) == 0)
+      << "RollUp projects out exactly one attribute per step";
+  const int position = std::countr_zero(removed);
+
+  // Mixed-radix layout of a child key (position 0 most significant):
+  //   key = (high * card_p + v_p) * low_radix + low
+  // where low spans the deterministic positions after `position`. Dropping
+  // the v_p digit yields exactly the parent node's packing.
+  uint64_t low_radix = 1;
+  for (int i = position + 1; i < NumProtected(); ++i) {
+    if (child_mask & (1u << i)) {
+      low_radix *= static_cast<uint64_t>(cardinalities_[i]);
     }
   }
-  return counts;
+  const uint64_t card_p = static_cast<uint64_t>(cardinalities_[position]);
+
+  std::vector<NodeTable::Entry> entries;
+  entries.reserve(child.size());
+  for (const NodeTable::Entry& entry : child) {
+    const uint64_t low = entry.first % low_radix;
+    const uint64_t high = entry.first / low_radix / card_p;
+    entries.emplace_back(high * low_radix + low, entry.second);
+  }
+  return NodeTable(std::move(entries));
 }
 
 std::unordered_map<uint64_t, std::vector<int>> RegionCounter::CollectRows(

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/pattern.h"
@@ -22,12 +23,56 @@ struct RegionCounts {
   }
 };
 
+// Region counts of one hierarchy node, stored as a flat vector of
+// (region key, counts) entries sorted ascending by key.
+//
+// The flat layout replaces the per-node unordered_map of the original
+// counting engine: iteration is cache-friendly and already in the
+// deterministic key order the identification sweep needs, and lookups are
+// binary searches. The read API mirrors std::unordered_map (find / at /
+// count / range-for over pair entries) so node consumers stay idiomatic.
+class NodeTable {
+ public:
+  using Entry = std::pair<uint64_t, RegionCounts>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  NodeTable() = default;
+
+  // Takes entries in any order; duplicate keys are merged by summing their
+  // counts (the rollup projection produces such duplicates).
+  explicit NodeTable(std::vector<Entry> entries);
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Binary search; end() when the key is absent.
+  const_iterator find(uint64_t key) const;
+  size_t count(uint64_t key) const { return find(key) == end() ? 0 : 1; }
+  // Dies when the key is absent.
+  const RegionCounts& at(uint64_t key) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  friend bool operator==(const NodeTable& a, const NodeTable& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 // Group-by engine over subsets of the protected attributes.
 //
 // A hierarchy node is identified by a bitmask over the protected-attribute
 // positions; within a node, each region is keyed by the packed (mixed-radix)
-// combination of its deterministic values. One linear pass over the dataset
-// produces the (positive, negative) counts of every region in a node.
+// combination of its deterministic values. The finest node is materialized
+// with one linear pass over the dataset; every coarser node is derived from
+// a node one level below with RollUp (project out one attribute from each
+// region key and merge — a data-cube rollup), so a whole-lattice build costs
+// one O(rows) scan plus O(#non-empty regions) merges instead of 2^|X| - 1
+// scans.
 class RegionCounter {
  public:
   explicit RegionCounter(const DataSchema& schema);
@@ -37,6 +82,10 @@ class RegionCounter {
   }
   int Cardinality(int position) const { return cardinalities_[position]; }
 
+  // Number of distinct region keys of node `mask` (the product of the
+  // deterministic attributes' cardinalities).
+  uint64_t KeySpace(uint32_t mask) const;
+
   // Packs the deterministic values of `pattern` (whose DeterministicMask()
   // must equal `mask`) into a region key.
   uint64_t KeyFor(const Pattern& pattern, uint32_t mask) const;
@@ -45,8 +94,14 @@ class RegionCounter {
   Pattern PatternFor(uint64_t key, uint32_t mask) const;
 
   // Counts every region of node `mask` in one pass over `data`.
-  std::unordered_map<uint64_t, RegionCounts> CountNode(
-      const Dataset& data, uint32_t mask) const;
+  NodeTable CountNode(const Dataset& data, uint32_t mask) const;
+
+  // Derives the counts of node `parent_mask` from those of `child_mask`,
+  // which must have exactly one extra deterministic attribute. Exact: the
+  // projection marginalizes integer counts, so the result equals a direct
+  // CountNode scan.
+  NodeTable RollUp(const NodeTable& child, uint32_t child_mask,
+                   uint32_t parent_mask) const;
 
   // Row indices of every region of node `mask` (used by the remedy step to
   // pick the concrete instances to duplicate / remove / relabel).

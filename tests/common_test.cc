@@ -4,10 +4,14 @@
 #include <set>
 #include <sstream>
 
+#include <atomic>
+#include <vector>
+
 #include "common/csv.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace remedy {
@@ -231,6 +235,54 @@ TEST(TablePrinterTest, PrintsAlignedRows) {
   EXPECT_NE(text.find("alpha"), std::string::npos);
   EXPECT_NE(text.find("2.5"), std::string::npos);
   EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    const int64_t count = 257;  // not a multiple of any worker count
+    std::vector<std::atomic<int>> hits(count);
+    pool.ParallelFor(count, [&hits](int64_t i) { ++hits[i]; });
+    for (int64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTiny) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(1, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  EXPECT_EQ(ThreadPool(0).num_threads(), 1);  // floor of one worker
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
+#include <vector>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/hierarchy.h"
 #include "test_util.h"
 
@@ -15,6 +19,26 @@ Dataset ThreeByTwo() {
   return GridDataset({{{2, 3}, {1, 2}},
                       {{4, 1}, {5, 5}},
                       {{1, 1}, {3, 2}}});
+}
+
+// Four protected attributes (2·3·2·4 leaf regions) with random rows, for
+// exercising the lattice beyond the two-attribute grid.
+Dataset RandomFourAttrDataset(uint64_t seed, int rows) {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("w", {"w0", "w1"}),
+      AttributeSchema("x", {"x0", "x1", "x2"}),
+      AttributeSchema("y", {"y0", "y1"}),
+      AttributeSchema("z", {"z0", "z1", "z2", "z3"}),
+  };
+  DataSchema schema(std::move(attributes), {0, 1, 2, 3});
+  Rng rng(seed);
+  Dataset data(schema);
+  for (int i = 0; i < rows; ++i) {
+    data.AddRow({rng.UniformInt(2), rng.UniformInt(3), rng.UniformInt(2),
+                 rng.UniformInt(4)},
+                rng.UniformInt(2));
+  }
+  return data;
 }
 
 TEST(HierarchyTest, LeafMask) {
@@ -85,6 +109,87 @@ TEST(HierarchyTest, BottomUpCoversAllNonEmptyMasks) {
   std::vector<uint32_t> masks = hierarchy.BottomUpMasks();
   std::sort(masks.begin(), masks.end());
   EXPECT_EQ(masks, (std::vector<uint32_t>{0b01, 0b10, 0b11}));
+}
+
+TEST(HierarchyTest, MasksAtLevelEnumeratesCombinationsAscending) {
+  Dataset data = RandomFourAttrDataset(1, 50);
+  Hierarchy hierarchy(data);
+  const int binomial[5] = {1, 4, 6, 4, 1};  // C(4, k)
+  for (int level = 1; level <= 4; ++level) {
+    std::vector<uint32_t> masks = hierarchy.MasksAtLevel(level);
+    EXPECT_EQ(masks.size(), static_cast<size_t>(binomial[level]));
+    EXPECT_TRUE(std::is_sorted(masks.begin(), masks.end()));
+    for (uint32_t mask : masks) {
+      EXPECT_EQ(std::popcount(mask), level);
+      EXPECT_EQ(mask & ~hierarchy.LeafMask(), 0u);
+    }
+  }
+}
+
+TEST(HierarchyTest, RollupNodeCountsMatchDirectScan) {
+  Dataset data = RandomFourAttrDataset(7, 600);
+  Hierarchy hierarchy(data);
+  const RegionCounter& counter = hierarchy.counter();
+  // Lazy access in arbitrary (not bottom-up) order still has to agree with
+  // a direct one-pass scan of every node.
+  for (uint32_t mask = 1; mask <= hierarchy.LeafMask(); ++mask) {
+    EXPECT_EQ(hierarchy.NodeCounts(mask), counter.CountNode(data, mask))
+        << "mask " << mask;
+  }
+}
+
+TEST(HierarchyTest, EagerBuildMatchesLazyAndDirectScan) {
+  Dataset data = RandomFourAttrDataset(11, 400);
+  Hierarchy eager(data);
+  eager.EagerBuild(1);
+  Hierarchy lazy(data);
+  for (uint32_t mask = 1; mask <= eager.LeafMask(); ++mask) {
+    EXPECT_EQ(eager.NodeCounts(mask), lazy.NodeCounts(mask))
+        << "mask " << mask;
+  }
+  EXPECT_EQ(eager.TotalCounts(), lazy.TotalCounts());
+}
+
+TEST(HierarchyTest, EagerBuildSingleAndMultiThreadCachesAreIdentical) {
+  for (uint64_t seed : {3u, 19u}) {
+    Dataset data = RandomFourAttrDataset(seed, 500);
+    Hierarchy serial(data);
+    serial.EagerBuild(1);
+    Hierarchy parallel(data);
+    parallel.EagerBuild(std::max(4, ThreadPool::DefaultThreads()));
+    for (uint32_t mask = 1; mask <= serial.LeafMask(); ++mask) {
+      EXPECT_EQ(serial.NodeCounts(mask), parallel.NodeCounts(mask))
+          << "mask " << mask << " seed " << seed;
+    }
+  }
+}
+
+TEST(HierarchyTest, EagerBuildOnPartiallyBuiltHierarchy) {
+  Dataset data = RandomFourAttrDataset(5, 300);
+  Hierarchy hierarchy(data);
+  hierarchy.NodeCounts(0b0101);  // lazy-build a slice first
+  hierarchy.EagerBuild(2);
+  Hierarchy fresh(data);
+  fresh.EagerBuild(1);
+  for (uint32_t mask = 1; mask <= hierarchy.LeafMask(); ++mask) {
+    EXPECT_EQ(hierarchy.NodeCounts(mask), fresh.NodeCounts(mask))
+        << "mask " << mask;
+  }
+}
+
+TEST(HierarchyTest, EagerBuildSingleProtectedAttribute) {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("a", {"a0", "a1", "a2"}),
+  };
+  DataSchema schema(std::move(attributes), {0});
+  Dataset data(schema);
+  data.AddRow({0}, 1);
+  data.AddRow({1}, 0);
+  data.AddRow({1}, 1);
+  Hierarchy hierarchy(data);
+  hierarchy.EagerBuild(4);
+  EXPECT_EQ(hierarchy.NodeCounts(0b1).size(), 2u);
+  EXPECT_EQ(hierarchy.TotalCounts(), (RegionCounts{2, 1}));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "core/ibs_identify.h"
+#include "datagen/adult.h"
 #include "test_util.h"
 
 namespace remedy {
@@ -176,6 +177,35 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsAndThresholds, IbsAlgorithmEquivalenceTest,
     ::testing::Combine(::testing::Range(0, 6),
                        ::testing::Values(1.0, 2.0)));
+
+// The Fig. 9 workload end to end: on Adult widened to |X| = 3..8, the naive
+// and optimized identification must produce field-for-field identical IBS.
+// Combined with the rollup-vs-scan equivalence in region_counter_test, this
+// pins the counting engine to the per-node-scan reference behavior.
+TEST(IbsIdentifyTest, AdultScalabilityNaiveEqualsOptimized) {
+#ifdef REMEDY_TSAN_BUILD
+  GTEST_SKIP() << "45k-row dataset sweep is too slow under TSan";
+#endif
+  Dataset base = MakeAdult();
+  for (int count = 3; count <= 8; ++count) {
+    Dataset data = base;
+    data.SetProtected(AdultScalabilityProtected(count));
+    IbsParams params;
+    params.imbalance_threshold = 0.5;
+    params.algorithm = IbsAlgorithm::kNaive;
+    std::vector<BiasedRegion> naive = IdentifyIbs(data, params);
+    params.algorithm = IbsAlgorithm::kOptimized;
+    std::vector<BiasedRegion> optimized = IdentifyIbs(data, params);
+    ASSERT_EQ(naive.size(), optimized.size()) << "|X| = " << count;
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(naive[i].pattern, optimized[i].pattern);
+      EXPECT_EQ(naive[i].counts, optimized[i].counts);
+      EXPECT_EQ(naive[i].neighbor_counts, optimized[i].neighbor_counts);
+      EXPECT_DOUBLE_EQ(naive[i].ratio, optimized[i].ratio);
+      EXPECT_DOUBLE_EQ(naive[i].neighbor_ratio, optimized[i].neighbor_ratio);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace remedy

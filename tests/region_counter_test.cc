@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/region_counter.h"
 #include "test_util.h"
 
@@ -10,6 +13,29 @@ namespace {
 
 using ::remedy::testing::GridDataset;
 using ::remedy::testing::SmallSchema;
+
+// Four protected attributes with mixed cardinalities (2·3·4·3 = 72 leaf
+// regions) — wide enough that rollup exercises every digit position.
+DataSchema WideSchema() {
+  std::vector<AttributeSchema> attributes = {
+      AttributeSchema("p", {"p0", "p1"}),
+      AttributeSchema("q", {"q0", "q1", "q2"}),
+      AttributeSchema("s", {"s0", "s1", "s2", "s3"}),
+      AttributeSchema("t", {"t0", "t1", "t2"}),
+  };
+  return DataSchema(std::move(attributes), {0, 1, 2, 3});
+}
+
+Dataset RandomWideDataset(uint64_t seed, int rows) {
+  Rng rng(seed);
+  Dataset data(WideSchema());
+  for (int i = 0; i < rows; ++i) {
+    data.AddRow({rng.UniformInt(2), rng.UniformInt(3), rng.UniformInt(4),
+                 rng.UniformInt(3)},
+                rng.UniformInt(2));
+  }
+  return data;
+}
 
 TEST(RegionCounterTest, KeyPatternRoundTrip) {
   RegionCounter counter(SmallSchema());
@@ -81,6 +107,83 @@ TEST(RegionCounterTest, NodeCountsSumToDataset) {
     }
     EXPECT_EQ(positives, data.PositiveCount()) << "mask " << mask;
     EXPECT_EQ(negatives, data.NegativeCount()) << "mask " << mask;
+  }
+}
+
+TEST(NodeTableTest, IterationIsKeySorted) {
+  NodeTable table({{7, {1, 0}}, {2, {0, 1}}, {5, {2, 2}}});
+  std::vector<uint64_t> keys;
+  for (const auto& [key, counts] : table) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{2, 5, 7}));
+}
+
+TEST(NodeTableTest, DuplicateKeysMergeBySumming) {
+  NodeTable table({{3, {1, 2}}, {1, {5, 0}}, {3, {10, 20}}});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.at(3), (RegionCounts{11, 22}));
+  EXPECT_EQ(table.at(1), (RegionCounts{5, 0}));
+}
+
+TEST(NodeTableTest, FindAndCountOnMissingKeys) {
+  NodeTable table({{4, {1, 1}}});
+  EXPECT_EQ(table.find(4)->second, (RegionCounts{1, 1}));
+  EXPECT_EQ(table.find(3), table.end());
+  EXPECT_EQ(table.find(5), table.end());
+  EXPECT_EQ(table.count(4), 1u);
+  EXPECT_EQ(table.count(9), 0u);
+  EXPECT_TRUE(NodeTable().empty());
+}
+
+TEST(RegionCounterTest, RollUpMatchesDirectCount) {
+  Dataset data = GridDataset({{{2, 3}, {1, 0}},
+                              {{0, 4}, {5, 5}},
+                              {{1, 1}, {0, 0}}});
+  RegionCounter counter(data.schema());
+  NodeTable leaf = counter.CountNode(data, 0b11);
+  EXPECT_EQ(counter.RollUp(leaf, 0b11, 0b01), counter.CountNode(data, 0b01));
+  EXPECT_EQ(counter.RollUp(leaf, 0b11, 0b10), counter.CountNode(data, 0b10));
+}
+
+// Randomized equivalence: every single-attribute rollup step, from every
+// child node, must reproduce the direct one-pass scan of the parent node.
+class RollUpEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RollUpEquivalenceTest, EveryRollUpStepMatchesDirectScan) {
+  Dataset data = RandomWideDataset(GetParam(), 300 + 40 * GetParam());
+  RegionCounter counter(data.schema());
+  const uint32_t leaf = (1u << counter.NumProtected()) - 1u;
+  for (uint32_t child_mask = 1; child_mask <= leaf; ++child_mask) {
+    NodeTable child = counter.CountNode(data, child_mask);
+    for (uint32_t bits = child_mask; bits != 0; bits &= bits - 1) {
+      const uint32_t parent_mask = child_mask & ~(bits & (~bits + 1));
+      if (parent_mask == 0) continue;
+      EXPECT_EQ(counter.RollUp(child, child_mask, parent_mask),
+                counter.CountNode(data, parent_mask))
+          << "child " << child_mask << " parent " << parent_mask << " seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollUpEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+TEST(RegionCounterTest, KeySpaceIsCardinalityProduct) {
+  RegionCounter counter(WideSchema());
+  EXPECT_EQ(counter.KeySpace(0b1111), 72u);  // 2 * 3 * 4 * 3
+  EXPECT_EQ(counter.KeySpace(0b0001), 2u);
+  EXPECT_EQ(counter.KeySpace(0b1010), 9u);  // q * t
+  EXPECT_EQ(counter.KeySpace(0), 1u);
+}
+
+TEST(RegionCounterTest, CountNodeKeysAreWithinKeySpace) {
+  Dataset data = RandomWideDataset(3, 500);
+  RegionCounter counter(data.schema());
+  for (uint32_t mask = 1; mask <= 0b1111u; ++mask) {
+    for (const auto& [key, counts] : counter.CountNode(data, mask)) {
+      EXPECT_LT(key, counter.KeySpace(mask));
+      EXPECT_GT(counts.Total(), 0);
+    }
   }
 }
 
