@@ -47,6 +47,13 @@ std::string JsonPathFromArgs(int argc, char** argv) {
   return "";
 }
 
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 void JsonResultWriter::AddRecord(const std::string& section,
                                  const Record& record) {
   for (auto& [name, records] : sections_) {

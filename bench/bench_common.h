@@ -35,6 +35,9 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref,
 // next to their console tables.
 std::string JsonPathFromArgs(int argc, char** argv);
 
+// True when `flag` (e.g. "--smoke") appears among the arguments.
+bool HasFlag(int argc, char** argv, const std::string& flag);
+
 // Minimal machine-readable results sink: named sections, each an array of
 // flat numeric records, serialized as one JSON object. Covers everything
 // the bench tables report (sizes, timings, speedups) without pulling in a

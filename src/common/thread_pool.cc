@@ -1,8 +1,13 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "common/check.h"
 
@@ -94,9 +99,44 @@ void ThreadPool::ParallelFor(int64_t count,
   state->done.wait(lock, [&state] { return state->running == 0; });
 }
 
+namespace {
+
+#if defined(__linux__)
+// CPUs this process may actually run on. hardware_concurrency() reports the
+// machine, not the container: under a CPU affinity mask or a cgroup quota
+// (the common container setup) it over-counts, and a pool sized to it only
+// adds scheduling overhead. Returns 0 when a limit cannot be read.
+int AffinityCpuCount() {
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return 0;
+  const int count = CPU_COUNT(&set);
+  return count > 0 ? count : 0;
+}
+
+// cgroup v2 CPU quota, rounded up (e.g. "150000 100000" -> 2 CPUs);
+// 0 when unlimited ("max") or unreadable.
+int CgroupCpuLimit() {
+  std::FILE* f = std::fopen("/sys/fs/cgroup/cpu.max", "r");
+  if (f == nullptr) return 0;
+  long long quota = 0, period = 0;
+  const int fields = std::fscanf(f, "%lld %lld", &quota, &period);
+  std::fclose(f);
+  if (fields != 2 || quota <= 0 || period <= 0) return 0;
+  return static_cast<int>((quota + period - 1) / period);
+}
+#endif
+
+}  // namespace
+
 int ThreadPool::DefaultThreads() {
-  unsigned int n = std::thread::hardware_concurrency();
-  return n > 0 ? static_cast<int>(n) : 1;
+  int n = static_cast<int>(std::thread::hardware_concurrency());
+#if defined(__linux__)
+  const int affinity = AffinityCpuCount();
+  if (affinity > 0 && (n == 0 || affinity < n)) n = affinity;
+  const int cgroup = CgroupCpuLimit();
+  if (cgroup > 0 && (n == 0 || cgroup < n)) n = cgroup;
+#endif
+  return n > 0 ? n : 1;
 }
 
 }  // namespace remedy

@@ -43,7 +43,11 @@ class ThreadPool {
   // shared counter, so uneven per-index costs balance automatically.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
 
-  // std::thread::hardware_concurrency() with a floor of 1.
+  // CPUs actually usable by this process: hardware_concurrency(), further
+  // restricted by the scheduling affinity mask and (on Linux) the cgroup v2
+  // cpu quota, with a floor of 1. Containers routinely pin far fewer CPUs
+  // than the host exposes; sizing pools by the raw core count there just
+  // buys contention.
   static int DefaultThreads();
 
  private:

@@ -1,6 +1,7 @@
 #include "core/hierarchy.h"
 
 #include <bit>
+#include <memory>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -39,13 +40,27 @@ NodeTable Hierarchy::BuildNode(uint32_t mask) {
   return counter_.RollUp(NodeCounts(child), child, mask);
 }
 
+namespace {
+
+// Below this many nodes a level's rollups are cheaper than the pool
+// round-trip that would fan them out.
+constexpr size_t kMinNodesForParallelLevel = 8;
+
+}  // namespace
+
 void Hierarchy::EagerBuild(int threads) {
   if (threads <= 0) threads = ThreadPool::DefaultThreads();
   NodeCounts(LeafMask());  // the one dataset scan
   TotalCounts();
-  if (NumProtected() == 1) return;
+  if (NumProtected() == 1) {
+    fully_built_ = true;
+    return;
+  }
 
-  ThreadPool pool(threads);
+  // The pool is spun up only for the first level wide enough to feed it, so
+  // a single-core host (or a narrow lattice) never pays thread start-up and
+  // scheduling costs just to run the rollups inline anyway.
+  std::unique_ptr<ThreadPool> pool;
   for (int level = NumProtected() - 1; level >= 1; --level) {
     // Pre-insert this level's slots single-threaded so the parallel phase
     // never mutates the cache map — workers fill distinct, already-inserted
@@ -55,18 +70,47 @@ void Hierarchy::EagerBuild(int threads) {
       auto [it, inserted] = node_cache_.try_emplace(mask);
       if (inserted) work.emplace_back(mask, &it->second);
     }
-    pool.ParallelFor(
-        static_cast<int64_t>(work.size()), [this, &work](int64_t i) {
-          const uint32_t mask = work[i].first;
-          // Fixed child choice (lowest missing position) keeps the build
-          // independent of scheduling; every level-(L+1) superset exists.
-          const uint32_t missing = LeafMask() & ~mask;
-          const uint32_t child = mask | (missing & (~missing + 1));
-          auto child_it = node_cache_.find(child);
-          REMEDY_CHECK(child_it != node_cache_.end());
-          *work[i].second = counter_.RollUp(child_it->second, child, mask);
-        });
+    auto build_one = [this, &work](int64_t i) {
+      const uint32_t mask = work[i].first;
+      // Fixed child choice (lowest missing position) keeps the build
+      // independent of scheduling; every level-(L+1) superset exists.
+      const uint32_t missing = LeafMask() & ~mask;
+      const uint32_t child = mask | (missing & (~missing + 1));
+      auto child_it = node_cache_.find(child);
+      REMEDY_CHECK(child_it != node_cache_.end());
+      *work[i].second = counter_.RollUp(child_it->second, child, mask);
+    };
+    if (threads == 1 || work.size() < kMinNodesForParallelLevel) {
+      for (size_t i = 0; i < work.size(); ++i) build_one(i);
+    } else {
+      if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
+      pool->ParallelFor(static_cast<int64_t>(work.size()), build_one);
+    }
   }
+  fully_built_ = true;
+}
+
+void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas) {
+  REMEDY_CHECK(fully_built_ && total_valid_)
+      << "ApplyDeltas requires a fully built hierarchy (call EagerBuild)";
+  if (deltas.empty()) return;
+  const uint32_t leaf = LeafMask();
+  for (auto& [mask, table] : node_cache_) {
+    for (const LeafDelta& delta : deltas) {
+      table.ApplyDelta(counter_.ProjectKey(delta.leaf_key, leaf, mask),
+                       delta.delta_positives, delta.delta_negatives);
+    }
+  }
+  for (const LeafDelta& delta : deltas) {
+    total_counts_.positives += delta.delta_positives;
+    total_counts_.negatives += delta.delta_negatives;
+  }
+  REMEDY_CHECK(total_counts_.positives >= 0 && total_counts_.negatives >= 0)
+      << "deltas drove the dataset totals negative";
+}
+
+void Hierarchy::ApplyDelta(const LeafDelta& delta) {
+  ApplyDeltas(std::vector<LeafDelta>{delta});
 }
 
 const RegionCounts& Hierarchy::TotalCounts() {
@@ -119,6 +163,7 @@ std::vector<uint32_t> Hierarchy::BottomUpMasks() const {
 void Hierarchy::Invalidate() {
   node_cache_.clear();
   total_valid_ = false;
+  fully_built_ = false;
 }
 
 }  // namespace remedy

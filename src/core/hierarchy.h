@@ -46,8 +46,33 @@ class Hierarchy {
   // parallel; 0 means ThreadPool::DefaultThreads(). Levels are barriers: the
   // workers of level L only read the already-built level L + 1, never nodes
   // of their own level, so the build is race-free and its result is
-  // identical for every thread count.
+  // identical for every thread count. Levels with fewer nodes than the fan
+  // out is worth (and single-threaded builds) run inline without touching a
+  // pool, so the parallel entry point never loses to the serial one.
   void EagerBuild(int threads = 0);
+
+  // True once EagerBuild has materialized every node (reset by Invalidate).
+  bool fully_built() const { return fully_built_; }
+
+  // One leaf-region count adjustment: the net (positive, negative) change of
+  // the leaf region at `leaf_key`, e.g. (-1, +1) for one positive-to-negative
+  // label flip or (0, -3) for removing three negative rows.
+  struct LeafDelta {
+    uint64_t leaf_key = 0;
+    int64_t delta_positives = 0;
+    int64_t delta_negatives = 0;
+  };
+
+  // Applies leaf-level count deltas to every materialized node and to the
+  // level-0 totals: each delta lands at the leaf entry and at the ancestor
+  // entry its key projects to (digit projection), exactly as a full rebuild
+  // of the mutated dataset would count — without rescanning any rows.
+  // Requires a fully built hierarchy (EagerBuild) so no node is left behind
+  // to be lazily rebuilt from a dataset the deltas already describe.
+  // Deltas must be pre-aggregated per leaf key and must never drive a
+  // region's counts negative. Entries whose counts reach zero are kept.
+  void ApplyDeltas(const std::vector<LeafDelta>& deltas);
+  void ApplyDelta(const LeafDelta& delta);
 
   // Counts of the whole dataset (level-0 node).
   const RegionCounts& TotalCounts();
@@ -77,6 +102,7 @@ class Hierarchy {
   std::unordered_map<uint32_t, NodeTable> node_cache_;
   RegionCounts total_counts_;
   bool total_valid_ = false;
+  bool fully_built_ = false;
 };
 
 }  // namespace remedy

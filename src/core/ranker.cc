@@ -6,23 +6,11 @@
 
 namespace remedy {
 
-BorderlineRanker::BorderlineRanker(const Dataset& data) {
-  model_.Fit(data);
-}
+namespace {
 
-double BorderlineRanker::Score(const Dataset& data, int row) const {
-  return model_.PredictProba(data, row);
-}
-
-std::vector<int> BorderlineRanker::RankBorderline(
-    const Dataset& data, const std::vector<int>& rows, int label) const {
-  REMEDY_CHECK(label == 0 || label == 1);
-  std::vector<std::pair<double, int>> scored;
-  scored.reserve(rows.size());
-  for (int row : rows) {
-    REMEDY_DCHECK(data.Label(row) == label);
-    scored.emplace_back(Score(data, row), row);
-  }
+// Shared ordering of (score, row) pairs; see RankBorderline's contract.
+std::vector<int> SortBorderline(std::vector<std::pair<double, int>> scored,
+                                int label) {
   if (label == 1) {
     // Positives with low P(y=1) look most like negatives.
     std::sort(scored.begin(), scored.end());
@@ -38,6 +26,49 @@ std::vector<int> BorderlineRanker::RankBorderline(
   ranked.reserve(scored.size());
   for (const auto& [score, row] : scored) ranked.push_back(row);
   return ranked;
+}
+
+}  // namespace
+
+BorderlineRanker::BorderlineRanker(const Dataset& data) {
+  model_.Fit(data);
+}
+
+double BorderlineRanker::Score(const Dataset& data, int row) const {
+  return model_.PredictProba(data, row);
+}
+
+std::vector<double> BorderlineRanker::ScoreAll(const Dataset& data) const {
+  std::vector<double> scores(data.NumRows());
+  for (int row = 0; row < data.NumRows(); ++row) {
+    scores[row] = Score(data, row);
+  }
+  return scores;
+}
+
+std::vector<int> BorderlineRanker::RankBorderline(
+    const Dataset& data, const std::vector<int>& rows, int label) const {
+  REMEDY_CHECK(label == 0 || label == 1);
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(rows.size());
+  for (int row : rows) {
+    REMEDY_DCHECK(data.Label(row) == label);
+    scored.emplace_back(Score(data, row), row);
+  }
+  return SortBorderline(std::move(scored), label);
+}
+
+std::vector<int> BorderlineRanker::RankWithScores(
+    const std::vector<double>& scores, const std::vector<int>& rows,
+    int label) {
+  REMEDY_CHECK(label == 0 || label == 1);
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(rows.size());
+  for (int row : rows) {
+    REMEDY_DCHECK(row >= 0 && row < static_cast<int>(scores.size()));
+    scored.emplace_back(scores[row], row);
+  }
+  return SortBorderline(std::move(scored), label);
 }
 
 }  // namespace remedy

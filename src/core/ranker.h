@@ -20,6 +20,11 @@ class BorderlineRanker {
   // P(y = 1 | x) of one row.
   double Score(const Dataset& data, int row) const;
 
+  // Score of every row of `data`. The model only reads features, never
+  // labels, so the result doubles as a remedy-wide score cache: label flips
+  // leave it valid, and a duplicated row inherits its source's score.
+  std::vector<double> ScoreAll(const Dataset& data) const;
+
   // Sorts `rows` (all holding instances of class `label` in `data`) so that
   // the most borderline instances come first: for positives, ascending
   // P(y=1); for negatives, descending P(y=1). Ties break on row index for
@@ -27,6 +32,12 @@ class BorderlineRanker {
   std::vector<int> RankBorderline(const Dataset& data,
                                   const std::vector<int>& rows,
                                   int label) const;
+
+  // RankBorderline over precomputed scores (`scores[row]` = P(y = 1 | x) of
+  // `row`, e.g. a ScoreAll result): identical order, no model evaluation.
+  static std::vector<int> RankWithScores(const std::vector<double>& scores,
+                                         const std::vector<int>& rows,
+                                         int label);
 
  private:
   NaiveBayes model_;

@@ -47,6 +47,19 @@ const RegionCounts& NodeTable::at(uint64_t key) const {
   return it->second;
 }
 
+void NodeTable::ApplyDelta(uint64_t key, int64_t delta_positives,
+                           int64_t delta_negatives) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& entry, uint64_t k) { return entry.first < k; });
+  REMEDY_CHECK(it != entries_.end() && it->first == key)
+      << "delta for region key " << key << " not in node";
+  it->second.positives += delta_positives;
+  it->second.negatives += delta_negatives;
+  REMEDY_DCHECK(it->second.positives >= 0 && it->second.negatives >= 0)
+      << "delta drove region key " << key << " negative";
+}
+
 RegionCounter::RegionCounter(const DataSchema& schema)
     : protected_cols_(schema.protected_indices()) {
   REMEDY_CHECK(!protected_cols_.empty())
@@ -169,6 +182,31 @@ NodeTable RegionCounter::RollUp(const NodeTable& child, uint32_t child_mask,
     entries.emplace_back(high * low_radix + low, entry.second);
   }
   return NodeTable(std::move(entries));
+}
+
+uint64_t RegionCounter::ProjectKey(uint64_t key, uint32_t from_mask,
+                                   uint32_t to_mask) const {
+  REMEDY_DCHECK((to_mask & ~from_mask) == 0)
+      << "projection target must drop attributes of the source node";
+  if (from_mask == to_mask) return key;
+  // Peel the mixed-radix digits least-significant-first (mirroring
+  // PatternFor), then re-pack the surviving ones in KeyFor order.
+  int digits[32] = {0};
+  for (int i = NumProtected() - 1; i >= 0; --i) {
+    if (from_mask & (1u << i)) {
+      digits[i] = static_cast<int>(key % cardinalities_[i]);
+      key /= cardinalities_[i];
+    }
+  }
+  REMEDY_DCHECK(key == 0);
+  uint64_t projected = 0;
+  for (int i = 0; i < NumProtected(); ++i) {
+    if (to_mask & (1u << i)) {
+      projected = projected * cardinalities_[i] +
+                  static_cast<uint64_t>(digits[i]);
+    }
+  }
+  return projected;
 }
 
 std::unordered_map<uint64_t, std::vector<int>> RegionCounter::CollectRows(

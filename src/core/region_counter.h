@@ -53,6 +53,13 @@ class NodeTable {
   // Dies when the key is absent.
   const RegionCounts& at(uint64_t key) const;
 
+  // Adds (delta_positives, delta_negatives) to the entry at `key`, which
+  // must already exist (the remedy deltas only ever touch populated
+  // regions). A count may reach zero but never goes negative; the entry is
+  // kept, so consumers must treat Total() == 0 entries as empty regions.
+  void ApplyDelta(uint64_t key, int64_t delta_positives,
+                  int64_t delta_negatives);
+
   const std::vector<Entry>& entries() const { return entries_; }
 
   friend bool operator==(const NodeTable& a, const NodeTable& b) {
@@ -102,6 +109,13 @@ class RegionCounter {
   // CountNode scan.
   NodeTable RollUp(const NodeTable& child, uint32_t child_mask,
                    uint32_t parent_mask) const;
+
+  // Projects a node-`from_mask` region key onto node `to_mask` (a subset of
+  // `from_mask`) by dropping the digits of the removed attributes — the
+  // multi-digit generalization of the RollUp projection, used to route a
+  // leaf-level count delta to every ancestor node.
+  uint64_t ProjectKey(uint64_t key, uint32_t from_mask,
+                      uint32_t to_mask) const;
 
   // Row indices of every region of node `mask` (used by the remedy step to
   // pick the concrete instances to duplicate / remove / relabel).

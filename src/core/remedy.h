@@ -19,6 +19,24 @@ enum class RemedyTechnique {
 
 std::string TechniqueName(RemedyTechnique technique);
 
+// Counting strategy of the remedy sweep. Both engines run the same planning
+// code with the same per-region RNG streams, so for any input they produce
+// a row-multiset-identical remedied dataset and identical RemedyStats; they
+// differ only in how the region counts and the working set are maintained.
+enum class RemedyEngine {
+  // Delta-maintained counts: the lattice is built once (EagerBuild), every
+  // node-visit's label flips / duplications / removals are applied to the
+  // affected NodeTable entries via Hierarchy::ApplyDeltas, removals are
+  // tombstoned and compacted once at the end, ranker scores are cached per
+  // row, and the read-only per-region planning of a node runs on a thread
+  // pool with a deterministic merge order.
+  kIncremental,
+  // Rebuild-from-scratch reference: invalidate the lattice and copy the
+  // dataset after every node that changed, re-rank borderline rows per
+  // region. The oracle the incremental engine is equivalence-tested against.
+  kRebuild,
+};
+
 struct RemedyParams {
   IbsParams ibs;
   RemedyTechnique technique = RemedyTechnique::kPreferentialSampling;
@@ -27,6 +45,11 @@ struct RemedyParams {
   // paper reports oversampling exhausting memory at scale; we reproduce the
   // growth but keep the process alive). Negative disables the cap.
   int64_t max_added_total = 2'000'000;
+  RemedyEngine engine = RemedyEngine::kIncremental;
+  // Worker threads for the incremental engine's per-region planning (and
+  // its one-off EagerBuild); 0 means ThreadPool::DefaultThreads(). The
+  // merge order is fixed, so the output is identical at any thread count.
+  int planning_threads = 0;
 };
 
 struct RemedyStats {

@@ -85,6 +85,28 @@ Dataset Dataset::Remove(const std::vector<int>& rows) const {
   return Select(kept);
 }
 
+Dataset Dataset::Compact(const std::vector<char>& keep) const {
+  REMEDY_CHECK(static_cast<int>(keep.size()) == NumRows());
+  int kept = 0;
+  for (char k : keep) kept += (k != 0);
+  Dataset result(schema_);
+  for (int c = 0; c < NumColumns(); ++c) {
+    result.columns_[c].reserve(kept);
+    for (int r = 0; r < NumRows(); ++r) {
+      if (keep[r]) result.columns_[c].push_back(columns_[c][r]);
+    }
+  }
+  result.labels_.reserve(kept);
+  result.weights_.reserve(kept);
+  for (int r = 0; r < NumRows(); ++r) {
+    if (keep[r]) {
+      result.labels_.push_back(labels_[r]);
+      result.weights_.push_back(weights_[r]);
+    }
+  }
+  return result;
+}
+
 void Dataset::Append(const Dataset& other) {
   REMEDY_CHECK(other.NumColumns() == NumColumns());
   for (int r = 0; r < other.NumRows(); ++r) AppendRowFrom(other, r);

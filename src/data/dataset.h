@@ -57,6 +57,11 @@ class Dataset {
   // Dataset with `rows` removed.
   Dataset Remove(const std::vector<int>& rows) const;
 
+  // Dataset restricted to the rows with keep[row] != 0, in row order — the
+  // one-pass, column-major compaction of a tombstone mask. `keep` must have
+  // exactly NumRows() entries.
+  Dataset Compact(const std::vector<char>& keep) const;
+
   // Appends every row of `other`. Schemas must have the same attribute count.
   void Append(const Dataset& other);
 

@@ -215,6 +215,40 @@ TEST(OneHotEncoderTest, WidthAndOffsets) {
   EXPECT_EQ(encoder.Offset(2), 5);
 }
 
+TEST(DatasetTest, CompactMatchesSelectOfKeptRows) {
+  Dataset data(SmallSchema());
+  AddRows(data, 7, 0, 0, 1, 1);
+  AddRows(data, 5, 1, 1, 0, 0);
+  data.SetWeight(3, 2.5);
+  std::vector<char> keep(data.NumRows(), 1);
+  keep[0] = keep[4] = keep[11] = 0;
+  std::vector<int> kept_rows;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    if (keep[r]) kept_rows.push_back(r);
+  }
+  Dataset compacted = data.Compact(keep);
+  Dataset selected = data.Select(kept_rows);
+  ASSERT_EQ(compacted.NumRows(), selected.NumRows());
+  for (int r = 0; r < compacted.NumRows(); ++r) {
+    EXPECT_EQ(compacted.Row(r), selected.Row(r));
+    EXPECT_EQ(compacted.Label(r), selected.Label(r));
+    EXPECT_EQ(compacted.Weight(r), selected.Weight(r));
+  }
+}
+
+TEST(DatasetTest, CompactAllAndNone) {
+  Dataset data(SmallSchema());
+  AddRows(data, 4, 0, 0, 1, 1);
+  EXPECT_EQ(data.Compact(std::vector<char>(4, 1)).NumRows(), 4);
+  EXPECT_EQ(data.Compact(std::vector<char>(4, 0)).NumRows(), 0);
+}
+
+TEST(DatasetTest, CompactRejectsWrongMaskLength) {
+  Dataset data(SmallSchema());
+  AddRows(data, 4, 0, 0, 1, 1);
+  EXPECT_DEATH(data.Compact(std::vector<char>(3, 1)), "");
+}
+
 TEST(OneHotEncoderTest, EncodesIndicators) {
   Dataset data(SmallSchema());
   data.AddRow({2, 0, 1}, 1);

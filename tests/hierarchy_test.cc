@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -175,6 +177,107 @@ TEST(HierarchyTest, EagerBuildOnPartiallyBuiltHierarchy) {
     EXPECT_EQ(hierarchy.NodeCounts(mask), fresh.NodeCounts(mask))
         << "mask " << mask;
   }
+}
+
+TEST(HierarchyTest, ApplyDeltaPropagatesToEveryAncestor) {
+  Dataset data = RandomFourAttrDataset(21, 200);
+  Hierarchy hierarchy(data);
+  hierarchy.EagerBuild(1);
+  const RegionCounter& counter = hierarchy.counter();
+  const uint32_t leaf = hierarchy.LeafMask();
+
+  const uint64_t leaf_key = counter.RowKey(data, 0, leaf);
+  const int64_t dp = data.Label(0) == 1 ? -1 : 1;
+  const int64_t dn = -dp;  // one label flip of row 0
+  hierarchy.ApplyDelta({leaf_key, dp, dn});
+
+  // Every node's entry at the projected key moves by exactly the delta;
+  // every other entry is untouched.
+  Hierarchy before(data);
+  for (uint32_t mask = 1; mask <= leaf; ++mask) {
+    const uint64_t key = counter.ProjectKey(leaf_key, leaf, mask);
+    for (const auto& [k, counts] : hierarchy.NodeCounts(mask)) {
+      RegionCounts expected = before.NodeCounts(mask).at(k);
+      if (k == key) {
+        expected.positives += dp;
+        expected.negatives += dn;
+      }
+      EXPECT_EQ(counts, expected) << "mask " << mask << " key " << k;
+    }
+  }
+  EXPECT_EQ(hierarchy.TotalCounts().positives,
+            before.TotalCounts().positives + dp);
+  EXPECT_EQ(hierarchy.TotalCounts().negatives,
+            before.TotalCounts().negatives + dn);
+}
+
+TEST(HierarchyTest, ApplyDeltasMatchesRebuildOfMutatedDataset) {
+  Dataset data = RandomFourAttrDataset(33, 500);
+  Hierarchy incremental(data);
+  incremental.EagerBuild(1);
+  const RegionCounter& counter = incremental.counter();
+  const uint32_t leaf = incremental.LeafMask();
+
+  // Random flips, duplications, and removals, mirrored as count deltas.
+  Rng rng(99);
+  Dataset mutated = data;
+  std::vector<char> keep(data.NumRows(), 1);
+  std::vector<char> touched(data.NumRows(), 0);  // flip/remove once per row
+  std::unordered_map<uint64_t, std::pair<int64_t, int64_t>> net;
+  for (int step = 0; step < 120; ++step) {
+    const int row = rng.UniformInt(data.NumRows());
+    const uint64_t key = counter.RowKey(data, row, leaf);
+    auto& d = net[key];
+    switch (rng.UniformInt(3)) {
+      case 0: {  // flip
+        if (touched[row]) break;
+        touched[row] = 1;
+        const int label = mutated.Label(row);
+        mutated.SetLabel(row, 1 - label);
+        d.first += label == 1 ? -1 : 1;
+        d.second += label == 1 ? 1 : -1;
+        break;
+      }
+      case 1: {  // duplicate
+        mutated.AppendRowFrom(data, row);
+        (data.Label(row) == 1 ? d.first : d.second) += 1;
+        break;
+      }
+      case 2: {  // remove (tombstone in the mirror)
+        if (touched[row]) break;
+        touched[row] = 1;
+        keep[row] = 0;
+        (data.Label(row) == 1 ? d.first : d.second) -= 1;
+        break;
+      }
+    }
+  }
+  // Rebuild the removal side: rows tombstoned by case 2 still sit in
+  // `mutated`, so build the reference dataset from scratch instead.
+  Dataset reference(data.schema());
+  for (int r = 0; r < mutated.NumRows(); ++r) {
+    if (r >= data.NumRows() || keep[r]) reference.AppendRowFrom(mutated, r);
+  }
+
+  std::vector<Hierarchy::LeafDelta> deltas;
+  for (const auto& [key, d] : net) {
+    if (d.first != 0 || d.second != 0) {
+      deltas.push_back({key, d.first, d.second});
+    }
+  }
+  incremental.ApplyDeltas(deltas);
+
+  Hierarchy rebuilt(reference);
+  for (uint32_t mask = 1; mask <= leaf; ++mask) {
+    // Delta maintenance keeps entries whose counts reached zero; ignore
+    // them when comparing against the rebuilt node.
+    std::vector<NodeTable::Entry> nonzero;
+    for (const auto& entry : incremental.NodeCounts(mask)) {
+      if (entry.second.Total() > 0) nonzero.push_back(entry);
+    }
+    EXPECT_EQ(nonzero, rebuilt.NodeCounts(mask).entries()) << "mask " << mask;
+  }
+  EXPECT_EQ(incremental.TotalCounts(), rebuilt.TotalCounts());
 }
 
 TEST(HierarchyTest, EagerBuildSingleProtectedAttribute) {

@@ -74,5 +74,30 @@ TEST(BorderlineRankerTest, EmptyInputGivesEmptyRanking) {
   EXPECT_TRUE(ranker.RankBorderline(data, {}, 1).empty());
 }
 
+TEST(BorderlineRankerTest, ScoreAllMatchesPerRowScore) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  std::vector<double> scores = ranker.ScoreAll(data);
+  ASSERT_EQ(scores.size(), static_cast<size_t>(data.NumRows()));
+  for (int r = 0; r < data.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(scores[r], ranker.Score(data, r)) << "row " << r;
+  }
+}
+
+TEST(BorderlineRankerTest, RankWithScoresMatchesRankBorderline) {
+  Dataset data = SignalDataset();
+  BorderlineRanker ranker(data);
+  std::vector<double> scores = ranker.ScoreAll(data);
+  for (int label : {0, 1}) {
+    std::vector<int> rows;
+    for (int r = 0; r < data.NumRows(); ++r) {
+      if (data.Label(r) == label) rows.push_back(r);
+    }
+    EXPECT_EQ(BorderlineRanker::RankWithScores(scores, rows, label),
+              ranker.RankBorderline(data, rows, label))
+        << "label " << label;
+  }
+}
+
 }  // namespace
 }  // namespace remedy

@@ -216,6 +216,57 @@ TEST(RegionCounterTest, RowKeyMatchesPatternKey) {
   }
 }
 
+TEST(RegionCounterTest, ProjectKeyMatchesPatternProjection) {
+  Dataset data = RandomWideDataset(13, 300);
+  RegionCounter counter(data.schema());
+  const uint32_t leaf = 0b1111;
+  for (int r = 0; r < 40; ++r) {
+    const uint64_t leaf_key = counter.RowKey(data, r, leaf);
+    for (uint32_t mask = 1; mask <= leaf; ++mask) {
+      // Dropping digits from the leaf key must land on the same key as
+      // packing the row's values under the coarser mask directly.
+      EXPECT_EQ(counter.ProjectKey(leaf_key, leaf, mask),
+                counter.RowKey(data, r, mask))
+          << "row " << r << " mask " << mask;
+    }
+  }
+}
+
+TEST(RegionCounterTest, ProjectKeyFromIntermediateNode) {
+  Dataset data = RandomWideDataset(17, 200);
+  RegionCounter counter(data.schema());
+  const uint32_t from = 0b1011;
+  for (int r = 0; r < 40; ++r) {
+    const uint64_t from_key = counter.RowKey(data, r, from);
+    for (uint32_t to : {0b0011u, 0b1010u, 0b0001u, 0b1011u}) {
+      EXPECT_EQ(counter.ProjectKey(from_key, from, to),
+                counter.RowKey(data, r, to))
+          << "row " << r << " to " << to;
+    }
+  }
+}
+
+TEST(NodeTableTest, ApplyDeltaAdjustsExistingEntry) {
+  NodeTable table({{5, {3, 4}}, {2, {1, 0}}, {9, {0, 7}}});
+  table.ApplyDelta(5, -2, 3);
+  EXPECT_EQ(table.at(5), (RegionCounts{1, 7}));
+  // Neighbors untouched.
+  EXPECT_EQ(table.at(2), (RegionCounts{1, 0}));
+  EXPECT_EQ(table.at(9), (RegionCounts{0, 7}));
+}
+
+TEST(NodeTableTest, ApplyDeltaMayZeroButKeepsEntry) {
+  NodeTable table({{4, {2, 1}}});
+  table.ApplyDelta(4, -2, -1);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.at(4), (RegionCounts{0, 0}));
+}
+
+TEST(NodeTableTest, ApplyDeltaOnMissingKeyDies) {
+  NodeTable table({{4, {2, 1}}});
+  EXPECT_DEATH(table.ApplyDelta(3, 1, 0), "");
+}
+
 TEST(RegionCounterTest, DatasetCounts) {
   Dataset data = GridDataset({{{2, 3}, {0, 0}},
                               {{0, 0}, {0, 0}},
