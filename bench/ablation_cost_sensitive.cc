@@ -72,12 +72,12 @@ void Run() {
   auto [train, test] = bench::Split(data);
 
   IbsParams ibs_params;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params).value();
 
   RemedyParams remedy_params;
   remedy_params.ibs = ibs_params;
   remedy_params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(train, remedy_params);
+  Dataset remedied = RemedyDataset(train, remedy_params).value();
 
   TablePrinter table({"decision policy", "unfair subgroups", "IBS alignment",
                       "index before remedy", "index after remedy"});

@@ -26,7 +26,7 @@ void Run() {
 
   IbsParams ibs_params;  // tau_c = 0.1, T = 1
   std::printf("initial IBS: %zu regions\n\n",
-              IdentifyIbs(train, ibs_params).size());
+              IdentifyIbs(train, ibs_params).value().size());
 
   TablePrinter table({"technique", "passes", "residual |IBS| per pass",
                       "converged", "fairness idx (FPR)", "accuracy"});
@@ -37,7 +37,7 @@ void Run() {
     RemedyParams params;
     params.ibs = ibs_params;
     params.technique = technique;
-    IterativeRemedyResult result = RemedyUntilConverged(train, params, 6);
+    IterativeRemedyResult result = RemedyUntilConverged(train, params, 6).value();
 
     std::vector<std::string> sizes;
     for (size_t size : result.ibs_sizes) {

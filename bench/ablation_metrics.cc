@@ -31,7 +31,7 @@ void Run(const std::string& name, const Dataset& data, double tau_c) {
   RemedyParams params;
   params.ibs.imbalance_threshold = tau_c;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(train, params);
+  Dataset remedied = RemedyDataset(train, params).value();
   ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
   treated->Fit(remedied);
   std::vector<int> after = treated->PredictAll(test);

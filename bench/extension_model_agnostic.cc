@@ -27,7 +27,7 @@ void Run() {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(train, params);
+  Dataset remedied = RemedyDataset(train, params).value();
 
   TablePrinter table({"model", "idx FPR before", "idx FPR after",
                       "idx FNR before", "idx FNR after", "acc before",

@@ -48,7 +48,7 @@ void Run() {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(train, params);
+  Dataset remedied = RemedyDataset(train, params).value();
   ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
   treated->Fit(remedied);
   AddRow(table, "Pre-processing (Remedy)", test, treated->PredictAll(test));

@@ -27,7 +27,7 @@ void Run() {
   auto [train, test] = bench::Split(data);
 
   IbsParams params;  // tau_c = 0.1, T = 1 per Sec. V-B1
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params).value();
   std::printf("IBS on the training set: %zu biased regions\n\n", ibs.size());
 
   TablePrinter alignment(

@@ -32,7 +32,7 @@ void Sweep(const std::string& name, const Dataset& data) {
     params.ibs.imbalance_threshold = tau_c;
     params.technique = RemedyTechnique::kPreferentialSampling;
     RemedyStats stats;
-    Dataset remedied = RemedyDataset(train, params, &stats);
+    Dataset remedied = RemedyDataset(train, params, &stats).value();
     bench::EvalResult result =
         bench::Evaluate(remedied, test, ModelType::kDecisionTree);
     table.AddRow({FormatDouble(tau_c, 1),

@@ -34,7 +34,7 @@ void Compare(const std::string& name, const Dataset& data, double tau_c) {
     params.ibs.imbalance_threshold = tau_c;
     params.ibs.distance_threshold = distance;
     params.technique = RemedyTechnique::kPreferentialSampling;
-    Dataset remedied = RemedyDataset(train, params);
+    Dataset remedied = RemedyDataset(train, params).value();
     bench::EvalResult result =
         bench::Evaluate(remedied, test, ModelType::kDecisionTree);
     std::string label = distance == 1.0 ? "T = 1" : "T = |X|";

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -40,7 +41,7 @@ double TimeIdentify(const Dataset& data, IbsAlgorithm algorithm) {
   params.imbalance_threshold = 0.5;
   params.algorithm = algorithm;
   WallTimer timer;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params).value();
   double seconds = timer.Seconds();
   (void)ibs;
   return seconds;
@@ -77,7 +78,7 @@ double TimeEagerBuild(const Dataset& data, int threads, int repeats) {
   for (int i = 0; i < std::max(1, repeats); ++i) {
     WallTimer timer;
     Hierarchy hierarchy(data);
-    hierarchy.EagerBuild(threads);
+    REMEDY_CHECK(hierarchy.EagerBuild(threads).ok());
     double seconds = timer.Seconds();
     if (i == 0 || seconds < best) best = seconds;
   }
@@ -91,7 +92,7 @@ double TimeRemedy(const Dataset& data, RemedyTechnique technique,
   params.technique = technique;
   params.engine = engine;
   WallTimer timer;
-  Dataset remedied = RemedyDataset(data, params);
+  Dataset remedied = RemedyDataset(data, params).value();
   double seconds = timer.Seconds();
   (void)remedied;
   return seconds;

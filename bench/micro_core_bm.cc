@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/check.h"
+
 #include "core/hierarchy.h"
 #include "core/ibs_identify.h"
 #include "core/imbalance.h"
@@ -77,7 +79,7 @@ void BM_EagerBuild(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Hierarchy hierarchy(data);
-    hierarchy.EagerBuild(threads);
+    REMEDY_CHECK(hierarchy.EagerBuild(threads).ok());
     benchmark::DoNotOptimize(hierarchy.NodeCounts(hierarchy.LeafMask()));
   }
 }
@@ -152,7 +154,7 @@ void BM_IdentifyIbs(benchmark::State& state) {
   params.algorithm = state.range(0) == 0 ? IbsAlgorithm::kNaive
                                          : IbsAlgorithm::kOptimized;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(IdentifyIbs(data, params));
+    benchmark::DoNotOptimize(IdentifyIbs(data, params).value());
   }
 }
 BENCHMARK(BM_IdentifyIbs)->Arg(0)->Arg(1);

@@ -59,7 +59,7 @@ void Run() {
     params.ibs.imbalance_threshold = 0.1;
     params.technique = RemedyTechnique::kPreferentialSampling;
     params.seed = 3000 + seed;
-    Dataset remedied = RemedyDataset(train, params);
+    Dataset remedied = RemedyDataset(train, params).value();
     ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
     treated->Fit(remedied);
     std::vector<int> after = treated->PredictAll(test);

@@ -71,7 +71,7 @@ void Run() {
     // default preferential sampling is exercised in Figs. 4-6.
     params.ibs.distance_threshold = 2.0;
     params.technique = RemedyTechnique::kUndersample;
-    return FitLogReg(RemedyDataset(t, params));
+    return FitLogReg(RemedyDataset(t, params).value());
   }));
 
   rows.push_back(Measure("Coverage", train, test, [](const Dataset& t) {

@@ -52,7 +52,7 @@ Dataset Remedied(const Dataset& train, IbsScope scope,
   params.ibs.imbalance_threshold = imbalance_threshold;
   params.ibs.scope = scope;
   params.technique = technique;
-  return RemedyDataset(train, params);
+  return RemedyDataset(train, params).value();
 }
 
 }  // namespace

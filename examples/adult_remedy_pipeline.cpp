@@ -65,7 +65,7 @@ int main() {
     RemedyParams params;
     params.ibs.imbalance_threshold = 0.5;  // the paper's Adult setting
     params.technique = technique;
-    Dataset remedied = RemedyDataset(train, params);
+    Dataset remedied = RemedyDataset(train, params).value();
     if (technique == RemedyTechnique::kPreferentialSampling) {
       best_for_export = remedied;
     }
@@ -77,11 +77,11 @@ int main() {
 
   // Export the preferential-sampling result for downstream consumers.
   const std::string path = "/tmp/adult_remedied.csv";
-  std::string error;
-  if (WriteCsvFile(path, best_for_export.ToCsv(), &error)) {
+  Status written = WriteCsvFile(path, best_for_export.ToCsv());
+  if (written.ok()) {
     std::printf("\nRemedied training set exported to %s\n", path.c_str());
   } else {
-    std::printf("\nCSV export failed: %s\n", error.c_str());
+    std::printf("\nCSV export failed: %s\n", written.ToString().c_str());
   }
   return 0;
 }

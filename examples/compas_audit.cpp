@@ -54,7 +54,7 @@ void IndependentVsIntersectional(const Dataset& test,
 // Case-1 style view: tie each unfair subgroup back to the training data.
 void TraceUnfairnessToIbs(const Dataset& train, const Dataset& test) {
   IbsParams params;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params).value();
 
   std::printf("\nImplicit Biased Set of the training data (tau_c = 0.1, "
               "T = 1): %zu regions\n", ibs.size());

@@ -68,14 +68,14 @@ int main() {
 
   // --- The IBS pins the cause, the remedy removes it --------------------
   IbsParams ibs_params;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params).value();
   std::printf("\nIBS: %zu biased regions (the four color x gender cells "
               "dominate).\n", ibs.size());
 
   RemedyParams remedy_params;
   remedy_params.ibs = ibs_params;
   remedy_params.technique = RemedyTechnique::kMassaging;
-  Dataset remedied = RemedyDataset(train, remedy_params);
+  Dataset remedied = RemedyDataset(train, remedy_params).value();
   ClassifierPtr fair_model = MakeClassifier(ModelType::kGradientBoosting);
   fair_model->Fit(remedied);
   SubgroupAnalysis fixed = AnalyzeSubgroups(

@@ -33,7 +33,7 @@ int main() {
     RemedyParams params;
     params.ibs.imbalance_threshold = tau_c;
     params.technique = RemedyTechnique::kPreferentialSampling;
-    Dataset remedied = RemedyDataset(train, params);
+    Dataset remedied = RemedyDataset(train, params).value();
 
     ClassifierPtr model =
         TunedClassifier(ModelType::kDecisionTree, remedied);
@@ -56,7 +56,7 @@ int main() {
   RemedyParams params;
   params.ibs.imbalance_threshold = best_tau;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(development, params);
+  Dataset remedied = RemedyDataset(development, params).value();
   ClassifierPtr model = TunedClassifier(ModelType::kDecisionTree, remedied);
   std::vector<int> predictions = model->PredictAll(test);
   std::printf(

@@ -47,7 +47,7 @@ int main() {
 
   // 3. Identify the biased regions behind that unfairness.
   IbsParams ibs_params;  // tau_c = 0.1, T = 1, k = 30
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, ibs_params).value();
   std::printf("\nIBS: %zu regions with skewed class ratios, e.g.:\n",
               ibs.size());
   for (size_t i = 0; i < ibs.size() && i < 3; ++i) {
@@ -61,7 +61,7 @@ int main() {
   remedy_params.ibs = ibs_params;
   remedy_params.technique = RemedyTechnique::kPreferentialSampling;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, remedy_params, &stats);
+  Dataset remedied = RemedyDataset(train, remedy_params, &stats).value();
   std::printf("\nRemedied %d regions (%lld moved instances).\n",
               stats.regions_processed,
               static_cast<long long>(stats.instances_added +

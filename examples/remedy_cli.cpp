@@ -8,12 +8,23 @@
 //   remedy_cli remedy <csv> --protected race,gender --out remedied.csv
 //                     [--technique ps|us|os|massage] [--tau-c 0.1] [--T 1]
 //
+// Shared ingestion flags:
+//   --on-bad-row fail|quarantine|drop   what to do with malformed records
+//                                       (default: fail)
+//   --max-quarantine-frac x             circuit breaker for quarantine mode
+//                                       (default: 0.05)
+//
 // `audit` trains a decision tree on a 70/30 split, prints the fairness
 // audit (unfair subgroups + IBS alignment), and exits non-zero if any
 // significant unfair subgroup was found — handy as a CI data-quality gate.
 // `plan` previews the biased regions and the updates the remedy would
 // apply, without writing anything.
 // `remedy` rewrites the full dataset's biased regions and writes the result.
+//
+// Exit codes: 0 success; 1 usage error; 2 audit gate tripped; then one code
+// per error class so scripts can react to the cause — 64 invalid argument,
+// 65 corrupt data (incl. the quarantine circuit breaker), 70 internal,
+// 74 I/O, 75 resource exhausted.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +33,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/remedy.h"
@@ -33,6 +45,31 @@
 namespace {
 
 using namespace remedy;
+
+// sysexits-flavored mapping so callers can distinguish "your flags are
+// wrong" from "your data is rotten" from "the disk hiccuped".
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 64;
+    case StatusCode::kDataCorruption:
+      return 65;
+    case StatusCode::kIoError:
+      return 74;
+    case StatusCode::kResourceExhausted:
+      return 75;
+    case StatusCode::kInternal:
+      return 70;
+  }
+  return 70;
+}
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return ExitCodeFor(status.code());
+}
 
 struct CliArgs {
   std::string command;
@@ -57,7 +94,9 @@ void PrintUsage() {
       "             [--technique ps|us|os|massage]\n"
       "  remedy_cli remedy <csv> --protected a,b[,..] --out file.csv\n"
       "             [--label col] [--positive v] [--tau-c x] [--T x]\n"
-      "             [--technique ps|us|os|massage]\n");
+      "             [--technique ps|us|os|massage]\n"
+      "  shared: [--on-bad-row fail|quarantine|drop]\n"
+      "          [--max-quarantine-frac x]\n");
 }
 
 bool ParseTechnique(const std::string& name, RemedyTechnique* technique) {
@@ -69,6 +108,19 @@ bool ParseTechnique(const std::string& name, RemedyTechnique* technique) {
     *technique = RemedyTechnique::kOversample;
   } else if (name == "massage") {
     *technique = RemedyTechnique::kMassaging;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseBadRowPolicy(const std::string& name, BadRowPolicy* policy) {
+  if (name == "fail") {
+    *policy = BadRowPolicy::kFail;
+  } else if (name == "quarantine") {
+    *policy = BadRowPolicy::kQuarantine;
+  } else if (name == "drop") {
+    *policy = BadRowPolicy::kDrop;
   } else {
     return false;
   }
@@ -102,6 +154,13 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.distance = std::atof(value);
     } else if (flag == "--technique" && (value = next())) {
       if (!ParseTechnique(value, &args.technique)) return args;
+    } else if (flag == "--on-bad-row" && (value = next())) {
+      if (!ParseBadRowPolicy(value, &args.loader.on_bad_row)) {
+        std::fprintf(stderr, "--on-bad-row wants fail|quarantine|drop\n");
+        return args;
+      }
+    } else if (flag == "--max-quarantine-frac" && (value = next())) {
+      args.loader.max_quarantine_fraction = std::atof(value);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return args;
@@ -125,7 +184,9 @@ int RunPlanCommand(const CliArgs& args, const Dataset& data) {
   params.ibs.imbalance_threshold = args.tau_c;
   params.ibs.distance_threshold = args.distance;
   params.technique = args.technique;
-  std::vector<PlannedAction> plan = PlanRemedy(data, params);
+  StatusOr<std::vector<PlannedAction>> planned = PlanRemedy(data, params);
+  if (!planned.ok()) return Fail("plan failed", planned.status());
+  const std::vector<PlannedAction>& plan = planned.value();
   if (plan.empty()) {
     std::printf("no biased regions at tau_c = %g, T = %g\n", args.tau_c,
                 args.distance);
@@ -192,7 +253,8 @@ int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
   params.ibs.distance_threshold = args.distance;
   params.technique = args.technique;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(data, params, &stats);
+  StatusOr<Dataset> remedied = RemedyDataset(data, params, &stats);
+  if (!remedied.ok()) return Fail("remedy failed", remedied.status());
   std::printf(
       "remedied %d regions (skipped %d): +%lld / -%lld instances, %lld "
       "labels flipped; %d -> %d rows\n",
@@ -200,12 +262,9 @@ int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
       static_cast<long long>(stats.instances_added),
       static_cast<long long>(stats.instances_removed),
       static_cast<long long>(stats.labels_flipped), data.NumRows(),
-      remedied.NumRows());
-  std::string error;
-  if (!WriteCsvFile(args.output, remedied.ToCsv(), &error)) {
-    std::fprintf(stderr, "write failed: %s\n", error.c_str());
-    return 1;
-  }
+      remedied.value().NumRows());
+  Status written = WriteCsvFile(args.output, remedied.value().ToCsv());
+  if (!written.ok()) return Fail("write failed", written);
   std::printf("wrote %s\n", args.output.c_str());
   return 0;
 }
@@ -219,19 +278,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Dataset data;
-  std::string error;
   LoaderReport report;
-  if (!LoadCsvDataset(args.input, args.loader, &data, &error, &report)) {
-    std::fprintf(stderr, "load failed: %s\n", error.c_str());
-    return 1;
-  }
+  QuarantineReport quarantine;
+  StatusOr<Dataset> loaded =
+      LoadCsvDataset(args.input, args.loader, &report, &quarantine);
+  if (!loaded.ok()) return Fail("load failed", loaded.status());
+  const Dataset& data = loaded.value();
   std::printf(
       "loaded %d rows (%d dropped for missing values), %d categorical + %d "
-      "bucketized numeric attributes, %d protected\n\n",
+      "bucketized numeric attributes, %d protected\n",
       report.rows_loaded, report.rows_dropped_missing,
       report.categorical_columns, report.numeric_columns,
       data.schema().NumProtected());
+  if (quarantine.rows_quarantined > 0) {
+    std::printf("quarantined %lld malformed record(s) (%.2f%% of the file, "
+                "policy %s):\n",
+                static_cast<long long>(quarantine.rows_quarantined),
+                100.0 * quarantine.fraction,
+                args.loader.on_bad_row == BadRowPolicy::kDrop ? "drop"
+                                                              : "quarantine");
+    for (const CsvBadRow& row : quarantine.examples) {
+      std::printf("  line %d: %s\n", row.line, row.reason.c_str());
+    }
+    if (quarantine.rows_quarantined >
+        static_cast<int64_t>(quarantine.examples.size())) {
+      std::printf("  ... and %lld more\n",
+                  static_cast<long long>(quarantine.rows_quarantined -
+                                         quarantine.examples.size()));
+    }
+  }
+  std::printf("\n");
 
   if (args.command == "audit") return RunAuditCommand(args, data);
   if (args.command == "plan") return RunPlanCommand(args, data);

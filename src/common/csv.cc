@@ -1,20 +1,43 @@
 #include "common/csv.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <thread>
+
+#include "common/fault_injection.h"
 
 namespace remedy {
 namespace {
 
+constexpr char kUtf8Bom[] = "\xEF\xBB\xBF";
+
 // Parses one logical CSV record starting at *pos; advances *pos past the
-// record terminator. Returns false on unterminated quotes.
-bool ParseRecord(const std::string& text, size_t* pos,
-                 std::vector<std::string>* fields, std::string* error) {
+// record terminator and *line past the consumed newlines. Quoted fields may
+// contain separators, quotes ("" escapes) and newlines. On a malformed
+// record (unterminated quote) returns false with *reason set;
+// *resync_pos/*resync_line then name the first line boundary inside the
+// record, where a tolerant caller can resume parsing.
+bool ParseRecord(const std::string& text, size_t* pos, int* line,
+                 std::vector<std::string>* fields, std::string* reason,
+                 size_t* resync_pos, int* resync_line) {
   fields->clear();
   std::string field;
   bool in_quotes = false;
   size_t i = *pos;
   const size_t n = text.size();
+  int newlines = 0;
+  *resync_pos = std::string::npos;
+  auto note_line_boundary = [&](size_t after) {
+    ++newlines;
+    if (*resync_pos == std::string::npos) {
+      *resync_pos = after;
+      *resync_line = *line + newlines;
+    }
+  };
   while (i < n) {
     char c = text[i];
     if (in_quotes) {
@@ -27,6 +50,7 @@ bool ParseRecord(const std::string& text, size_t* pos,
           ++i;
         }
       } else {
+        if (c == '\n') note_line_boundary(i + 1);
         field.push_back(c);
         ++i;
       }
@@ -40,18 +64,20 @@ bool ParseRecord(const std::string& text, size_t* pos,
     } else if (c == '\n' || c == '\r') {
       ++i;
       if (c == '\r' && i < n && text[i] == '\n') ++i;
+      note_line_boundary(i);
       break;
     } else {
       field.push_back(c);
       ++i;
     }
   }
+  *pos = i;
+  *line += newlines;
   if (in_quotes) {
-    *error = "unterminated quoted field";
+    *reason = "unterminated quoted field";
     return false;
   }
   fields->push_back(std::move(field));
-  *pos = i;
   return true;
 }
 
@@ -72,50 +98,111 @@ void AppendField(const std::string& field, std::string* out) {
   out->push_back('"');
 }
 
+// One read attempt. *retryable distinguishes transient failures (worth a
+// backed-off retry) from definitive ones like a missing file.
+Status ReadFileOnce(const std::string& path, std::string* contents,
+                    bool* retryable) {
+  *retryable = true;
+  REMEDY_FAULT_POINT("csv/read");
+  errno = 0;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    *retryable = errno != ENOENT;
+    return IoError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  contents->clear();
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents->append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return IoError("read of " + path + " failed");
+  return OkStatus();
+}
+
 }  // namespace
 
-bool ParseCsv(const std::string& text, bool has_header, CsvTable* table,
-              std::string* error) {
-  table->header.clear();
-  table->rows.clear();
+StatusOr<CsvTable> ParseCsv(const std::string& text,
+                            const CsvParseOptions& options) {
+  CsvTable table;
   size_t pos = 0;
+  if (text.compare(0, 3, kUtf8Bom, 3) == 0) pos = 3;  // BOM before header
+  int line = 1;
   bool first = true;
   size_t expected_width = 0;
   while (pos < text.size()) {
+    const int record_line = line;
     std::vector<std::string> fields;
-    if (!ParseRecord(text, &pos, &fields, error)) return false;
-    // Skip completely blank trailing lines.
+    std::string reason;
+    size_t resync_pos = std::string::npos;
+    int resync_line = line;
+    if (!ParseRecord(text, &pos, &line, &fields, &reason, &resync_pos,
+                     &resync_line)) {
+      if (!options.tolerate_bad_rows) {
+        return DataCorruptionError("line " + std::to_string(record_line) +
+                                   ": " + reason);
+      }
+      table.bad_rows.push_back({record_line, reason});
+      // The malformed record consumed everything to EOF (unterminated
+      // quote); give the lines after its first boundary a chance instead of
+      // discarding the rest of the file with it.
+      if (resync_pos == std::string::npos || resync_pos >= text.size()) break;
+      pos = resync_pos;
+      line = resync_line;
+      continue;
+    }
+    // Skip blank lines (including the one a trailing newline implies).
     if (fields.size() == 1 && fields[0].empty()) continue;
     if (first) {
       expected_width = fields.size();
       first = false;
-      if (has_header) {
-        table->header = std::move(fields);
+      if (options.has_header) {
+        table.header = std::move(fields);
         continue;
       }
     }
     if (fields.size() != expected_width) {
-      std::ostringstream msg;
-      msg << "row " << table->rows.size() + 1 << " has " << fields.size()
-          << " fields, expected " << expected_width;
-      *error = msg.str();
-      return false;
+      std::string mismatch = "has " + std::to_string(fields.size()) +
+                             " fields, expected " +
+                             std::to_string(expected_width);
+      if (!options.tolerate_bad_rows) {
+        return DataCorruptionError("line " + std::to_string(record_line) +
+                                   ": " + mismatch);
+      }
+      table.bad_rows.push_back({record_line, std::move(mismatch)});
+      continue;
     }
-    table->rows.push_back(std::move(fields));
+    table.rows.push_back(std::move(fields));
   }
-  return true;
+  return table;
 }
 
-bool ReadCsvFile(const std::string& path, bool has_header, CsvTable* table,
-                 std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    *error = "cannot open " + path;
-    return false;
+StatusOr<CsvTable> ReadCsvFile(const std::string& path,
+                               const CsvReadOptions& options) {
+  const int max_attempts = std::max(1, options.max_attempts);
+  int backoff_ms = std::max(0, options.initial_backoff_ms);
+  std::string contents;
+  Status last = OkStatus();
+  int attempts = 0;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1 && backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    bool retryable = true;
+    ++attempts;
+    last = ReadFileOnce(path, &contents, &retryable);
+    if (last.ok()) {
+      StatusOr<CsvTable> parsed = ParseCsv(contents, options.parse);
+      if (!parsed.ok()) return parsed.status().WithContext(path);
+      return parsed;
+    }
+    if (!retryable) break;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(buffer.str(), has_header, table, error);
+  return last.WithContext("reading " + path + " failed after " +
+                          std::to_string(attempts) + " attempt(s)");
 }
 
 std::string WriteCsv(const CsvTable& table) {
@@ -132,19 +219,14 @@ std::string WriteCsv(const CsvTable& table) {
   return out;
 }
 
-bool WriteCsvFile(const std::string& path, const CsvTable& table,
-                  std::string* error) {
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  REMEDY_FAULT_POINT("csv/write");
   std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    *error = "cannot open " + path + " for writing";
-    return false;
-  }
+  if (!out) return IoError("cannot open " + path + " for writing");
   out << WriteCsv(table);
-  if (!out) {
-    *error = "write to " + path + " failed";
-    return false;
-  }
-  return true;
+  out.flush();
+  if (!out) return IoError("write to " + path + " failed");
+  return OkStatus();
 }
 
 }  // namespace remedy

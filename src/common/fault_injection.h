@@ -1,0 +1,112 @@
+#ifndef REMEDY_COMMON_FAULT_INJECTION_H_
+#define REMEDY_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace remedy {
+
+// Deterministic fault-injection harness for the recoverable error paths.
+//
+// The library marks its failure-prone boundaries with named injection
+// points:
+//
+//   Status ReadFileOnce(...) {
+//     REMEDY_FAULT_POINT("csv/read");
+//     ...
+//   }
+//
+// With no injector installed the macro costs one relaxed atomic load and a
+// never-taken branch — safe on warm paths. A test installs a scoped
+// FaultInjector and arms points to fail on their Nth hit, on every hit, or
+// with probability p under a seeded RNG; the armed point then returns an
+// error Status from the enclosing function exactly as a real failure would,
+// which is how the fault-injection suite proves every failure surfaces as a
+// clean Status instead of an abort.
+//
+//   FaultInjector injector;
+//   injector.FailNth("csv/read", 1);               // first read attempt fails
+//   StatusOr<CsvTable> t = ReadCsvFile(path);      // retried, then succeeds
+//
+// At most one injector may be active at a time, and arming/reading is
+// mutex-guarded so points hit from thread-pool workers are safe.
+class FaultInjector {
+ public:
+  FaultInjector();
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms `point` to fail exactly its `nth` hit (1-based), once.
+  void FailNth(const std::string& point, int64_t nth,
+               StatusCode code = StatusCode::kIoError);
+
+  // Arms `point` to fail every hit.
+  void FailAlways(const std::string& point,
+                  StatusCode code = StatusCode::kIoError);
+
+  // Arms `point` to fail each hit independently with probability `p`,
+  // drawn from a SplitMix64 stream seeded with `seed` (deterministic:
+  // the k-th hit's outcome depends only on seed and k).
+  void FailWithProbability(const std::string& point, double p, uint64_t seed,
+                           StatusCode code = StatusCode::kIoError);
+
+  // Removes the arming of `point`; its hits keep being counted.
+  void Disarm(const std::string& point);
+
+  // Times `point` was crossed (armed or not) since this injector went live.
+  int64_t HitCount(const std::string& point) const;
+
+  // The active injector, or nullptr. Used by the REMEDY_FAULT_POINT macro.
+  static FaultInjector* Active();
+
+  // Called by the macro on every crossing while an injector is active.
+  Status Hit(const char* point);
+
+ private:
+  enum class Mode { kNth, kAlways, kProbability };
+
+  struct Arming {
+    Mode mode = Mode::kAlways;
+    StatusCode code = StatusCode::kIoError;
+    int64_t nth = 0;        // kNth
+    double probability = 0;  // kProbability
+    uint64_t rng_state = 0;  // kProbability
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Arming> armed_;
+  std::unordered_map<std::string, int64_t> hits_;
+};
+
+// True while a FaultInjector is installed. Single atomic load.
+bool FaultInjectionActive();
+
+// Canonical names of every fault point wired into the library, so the test
+// suite can arm each one and assert the armed failure surfaces cleanly.
+const std::vector<std::string>& RegisteredFaultPoints();
+
+}  // namespace remedy
+
+// Declares a named injection point. Must appear in a function returning
+// Status or StatusOr<T>; when the active injector arms `point`, the macro
+// returns the injected error from the enclosing function.
+#define REMEDY_FAULT_POINT(point)                                     \
+  do {                                                                \
+    if (::remedy::FaultInjectionActive()) {                           \
+      ::remedy::Status remedy_fault_status_ =                         \
+          ::remedy::FaultInjector::Active()->Hit(point);              \
+      if (!remedy_fault_status_.ok()) {                               \
+        return remedy_fault_status_;                                  \
+      }                                                               \
+    }                                                                 \
+  } while (0)
+
+#endif  // REMEDY_COMMON_FAULT_INJECTION_H_

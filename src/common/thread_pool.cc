@@ -10,6 +10,7 @@
 #endif
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace remedy {
 
@@ -21,29 +22,41 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
   REMEDY_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    REMEDY_CHECK(!stop_) << "Submit after shutdown";
+    if (stop_) return InternalError("Submit after ThreadPool shutdown");
     queue_.push_back(std::move(task));
     ++pending_;
   }
   work_cv_.notify_one();
+  return OkStatus();
 }
 
-void ThreadPool::Wait() {
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  return std::exchange(first_failure_, OkStatus());
+}
+
+void ThreadPool::RecordFailure(Status status) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (first_failure_.ok()) first_failure_ = std::move(status);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -56,7 +69,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must not unwind into the worker thread (that is
+    // std::terminate); capture the first failure for the next Wait().
+    try {
+      task();
+    } catch (const std::exception& e) {
+      RecordFailure(InternalError(std::string("task threw: ") + e.what()));
+    } catch (...) {
+      RecordFailure(InternalError("task threw a non-std exception"));
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--pending_ == 0) idle_cv_.notify_all();
@@ -64,39 +85,75 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(int64_t count,
-                             const std::function<void(int64_t)>& fn) {
-  if (count <= 0) return;
+Status ThreadPool::ParallelFor(int64_t count,
+                               const std::function<void(int64_t)>& fn) {
+  REMEDY_FAULT_POINT("threadpool/dispatch");
+  if (count <= 0) return OkStatus();
   if (num_threads() == 1 || count == 1) {
-    for (int64_t i = 0; i < count; ++i) fn(i);
-    return;
+    for (int64_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        return InternalError(std::string("ParallelFor task threw: ") +
+                             e.what());
+      } catch (...) {
+        return InternalError("ParallelFor task threw a non-std exception");
+      }
+    }
+    return OkStatus();
   }
 
   // Per-call completion state so concurrent ParallelFor / Submit callers
   // cannot observe each other through Wait().
   struct State {
     std::atomic<int64_t> next{0};
+    std::atomic<bool> failed{false};
     std::mutex mu;
     std::condition_variable done;
     int64_t running = 0;
+    Status status;  // first failure, guarded by mu
   };
   auto state = std::make_shared<State>();
+  auto record = [](State& s, Status status) {
+    s.failed.store(true, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (s.status.ok()) s.status = std::move(status);
+  };
   const int64_t tasks =
       std::min<int64_t>(count, static_cast<int64_t>(num_threads()));
   state->running = tasks;
   for (int64_t t = 0; t < tasks; ++t) {
     // `fn` outlives the call because we block below.
-    Submit([state, count, &fn] {
+    Status submitted = Submit([state, count, &fn, &record] {
       for (int64_t i = state->next.fetch_add(1); i < count;
            i = state->next.fetch_add(1)) {
-        fn(i);
+        if (state->failed.load(std::memory_order_relaxed)) break;
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          record(*state,
+                 InternalError(std::string("ParallelFor task threw: ") +
+                               e.what()));
+        } catch (...) {
+          record(*state,
+                 InternalError("ParallelFor task threw a non-std exception"));
+        }
       }
       std::unique_lock<std::mutex> lock(state->mu);
       if (--state->running == 0) state->done.notify_all();
     });
+    if (!submitted.ok()) {
+      // Pool shut down mid-dispatch: the remaining tasks will never run.
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->running -= tasks - t;
+      if (state->status.ok()) state->status = std::move(submitted);
+      if (state->running == 0) break;
+      break;
+    }
   }
   std::unique_lock<std::mutex> lock(state->mu);
   state->done.wait(lock, [&state] { return state->running == 0; });
+  return state->status;
 }
 
 namespace {

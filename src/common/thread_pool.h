@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace remedy {
 
 // Small reusable worker pool for data-parallel phases (e.g. the hierarchy's
@@ -17,8 +19,12 @@ namespace remedy {
 // Tasks are plain std::function<void()> drained FIFO by `num_threads` worker
 // threads. The pool is intentionally minimal: no futures, no task stealing —
 // callers that need a barrier use Wait() or the blocking ParallelFor().
-// Exceptions must not escape tasks (the library is exception-free; CHECK
-// aborts instead).
+//
+// Failure model: a task that throws no longer takes the process down via
+// std::terminate. The first exception (per barrier) is captured into a
+// kInternal Status and surfaced at the next Wait() / by the ParallelFor()
+// return value; subsequent tasks still run (ParallelFor stops claiming new
+// indices once one has failed).
 class ThreadPool {
  public:
   // Spawns max(1, num_threads) workers.
@@ -32,16 +38,25 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues one task.
-  void Submit(std::function<void()> task);
+  // Drains already-submitted tasks and joins the workers. Idempotent; the
+  // destructor calls it. Further Submit()/ParallelFor() calls fail with a
+  // Status instead of aborting.
+  void Shutdown();
 
-  // Blocks until every submitted task has finished.
-  void Wait();
+  // Enqueues one task. Fails with kInternal after Shutdown().
+  Status Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished, then reports (and
+  // clears) the first failure captured from a throwing task since the last
+  // Wait(). OK when every task returned normally.
+  Status Wait();
 
   // Runs fn(i) for every i in [0, count) across the pool and blocks until
   // all calls have returned. Work is claimed one index at a time off a
-  // shared counter, so uneven per-index costs balance automatically.
-  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+  // shared counter, so uneven per-index costs balance automatically. If an
+  // fn(i) throws, no further indices are claimed and the first exception
+  // comes back as kInternal; indices already claimed still complete.
+  Status ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
 
   // CPUs actually usable by this process: hardware_concurrency(), further
   // restricted by the scheduling affinity mask and (on Linux) the cgroup v2
@@ -52,6 +67,7 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  void RecordFailure(Status status);  // keeps the first failure only
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -60,6 +76,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // signals Wait(): pending_ hit zero
   int64_t pending_ = 0;              // queued + currently running tasks
   bool stop_ = false;
+  Status first_failure_;  // first throwing Submit() task since last Wait()
 };
 
 }  // namespace remedy

@@ -48,13 +48,13 @@ constexpr size_t kMinNodesForParallelLevel = 8;
 
 }  // namespace
 
-void Hierarchy::EagerBuild(int threads) {
+Status Hierarchy::EagerBuild(int threads) {
   if (threads <= 0) threads = ThreadPool::DefaultThreads();
   NodeCounts(LeafMask());  // the one dataset scan
   TotalCounts();
   if (NumProtected() == 1) {
     fully_built_ = true;
-    return;
+    return OkStatus();
   }
 
   // The pool is spun up only for the first level wide enough to feed it, so
@@ -84,10 +84,18 @@ void Hierarchy::EagerBuild(int threads) {
       for (size_t i = 0; i < work.size(); ++i) build_one(i);
     } else {
       if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
-      pool->ParallelFor(static_cast<int64_t>(work.size()), build_one);
+      Status built =
+          pool->ParallelFor(static_cast<int64_t>(work.size()), build_one);
+      if (!built.ok()) {
+        // The level's pre-inserted slots may hold empty tables; drop the
+        // memo so nothing downstream reads a half-built lattice.
+        Invalidate();
+        return built.WithContext("EagerBuild level " + std::to_string(level));
+      }
     }
   }
   fully_built_ = true;
+  return OkStatus();
 }
 
 void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/region_counter.h"
 #include "data/dataset.h"
 
@@ -49,7 +50,9 @@ class Hierarchy {
   // identical for every thread count. Levels with fewer nodes than the fan
   // out is worth (and single-threaded builds) run inline without touching a
   // pool, so the parallel entry point never loses to the serial one.
-  void EagerBuild(int threads = 0);
+  // On a pool failure the partially-built memo is dropped (Invalidate) so a
+  // later lazy NodeCounts never reads a half-filled level.
+  Status EagerBuild(int threads = 0);
 
   // True once EagerBuild has materialized every node (reset by Invalidate).
   bool fully_built() const { return fully_built_; }

@@ -55,10 +55,12 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
   return biased;
 }
 
-std::vector<BiasedRegion> IdentifyIbs(const Dataset& data,
-                                      const IbsParams& params) {
-  REMEDY_CHECK(data.schema().NumProtected() > 0)
-      << "IBS identification needs protected attributes";
+StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
+                                                const IbsParams& params) {
+  if (data.schema().NumProtected() == 0) {
+    return InvalidArgumentError(
+        "IBS identification needs protected attributes");
+  }
   Hierarchy hierarchy(data);
   std::vector<BiasedRegion> ibs;
   for (uint32_t mask : ScopeMasks(hierarchy, params.scope)) {

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "core/hierarchy.h"
 #include "core/imbalance.h"
 #include "core/pattern.h"
@@ -45,8 +46,9 @@ struct BiasedRegion {
 // `min_region_size` instances whose imbalance score differs from its
 // neighboring region's by more than `imbalance_threshold`. Regions are
 // returned in the bottom-up traversal order, deterministically.
-std::vector<BiasedRegion> IdentifyIbs(const Dataset& data,
-                                      const IbsParams& params);
+// Fails with kInvalidArgument when `data` has no protected attributes.
+StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
+                                                const IbsParams& params);
 
 // Same, but reusing a caller-owned hierarchy (so the remedy loop can share
 // memoized node counts across nodes of one pass).

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/ranker.h"
@@ -379,8 +380,9 @@ std::vector<std::vector<int>> GatherRegionRows(
   return region_rows;
 }
 
-Dataset RemedyIncremental(const Dataset& train, const RemedyParams& params,
-                          RemedyStats* stats_out) {
+StatusOr<Dataset> RemedyIncremental(const Dataset& train,
+                                    const RemedyParams& params,
+                                    RemedyStats* stats_out) {
   RemedyStats stats;
   const int threads = params.planning_threads > 0
                           ? params.planning_threads
@@ -399,7 +401,7 @@ Dataset RemedyIncremental(const Dataset& train, const RemedyParams& params,
   // One full lattice build; from here on every count moves by deltas only,
   // so the (append-only, tombstoned) dataset is never rescanned.
   Hierarchy hierarchy(ws.data);
-  hierarchy.EagerBuild(threads);
+  RETURN_IF_ERROR(hierarchy.EagerBuild(threads));
   const uint32_t leaf = hierarchy.LeafMask();
   const RegionCounter& counter = hierarchy.counter();
   ws.leaf_keys.resize(train.NumRows());
@@ -458,7 +460,8 @@ Dataset RemedyIncremental(const Dataset& train, const RemedyParams& params,
     };
     if (threads > 1 && biased.size() > 1) {
       if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
-      pool->ParallelFor(static_cast<int64_t>(biased.size()), plan_one);
+      RETURN_IF_ERROR(
+          pool->ParallelFor(static_cast<int64_t>(biased.size()), plan_one));
     } else {
       for (size_t i = 0; i < biased.size(); ++i) plan_one(i);
     }
@@ -630,9 +633,16 @@ RegionUpdate ComputeUpdate(RemedyTechnique technique, int64_t positives,
   return update;
 }
 
-Dataset RemedyDataset(const Dataset& train, const RemedyParams& params,
-                      RemedyStats* stats_out) {
-  REMEDY_CHECK(train.NumRows() > 0);
+StatusOr<Dataset> RemedyDataset(const Dataset& train,
+                                const RemedyParams& params,
+                                RemedyStats* stats_out) {
+  if (train.NumRows() <= 0) {
+    return InvalidArgumentError("cannot remedy an empty dataset");
+  }
+  if (train.schema().NumProtected() == 0) {
+    return InvalidArgumentError("remedy needs protected attributes");
+  }
+  REMEDY_FAULT_POINT("remedy/apply");
   switch (params.engine) {
     case RemedyEngine::kIncremental:
       return RemedyIncremental(train, params, stats_out);
@@ -643,10 +653,12 @@ Dataset RemedyDataset(const Dataset& train, const RemedyParams& params,
   return train;
 }
 
-std::vector<PlannedAction> PlanRemedy(const Dataset& train,
-                                      const RemedyParams& params) {
+StatusOr<std::vector<PlannedAction>> PlanRemedy(const Dataset& train,
+                                                const RemedyParams& params) {
+  ASSIGN_OR_RETURN(std::vector<BiasedRegion> ibs,
+                   IdentifyIbs(train, params.ibs));
   std::vector<PlannedAction> plan;
-  for (const BiasedRegion& region : IdentifyIbs(train, params.ibs)) {
+  for (const BiasedRegion& region : ibs) {
     RegionUpdate update =
         ComputeUpdate(params.technique, region.counts.positives,
                       region.counts.negatives, region.neighbor_ratio);
@@ -655,16 +667,19 @@ std::vector<PlannedAction> PlanRemedy(const Dataset& train,
   return plan;
 }
 
-IterativeRemedyResult RemedyUntilConverged(const Dataset& train,
-                                           const RemedyParams& params,
-                                           int max_rounds) {
-  REMEDY_CHECK(max_rounds >= 1);
+StatusOr<IterativeRemedyResult> RemedyUntilConverged(
+    const Dataset& train, const RemedyParams& params, int max_rounds) {
+  if (max_rounds < 1) {
+    return InvalidArgumentError("max_rounds must be at least 1, got " +
+                                std::to_string(max_rounds));
+  }
   IterativeRemedyResult result;
   result.dataset = train;
   RemedyParams round_params = params;
   // The residual identified after each pass doubles as the next round's
   // convergence check, so each round costs one IdentifyIbs, not two.
-  std::vector<BiasedRegion> residual = IdentifyIbs(result.dataset, params.ibs);
+  ASSIGN_OR_RETURN(std::vector<BiasedRegion> residual,
+                   IdentifyIbs(result.dataset, params.ibs));
   for (int round = 0; round < max_rounds; ++round) {
     if (residual.empty()) {
       result.converged = true;
@@ -673,7 +688,8 @@ IterativeRemedyResult RemedyUntilConverged(const Dataset& train,
     RemedyStats stats;
     // Vary the seed per round so repeated sampling decisions differ.
     round_params.seed = params.seed + static_cast<uint64_t>(round);
-    Dataset next = RemedyDataset(result.dataset, round_params, &stats);
+    ASSIGN_OR_RETURN(Dataset next,
+                     RemedyDataset(result.dataset, round_params, &stats));
     ++result.rounds;
     result.total_stats.regions_processed += stats.regions_processed;
     result.total_stats.regions_skipped += stats.regions_skipped;
@@ -682,7 +698,7 @@ IterativeRemedyResult RemedyUntilConverged(const Dataset& train,
     result.total_stats.labels_flipped += stats.labels_flipped;
     result.total_stats.add_budget_exhausted |= stats.add_budget_exhausted;
     result.dataset = std::move(next);
-    residual = IdentifyIbs(result.dataset, round_params.ibs);
+    ASSIGN_OR_RETURN(residual, IdentifyIbs(result.dataset, round_params.ibs));
     result.ibs_sizes.push_back(residual.size());
     if (stats.regions_processed == 0) break;  // nothing actionable remains
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "core/ibs_identify.h"
 #include "data/dataset.h"
 
@@ -69,8 +70,12 @@ struct RemedyStats {
 //
 // Returns the remedied copy of `train`; `train` itself is untouched. The
 // test set must never be passed here (the paper applies no remedy to it).
-Dataset RemedyDataset(const Dataset& train, const RemedyParams& params,
-                      RemedyStats* stats = nullptr);
+// Fails with kInvalidArgument on an empty dataset or one without protected
+// attributes; pool failures inside the incremental engine surface as the
+// pool's Status.
+StatusOr<Dataset> RemedyDataset(const Dataset& train,
+                                const RemedyParams& params,
+                                RemedyStats* stats = nullptr);
 
 // Update counts of Def. 6 for one region, exposed for testing and for the
 // per-region reporting in the examples: positive delta = instances added
@@ -101,9 +106,10 @@ struct IterativeRemedyResult {
   RemedyStats total_stats;         // accumulated over all passes
 };
 
-IterativeRemedyResult RemedyUntilConverged(const Dataset& train,
-                                           const RemedyParams& params,
-                                           int max_rounds = 5);
+// Fails with kInvalidArgument when `max_rounds` < 1 or the dataset is not
+// remediable (see RemedyDataset).
+StatusOr<IterativeRemedyResult> RemedyUntilConverged(
+    const Dataset& train, const RemedyParams& params, int max_rounds = 5);
 
 // Dry run of the remedy's *first* lattice pass: for every currently biased
 // region, the update Algorithm 2 would apply (Def. 6), without touching the
@@ -115,8 +121,8 @@ struct PlannedAction {
   RegionUpdate update;
 };
 
-std::vector<PlannedAction> PlanRemedy(const Dataset& train,
-                                      const RemedyParams& params);
+StatusOr<std::vector<PlannedAction>> PlanRemedy(const Dataset& train,
+                                                const RemedyParams& params);
 
 }  // namespace remedy
 

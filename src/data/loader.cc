@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "data/discretize.h"
 
@@ -98,15 +99,53 @@ ColumnPlan PlanColumn(const std::string& name,
   return plan;
 }
 
+// Settles the table's diverted records against the policy: fail, trip the
+// corruption circuit breaker, or account for them and move on.
+Status SettleBadRows(const CsvTable& table, const LoaderOptions& options,
+                     LoaderReport* report, QuarantineReport* quarantine) {
+  const int64_t bad = static_cast<int64_t>(table.bad_rows.size());
+  if (bad == 0) return OkStatus();
+  if (options.on_bad_row == BadRowPolicy::kFail) {
+    // Normally unreachable via LoadCsvDataset (strict parse fails first);
+    // covers callers handing a tolerantly parsed table to BuildDataset.
+    const CsvBadRow& first = table.bad_rows.front();
+    return DataCorruptionError("line " + std::to_string(first.line) + ": " +
+                               first.reason);
+  }
+  const int64_t seen = bad + static_cast<int64_t>(table.rows.size());
+  const double fraction =
+      seen > 0 ? static_cast<double>(bad) / static_cast<double>(seen) : 1.0;
+  report->rows_quarantined = bad;
+  if (quarantine != nullptr) {
+    quarantine->rows_quarantined = bad;
+    quarantine->fraction = fraction;
+    const int64_t keep =
+        std::min<int64_t>(bad, QuarantineReport::kMaxExamples);
+    quarantine->examples.assign(table.bad_rows.begin(),
+                                table.bad_rows.begin() + keep);
+  }
+  if (options.on_bad_row == BadRowPolicy::kQuarantine &&
+      fraction > options.max_quarantine_fraction) {
+    return DataCorruptionError(
+        "quarantined " + std::to_string(bad) + " of " + std::to_string(seen) +
+        " records (" + std::to_string(fraction) +
+        "), above max_quarantine_fraction=" +
+        std::to_string(options.max_quarantine_fraction));
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
-bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
-                  Dataset* dataset, std::string* error,
-                  LoaderReport* report_out) {
+StatusOr<Dataset> BuildDataset(const CsvTable& table,
+                               const LoaderOptions& options,
+                               LoaderReport* report_out,
+                               QuarantineReport* quarantine) {
+  REMEDY_FAULT_POINT("loader/build");
   LoaderReport report;
+  RETURN_IF_ERROR(SettleBadRows(table, options, &report, quarantine));
   if (table.header.empty()) {
-    *error = "CSV has no header";
-    return false;
+    return DataCorruptionError("CSV has no header");
   }
   const int width = static_cast<int>(table.header.size());
 
@@ -118,8 +157,8 @@ bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
       if (table.header[c] == options.label_column) label_column = c;
     }
     if (label_column < 0) {
-      *error = "label column '" + options.label_column + "' not found";
-      return false;
+      return InvalidArgumentError("label column '" + options.label_column +
+                                  "' not found");
     }
   }
 
@@ -141,8 +180,7 @@ bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
     }
   }
   if (rows.empty()) {
-    *error = "no complete rows in the CSV";
-    return false;
+    return DataCorruptionError("no complete rows in the CSV");
   }
 
   // Plan every feature column.
@@ -173,9 +211,8 @@ bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
       }
     }
     if (found < 0) {
-      *error = "protected attribute '" + name + "' not found (or is the "
-               "label column)";
-      return false;
+      return InvalidArgumentError("protected attribute '" + name +
+                                  "' not found (or is the label column)");
     }
     protected_indices.push_back(found);
   }
@@ -184,7 +221,7 @@ bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
   attributes.reserve(plans.size());
   for (const ColumnPlan& plan : plans) attributes.push_back(plan.schema);
   std::string label_name = table.header[label_column];
-  *dataset = Dataset(
+  Dataset dataset(
       DataSchema(std::move(attributes), protected_indices, label_name));
 
   // Encode the rows.
@@ -197,9 +234,10 @@ bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
       if (plan.numeric) {
         double number = 0.0;
         if (!ParseNumber(value, &number)) {
-          *error = "non-numeric value '" + value + "' in numeric column " +
-                   plan.schema.name();
-          return false;
+          // PlanColumn only types a column numeric when every value parsed,
+          // so reaching this means the table changed under us.
+          return InternalError("non-numeric value '" + value +
+                               "' in numeric column " + plan.schema.name());
         }
         codes[i] = plan.bucketizer.Code(number);
       } else {
@@ -211,26 +249,32 @@ bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
     int label =
         Trim((*row)[label_column]) == options.positive_label ? 1 : 0;
     positives += label;
-    dataset->AddRow(codes, label);
+    dataset.AddRow(codes, label);
   }
-  report.rows_loaded = dataset->NumRows();
+  report.rows_loaded = dataset.NumRows();
 
-  if (positives == 0 || positives == dataset->NumRows()) {
-    *error = "labels are constant after mapping positive_label='" +
-             options.positive_label + "'";
-    return false;
+  if (positives == 0 || positives == dataset.NumRows()) {
+    return InvalidArgumentError(
+        "labels are constant after mapping positive_label='" +
+        options.positive_label + "'");
   }
 
   if (report_out != nullptr) *report_out = report;
-  return true;
+  return dataset;
 }
 
-bool LoadCsvDataset(const std::string& path, const LoaderOptions& options,
-                    Dataset* dataset, std::string* error,
-                    LoaderReport* report) {
-  CsvTable table;
-  if (!ReadCsvFile(path, /*has_header=*/true, &table, error)) return false;
-  return BuildDataset(table, options, dataset, error, report);
+StatusOr<Dataset> LoadCsvDataset(const std::string& path,
+                                 const LoaderOptions& options,
+                                 LoaderReport* report,
+                                 QuarantineReport* quarantine) {
+  CsvReadOptions read_options;
+  read_options.parse.has_header = true;
+  read_options.parse.tolerate_bad_rows =
+      options.on_bad_row != BadRowPolicy::kFail;
+  ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path, read_options));
+  StatusOr<Dataset> built = BuildDataset(table, options, report, quarantine);
+  if (!built.ok()) return built.status().WithContext(path);
+  return built;
 }
 
 }  // namespace remedy

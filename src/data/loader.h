@@ -1,10 +1,12 @@
 #ifndef REMEDY_DATA_LOADER_H_
 #define REMEDY_DATA_LOADER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/status.h"
 #include "data/dataset.h"
 
 namespace remedy {
@@ -19,6 +21,18 @@ namespace remedy {
 // quantile-bucketized into `numeric_buckets` ordinal buckets; everything
 // else is categorical with the observed value set as its domain. Rows with
 // missing values (empty fields) are dropped, as in the paper.
+//
+// Structurally malformed records (ragged width, unterminated quotes) are
+// governed by `on_bad_row`: fail the load, quarantine them with a report and
+// a corruption circuit breaker, or silently drop them.
+
+// What to do with a structurally malformed CSV record.
+enum class BadRowPolicy {
+  kFail,        // first bad record fails the load with kDataCorruption
+  kQuarantine,  // divert bad records, report them, trip the circuit breaker
+                // when their fraction exceeds max_quarantine_fraction
+  kDrop,        // divert bad records silently (reported count only)
+};
 
 struct LoaderOptions {
   // Attribute names forming the protected set X. Must be header names.
@@ -35,28 +49,48 @@ struct LoaderOptions {
   // Upper bound on a categorical column's domain; beyond it the rarest
   // values are pooled into an "<other>" value to keep the lattice tractable.
   int max_categories = 24;
+  BadRowPolicy on_bad_row = BadRowPolicy::kFail;
+  // Circuit breaker for kQuarantine: when more than this fraction of the
+  // parsed records is malformed the file is judged corrupt, not merely
+  // scuffed, and the load fails with kDataCorruption.
+  double max_quarantine_fraction = 0.05;
+};
+
+// Where and why the quarantined records were refused.
+struct QuarantineReport {
+  // Up to this many concrete bad records are kept as examples; the counters
+  // below always cover all of them.
+  static constexpr int kMaxExamples = 10;
+
+  int64_t rows_quarantined = 0;
+  double fraction = 0.0;  // quarantined / all records seen
+  std::vector<CsvBadRow> examples;
 };
 
 // Statistics of one load, for sanity reporting.
 struct LoaderReport {
   int rows_loaded = 0;
   int rows_dropped_missing = 0;
+  int64_t rows_quarantined = 0;  // structurally malformed records diverted
   int numeric_columns = 0;
   int categorical_columns = 0;
   int pooled_columns = 0;  // columns that needed an "<other>" value
 };
 
-// Builds a dataset from a parsed CSV table (header required). Returns false
-// with a message in *error on malformed input, unknown protected/label
-// names, or a non-binary outcome after mapping.
-bool BuildDataset(const CsvTable& table, const LoaderOptions& options,
-                  Dataset* dataset, std::string* error,
-                  LoaderReport* report = nullptr);
+// Builds a dataset from a parsed CSV table (header required). Fails with
+// kDataCorruption on malformed input, kInvalidArgument on unknown
+// protected/label names or a non-binary outcome after mapping.
+StatusOr<Dataset> BuildDataset(const CsvTable& table,
+                               const LoaderOptions& options,
+                               LoaderReport* report = nullptr,
+                               QuarantineReport* quarantine = nullptr);
 
-// Reads and builds from a CSV file.
-bool LoadCsvDataset(const std::string& path, const LoaderOptions& options,
-                    Dataset* dataset, std::string* error,
-                    LoaderReport* report = nullptr);
+// Reads and builds from a CSV file. On `on_bad_row` != kFail the parse runs
+// in tolerant mode and the diverted records flow into `quarantine`.
+StatusOr<Dataset> LoadCsvDataset(const std::string& path,
+                                 const LoaderOptions& options,
+                                 LoaderReport* report = nullptr,
+                                 QuarantineReport* quarantine = nullptr);
 
 }  // namespace remedy
 

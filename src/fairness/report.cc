@@ -27,7 +27,10 @@ AuditReport RunAudit(const Dataset& train, const Dataset& test,
   report.test_rows = test.NumRows();
   report.accuracy = Accuracy(test, predictions);
 
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, options.ibs);
+  // The audit contract already REMEDY_CHECKs its inputs; a train set without
+  // protected attributes is a programmer error here, so value() (which
+  // aborts with the status) keeps the old semantics.
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, options.ibs).value();
   report.ibs_size = ibs.size();
 
   for (Statistic statistic : options.statistics) {

@@ -173,56 +173,104 @@ TEST(StringUtilTest, StartsWith) {
 }
 
 TEST(CsvTest, ParseWithHeader) {
-  CsvTable table;
-  std::string error;
-  ASSERT_TRUE(ParseCsv("a,b\n1,2\n3,4\n", true, &table, &error)) << error;
+  CsvTable table = ParseCsv("a,b\n1,2\n3,4\n").value();
   EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b"}));
   ASSERT_EQ(table.rows.size(), 2u);
   EXPECT_EQ(table.rows[1][1], "4");
 }
 
 TEST(CsvTest, ParseQuotedFields) {
-  CsvTable table;
-  std::string error;
-  ASSERT_TRUE(ParseCsv("\"x,y\",\"he said \"\"hi\"\"\"\n", false, &table,
-                       &error))
-      << error;
+  CsvParseOptions options;
+  options.has_header = false;
+  CsvTable table =
+      ParseCsv("\"x,y\",\"he said \"\"hi\"\"\"\n", options).value();
   ASSERT_EQ(table.rows.size(), 1u);
   EXPECT_EQ(table.rows[0][0], "x,y");
   EXPECT_EQ(table.rows[0][1], "he said \"hi\"");
 }
 
 TEST(CsvTest, RejectsRaggedRows) {
-  CsvTable table;
-  std::string error;
-  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n", true, &table, &error));
-  EXPECT_FALSE(error.empty());
+  StatusOr<CsvTable> table = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kDataCorruption);
+  // The failure names the offending line.
+  EXPECT_NE(table.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(CsvTest, RejectsUnterminatedQuote) {
-  CsvTable table;
-  std::string error;
-  EXPECT_FALSE(ParseCsv("\"abc\n", false, &table, &error));
+  CsvParseOptions options;
+  options.has_header = false;
+  StatusOr<CsvTable> table = ParseCsv("\"abc\n", options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kDataCorruption);
 }
 
 TEST(CsvTest, WriteQuotesWhenNeeded) {
   CsvTable table;
   table.header = {"h1", "h,2"};
   table.rows = {{"plain", "with \"quote\""}};
-  std::string text = WriteCsv(table);
-  CsvTable parsed;
-  std::string error;
-  ASSERT_TRUE(ParseCsv(text, true, &parsed, &error)) << error;
+  CsvTable parsed = ParseCsv(WriteCsv(table)).value();
   EXPECT_EQ(parsed.header[1], "h,2");
   EXPECT_EQ(parsed.rows[0][1], "with \"quote\"");
 }
 
 TEST(CsvTest, HandlesCrlf) {
-  CsvTable table;
-  std::string error;
-  ASSERT_TRUE(ParseCsv("a,b\r\n1,2\r\n", true, &table, &error)) << error;
+  CsvTable table = ParseCsv("a,b\r\n1,2\r\n").value();
   ASSERT_EQ(table.rows.size(), 1u);
   EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(CsvTest, StripsUtf8BomBeforeHeader) {
+  // Split literal: "\xBFa" would otherwise parse as one hex escape.
+  CsvTable table = ParseCsv("\xEF\xBB\xBF" "a,b\n1,2\n").value();
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "a");  // no BOM bytes glued to the name
+  ASSERT_EQ(table.rows.size(), 1u);
+}
+
+TEST(CsvTest, QuotedFieldMayContainNewlines) {
+  CsvTable table = ParseCsv("a,b\n\"line one\nline two\",2\n").value();
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "line one\nline two");
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(CsvTest, TrailingNewlineDoesNotProducePhantomRow) {
+  EXPECT_EQ(ParseCsv("a,b\n1,2\n").value().rows.size(), 1u);
+  EXPECT_EQ(ParseCsv("a,b\n1,2").value().rows.size(), 1u);     // no newline
+  EXPECT_EQ(ParseCsv("a,b\n1,2\n\n\n").value().rows.size(), 1u);  // blanks
+}
+
+TEST(CsvTest, TolerantModeDivertsBadRowsAndKeepsTheRest) {
+  CsvParseOptions options;
+  options.tolerate_bad_rows = true;
+  CsvTable table =
+      ParseCsv("a,b\n1,2\nonly-one-field\n3,4,5\n6,7\n", options).value();
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "7");
+  ASSERT_EQ(table.bad_rows.size(), 2u);
+  EXPECT_EQ(table.bad_rows[0].line, 3);
+  EXPECT_EQ(table.bad_rows[1].line, 4);
+}
+
+TEST(CsvTest, TolerantModeResyncsAfterUnterminatedQuote) {
+  CsvParseOptions options;
+  options.tolerate_bad_rows = true;
+  // The stray quote on line 2 must cost one record, not the rest of the
+  // file.
+  CsvTable table = ParseCsv("a,b\n\"oops,2\n3,4\n", options).value();
+  ASSERT_EQ(table.bad_rows.size(), 1u);
+  EXPECT_EQ(table.bad_rows[0].line, 2);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "3");
+}
+
+TEST(CsvTest, ReadFileReportsIoErrorForMissingFile) {
+  StatusOr<CsvTable> table = ReadCsvFile("/nonexistent/file.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+  // ENOENT is not transient: exactly one attempt, with context.
+  EXPECT_NE(table.status().message().find("1 attempt"), std::string::npos);
 }
 
 TEST(TablePrinterTest, PrintsAlignedRows) {
@@ -241,21 +289,21 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
   std::atomic<int> sum{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&sum, i] { sum += i; });
+    ASSERT_TRUE(pool.Submit([&sum, i] { sum += i; }).ok());
   }
-  pool.Wait();
+  EXPECT_TRUE(pool.Wait().ok());
   EXPECT_EQ(sum.load(), 100 * 99 / 2);
 }
 
 TEST(ThreadPoolTest, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
-  pool.Submit([&count] { ++count; });
-  pool.Wait();
+  ASSERT_TRUE(pool.Submit([&count] { ++count; }).ok());
+  EXPECT_TRUE(pool.Wait().ok());
   EXPECT_EQ(count.load(), 1);
-  pool.Submit([&count] { ++count; });
-  pool.Submit([&count] { ++count; });
-  pool.Wait();
+  ASSERT_TRUE(pool.Submit([&count] { ++count; }).ok());
+  ASSERT_TRUE(pool.Submit([&count] { ++count; }).ok());
+  EXPECT_TRUE(pool.Wait().ok());
   EXPECT_EQ(count.load(), 3);
 }
 
@@ -264,7 +312,8 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
     ThreadPool pool(threads);
     const int64_t count = 257;  // not a multiple of any worker count
     std::vector<std::atomic<int>> hits(count);
-    pool.ParallelFor(count, [&hits](int64_t i) { ++hits[i]; });
+    EXPECT_TRUE(
+        pool.ParallelFor(count, [&hits](int64_t i) { ++hits[i]; }).ok());
     for (int64_t i = 0; i < count; ++i) {
       EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
     }
@@ -274,9 +323,9 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
 TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTiny) {
   ThreadPool pool(4);
   std::atomic<int> calls{0};
-  pool.ParallelFor(0, [&calls](int64_t) { ++calls; });
+  EXPECT_TRUE(pool.ParallelFor(0, [&calls](int64_t) { ++calls; }).ok());
   EXPECT_EQ(calls.load(), 0);
-  pool.ParallelFor(1, [&calls](int64_t) { ++calls; });
+  EXPECT_TRUE(pool.ParallelFor(1, [&calls](int64_t) { ++calls; }).ok());
   EXPECT_EQ(calls.load(), 1);
 }
 

@@ -102,10 +102,15 @@ TEST(ContractsDeathTest, TrainTestSplitRejectsDegenerateFraction) {
   EXPECT_DEATH(data.TrainTestSplit(1.0, rng), "");
 }
 
+// An empty dataset is now a recoverable boundary error, not an abort: the
+// entry point reports kInvalidArgument and value() is what would die.
 TEST(ContractsDeathTest, RemedyRejectsEmptyDataset) {
   Dataset data(SmallSchema());
   RemedyParams params;
-  EXPECT_DEATH(RemedyDataset(data, params), "");
+  StatusOr<Dataset> remedied = RemedyDataset(data, params);
+  ASSERT_FALSE(remedied.ok());
+  EXPECT_EQ(remedied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_DEATH(RemedyDataset(data, params).value(), "INVALID_ARGUMENT");
 }
 
 TEST(ContractsDeathTest, TablePrinterRejectsRaggedRow) {

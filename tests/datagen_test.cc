@@ -77,7 +77,7 @@ TEST(CompasTest, PlantsIbsInProtectedSpace) {
   Dataset data = MakeCompas();
   IbsParams params;
   params.imbalance_threshold = 0.3;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params).value();
   EXPECT_FALSE(ibs.empty());
   // The canonical Afr-Am male region must surface somewhere in the IBS
   // (as itself or dominated by an injected ancestor).

@@ -207,9 +207,9 @@ TEST(OrdinalCompasTest, AdjacentOnlyNeighborsAtTOne) {
 TEST(OrdinalCompasTest, IdentificationFallsBackToNaive) {
   Dataset data = MakeCompasOrdinal(6172);
   IbsParams params;  // optimized requested, naive used where unsupported
-  std::vector<BiasedRegion> optimized_request = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> optimized_request = IdentifyIbs(data, params).value();
   params.algorithm = IbsAlgorithm::kNaive;
-  std::vector<BiasedRegion> naive_request = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> naive_request = IdentifyIbs(data, params).value();
   ASSERT_EQ(optimized_request.size(), naive_request.size());
   for (size_t i = 0; i < naive_request.size(); ++i) {
     EXPECT_EQ(optimized_request[i].pattern, naive_request[i].pattern);

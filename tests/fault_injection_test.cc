@@ -1,0 +1,307 @@
+// Deterministic fault-injection suite: every registered fault point is
+// driven through its public entry point and must surface a clean error
+// Status — never an abort. Also proves the ingestion hardening acceptance
+// criterion: loading a lightly corrupted Adult CSV under quarantine yields
+// the exact IBS of loading only the surviving rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/ibs_identify.h"
+#include "core/remedy.h"
+#include "data/loader.h"
+#include "datagen/adult.h"
+
+namespace remedy {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+}
+
+TEST(FaultInjectionTest, RegistryListsEveryPoint) {
+  std::vector<std::string> points = RegisteredFaultPoints();
+  std::set<std::string> expected = {"csv/read", "csv/write", "loader/build",
+                                    "threadpool/dispatch", "remedy/apply"};
+  EXPECT_EQ(std::set<std::string>(points.begin(), points.end()), expected);
+}
+
+TEST(FaultInjectionTest, InactiveByDefault) {
+  EXPECT_FALSE(FaultInjectionActive());
+  {
+    FaultInjector injector;
+    EXPECT_TRUE(FaultInjectionActive());
+  }
+  EXPECT_FALSE(FaultInjectionActive());
+}
+
+TEST(FaultInjectionTest, CsvReadFailAlwaysExhaustsRetries) {
+  const std::string path = TempPath("fi_read.csv");
+  WriteText(path, "a,label\nx,1\ny,0\n");
+  FaultInjector injector;
+  injector.FailAlways("csv/read");
+  StatusOr<CsvTable> table = ReadCsvFile(path);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+  // All three attempts were burned, and the context says so.
+  EXPECT_EQ(injector.HitCount("csv/read"), 3);
+  EXPECT_NE(table.status().message().find("3 attempt"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, CsvReadFailNthOnceIsAbsorbedByRetry) {
+  const std::string path = TempPath("fi_read_retry.csv");
+  WriteText(path, "a,label\nx,1\ny,0\n");
+  FaultInjector injector;
+  injector.FailNth("csv/read", 1);
+  StatusOr<CsvTable> table = ReadCsvFile(path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table.value().rows.size(), 2u);
+  EXPECT_EQ(injector.HitCount("csv/read"), 2);  // one failure + one success
+}
+
+TEST(FaultInjectionTest, CsvWriteSurfacesInjectedError) {
+  FaultInjector injector;
+  injector.FailAlways("csv/write");
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{"x"}};
+  Status status = WriteCsvFile(TempPath("fi_write.csv"), table);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, LoaderBuildSurfacesInjectedError) {
+  CsvTable table = ParseCsv("a,label\nx,1\ny,0\n").value();
+  FaultInjector injector;
+  injector.FailAlways("loader/build", StatusCode::kResourceExhausted);
+  StatusOr<Dataset> built = BuildDataset(table, LoaderOptions());
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kResourceExhausted);
+  // The same injection crosses LoadCsvDataset, which adds file context.
+  const std::string path = TempPath("fi_build.csv");
+  WriteText(path, "a,label\nx,1\ny,0\n");
+  StatusOr<Dataset> loaded = LoadCsvDataset(path, LoaderOptions());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+}
+
+TEST(FaultInjectionTest, ThreadPoolDispatchSurfacesInjectedError) {
+  ThreadPool pool(4);
+  FaultInjector injector;
+  injector.FailAlways("threadpool/dispatch", StatusCode::kInternal);
+  std::atomic<int> ran{0};
+  Status status = pool.ParallelFor(32, [&ran](int64_t) { ++ran; });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 0);  // fault fires before any task dispatch
+}
+
+TEST(FaultInjectionTest, RemedySurfacesDispatchFaultWithContext) {
+  Dataset data = MakeAdult(400, 11);
+  FaultInjector injector;
+  injector.FailAlways("threadpool/dispatch", StatusCode::kInternal);
+  RemedyParams params;
+  // Force the parallel EagerBuild/planning path even on 1-core machines,
+  // where DefaultThreads() == 1 would keep everything inline.
+  params.planning_threads = 4;
+  StatusOr<Dataset> remedied = RemedyDataset(data, params);
+  ASSERT_FALSE(remedied.ok());
+  EXPECT_EQ(remedied.status().code(), StatusCode::kInternal);
+}
+
+TEST(FaultInjectionTest, RemedyApplySurfacesInjectedError) {
+  Dataset data = MakeAdult(400, 11);
+  FaultInjector injector;
+  injector.FailAlways("remedy/apply", StatusCode::kResourceExhausted);
+  StatusOr<Dataset> remedied = RemedyDataset(data, RemedyParams());
+  ASSERT_FALSE(remedied.ok());
+  EXPECT_EQ(remedied.status().code(), StatusCode::kResourceExhausted);
+  // RemedyUntilConverged forwards the same failure.
+  StatusOr<IterativeRemedyResult> iterated =
+      RemedyUntilConverged(data, RemedyParams(), 2);
+  ASSERT_FALSE(iterated.ok());
+  EXPECT_EQ(iterated.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultInjectionTest, DisarmStopsFailuresButKeepsCounting) {
+  const std::string path = TempPath("fi_disarm.csv");
+  WriteText(path, "a,label\nx,1\ny,0\n");
+  FaultInjector injector;
+  injector.FailAlways("csv/read");
+  EXPECT_FALSE(ReadCsvFile(path).ok());
+  int64_t hits_while_armed = injector.HitCount("csv/read");
+  injector.Disarm("csv/read");
+  EXPECT_TRUE(ReadCsvFile(path).ok());
+  EXPECT_EQ(injector.HitCount("csv/read"), hits_while_armed + 1);
+}
+
+TEST(FaultInjectionTest, ProbabilisticFailuresAreSeedDeterministic) {
+  auto draw_pattern = [](uint64_t seed) {
+    FaultInjector injector;
+    injector.FailWithProbability("csv/read", 0.5, seed);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += injector.Hit("csv/read").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  std::string first = draw_pattern(42);
+  EXPECT_EQ(first, draw_pattern(42));
+  EXPECT_NE(first, draw_pattern(43));
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+// --- Quarantine-load equivalence (the ingestion acceptance criterion) -----
+
+// Corrupts ~`fraction` of the data lines of `csv` in ways that break the
+// field count, so every damaged line is detectable. Returns the corrupted
+// text and fills `clean` with the same file minus the damaged lines.
+std::string CorruptLines(const std::string& csv, double fraction,
+                         uint64_t seed, std::string* clean,
+                         int* num_corrupted) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    lines.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  Rng rng(seed);
+  std::string corrupted = lines[0] + "\n";
+  *clean = lines[0] + "\n";
+  *num_corrupted = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    bool damage = rng.Uniform() < fraction;
+    if (!damage) {
+      corrupted += lines[i] + "\n";
+      *clean += lines[i] + "\n";
+      continue;
+    }
+    ++*num_corrupted;
+    std::string bad = lines[i];
+    switch (rng.UniformInt(3)) {
+      case 0: {  // delete the first comma: one field short
+        size_t comma = bad.find(',');
+        if (comma != std::string::npos) bad.erase(comma, 1);
+        break;
+      }
+      case 1:  // extra trailing field: one field long
+        bad += ",<corrupt>";
+        break;
+      default:  // truncate at the last comma: short and ragged
+        bad = bad.substr(0, bad.rfind(','));
+        break;
+    }
+    corrupted += bad + "\n";
+  }
+  return corrupted;
+}
+
+TEST(FaultInjectionTest, QuarantineLoadMatchesCleanLoadOfSurvivingRows) {
+  Dataset source = MakeAdult(3000, 202);
+  std::string healthy = WriteCsv(source.ToCsv());
+
+  std::string clean;
+  int num_corrupted = 0;
+  std::string corrupted =
+      CorruptLines(healthy, /*fraction=*/0.04, /*seed=*/99, &clean,
+                   &num_corrupted);
+  ASSERT_GT(num_corrupted, 0);
+  ASSERT_LT(num_corrupted, 3000 * 0.05 * 2);  // sanity: stayed light
+
+  LoaderOptions options;
+  options.protected_attributes = {"age",          "race",
+                                  "gender",       "marital_status",
+                                  "relationship", "country"};
+  const std::string corrupted_path = TempPath("fi_adult_corrupted.csv");
+  const std::string clean_path = TempPath("fi_adult_clean.csv");
+  WriteText(corrupted_path, corrupted);
+  WriteText(clean_path, clean);
+
+  LoaderOptions quarantine_options = options;
+  quarantine_options.on_bad_row = BadRowPolicy::kQuarantine;
+  quarantine_options.max_quarantine_fraction = 0.05;
+  QuarantineReport quarantine;
+  Dataset from_corrupted =
+      LoadCsvDataset(corrupted_path, quarantine_options, nullptr, &quarantine)
+          .value();
+  EXPECT_EQ(quarantine.rows_quarantined, num_corrupted);
+
+  Dataset from_clean = LoadCsvDataset(clean_path, options).value();
+
+  // The two datasets must be bit-identical...
+  ASSERT_EQ(from_corrupted.NumRows(), from_clean.NumRows());
+  ASSERT_EQ(from_corrupted.NumColumns(), from_clean.NumColumns());
+  for (int r = 0; r < from_clean.NumRows(); ++r) {
+    ASSERT_EQ(from_corrupted.Label(r), from_clean.Label(r)) << "row " << r;
+    for (int c = 0; c < from_clean.NumColumns(); ++c) {
+      ASSERT_EQ(from_corrupted.Value(r, c), from_clean.Value(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+
+  // ...and so must the IBS identified from them.
+  IbsParams params;
+  std::vector<BiasedRegion> ibs_corrupted =
+      IdentifyIbs(from_corrupted, params).value();
+  std::vector<BiasedRegion> ibs_clean =
+      IdentifyIbs(from_clean, params).value();
+  ASSERT_EQ(ibs_corrupted.size(), ibs_clean.size());
+  ASSERT_GT(ibs_clean.size(), 0u);  // the comparison is non-vacuous
+  for (size_t i = 0; i < ibs_clean.size(); ++i) {
+    EXPECT_EQ(ibs_corrupted[i].pattern.ToString(from_corrupted.schema()),
+              ibs_clean[i].pattern.ToString(from_clean.schema()));
+    EXPECT_EQ(ibs_corrupted[i].counts.positives,
+              ibs_clean[i].counts.positives);
+    EXPECT_EQ(ibs_corrupted[i].counts.negatives,
+              ibs_clean[i].counts.negatives);
+    EXPECT_DOUBLE_EQ(ibs_corrupted[i].ratio, ibs_clean[i].ratio);
+    EXPECT_DOUBLE_EQ(ibs_corrupted[i].neighbor_ratio,
+                     ibs_clean[i].neighbor_ratio);
+  }
+}
+
+TEST(FaultInjectionTest, HeavyCorruptionTripsTheCircuitBreaker) {
+  Dataset source = MakeAdult(500, 202);
+  std::string healthy = WriteCsv(source.ToCsv());
+  std::string clean;
+  int num_corrupted = 0;
+  std::string corrupted = CorruptLines(healthy, /*fraction=*/0.30,
+                                       /*seed=*/7, &clean, &num_corrupted);
+  ASSERT_GT(num_corrupted, 500 * 0.10);
+  const std::string path = TempPath("fi_adult_heavy.csv");
+  WriteText(path, corrupted);
+
+  LoaderOptions options;
+  options.on_bad_row = BadRowPolicy::kQuarantine;
+  options.max_quarantine_fraction = 0.05;
+  StatusOr<Dataset> loaded = LoadCsvDataset(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataCorruption);
+  EXPECT_NE(loaded.status().message().find("max_quarantine_fraction"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace remedy

@@ -143,7 +143,7 @@ TEST(HierarchyTest, RollupNodeCountsMatchDirectScan) {
 TEST(HierarchyTest, EagerBuildMatchesLazyAndDirectScan) {
   Dataset data = RandomFourAttrDataset(11, 400);
   Hierarchy eager(data);
-  eager.EagerBuild(1);
+  ASSERT_TRUE(eager.EagerBuild(1).ok());
   Hierarchy lazy(data);
   for (uint32_t mask = 1; mask <= eager.LeafMask(); ++mask) {
     EXPECT_EQ(eager.NodeCounts(mask), lazy.NodeCounts(mask))
@@ -156,9 +156,9 @@ TEST(HierarchyTest, EagerBuildSingleAndMultiThreadCachesAreIdentical) {
   for (uint64_t seed : {3u, 19u}) {
     Dataset data = RandomFourAttrDataset(seed, 500);
     Hierarchy serial(data);
-    serial.EagerBuild(1);
+    ASSERT_TRUE(serial.EagerBuild(1).ok());
     Hierarchy parallel(data);
-    parallel.EagerBuild(std::max(4, ThreadPool::DefaultThreads()));
+    ASSERT_TRUE(parallel.EagerBuild(std::max(4, ThreadPool::DefaultThreads())).ok());
     for (uint32_t mask = 1; mask <= serial.LeafMask(); ++mask) {
       EXPECT_EQ(serial.NodeCounts(mask), parallel.NodeCounts(mask))
           << "mask " << mask << " seed " << seed;
@@ -170,9 +170,9 @@ TEST(HierarchyTest, EagerBuildOnPartiallyBuiltHierarchy) {
   Dataset data = RandomFourAttrDataset(5, 300);
   Hierarchy hierarchy(data);
   hierarchy.NodeCounts(0b0101);  // lazy-build a slice first
-  hierarchy.EagerBuild(2);
+  ASSERT_TRUE(hierarchy.EagerBuild(2).ok());
   Hierarchy fresh(data);
-  fresh.EagerBuild(1);
+  ASSERT_TRUE(fresh.EagerBuild(1).ok());
   for (uint32_t mask = 1; mask <= hierarchy.LeafMask(); ++mask) {
     EXPECT_EQ(hierarchy.NodeCounts(mask), fresh.NodeCounts(mask))
         << "mask " << mask;
@@ -182,7 +182,7 @@ TEST(HierarchyTest, EagerBuildOnPartiallyBuiltHierarchy) {
 TEST(HierarchyTest, ApplyDeltaPropagatesToEveryAncestor) {
   Dataset data = RandomFourAttrDataset(21, 200);
   Hierarchy hierarchy(data);
-  hierarchy.EagerBuild(1);
+  ASSERT_TRUE(hierarchy.EagerBuild(1).ok());
   const RegionCounter& counter = hierarchy.counter();
   const uint32_t leaf = hierarchy.LeafMask();
 
@@ -214,7 +214,7 @@ TEST(HierarchyTest, ApplyDeltaPropagatesToEveryAncestor) {
 TEST(HierarchyTest, ApplyDeltasMatchesRebuildOfMutatedDataset) {
   Dataset data = RandomFourAttrDataset(33, 500);
   Hierarchy incremental(data);
-  incremental.EagerBuild(1);
+  ASSERT_TRUE(incremental.EagerBuild(1).ok());
   const RegionCounter& counter = incremental.counter();
   const uint32_t leaf = incremental.LeafMask();
 
@@ -290,7 +290,7 @@ TEST(HierarchyTest, EagerBuildSingleProtectedAttribute) {
   data.AddRow({1}, 0);
   data.AddRow({1}, 1);
   Hierarchy hierarchy(data);
-  hierarchy.EagerBuild(4);
+  ASSERT_TRUE(hierarchy.EagerBuild(4).ok());
   EXPECT_EQ(hierarchy.NodeCounts(0b1).size(), 2u);
   EXPECT_EQ(hierarchy.TotalCounts(), (RegionCounts{2, 1}));
 }

@@ -24,7 +24,7 @@ Dataset PlantedBias() {
 TEST(IbsIdentifyTest, FindsPlantedBiasedRegion) {
   IbsParams params;
   params.imbalance_threshold = 1.0;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params).value();
   ASSERT_FALSE(ibs.empty());
   bool found = false;
   for (const BiasedRegion& region : ibs) {
@@ -45,7 +45,7 @@ TEST(IbsIdentifyTest, BalancedDataHasNoIbs) {
                               {{50, 50}, {50, 50}}});
   IbsParams params;
   params.imbalance_threshold = 0.1;
-  EXPECT_TRUE(IdentifyIbs(data, params).empty());
+  EXPECT_TRUE(IdentifyIbs(data, params).value().empty());
 }
 
 TEST(IbsIdentifyTest, SizeFilterSkipsSmallRegions) {
@@ -56,11 +56,11 @@ TEST(IbsIdentifyTest, SizeFilterSkipsSmallRegions) {
   IbsParams params;
   params.imbalance_threshold = 0.5;
   params.min_region_size = 30;
-  for (const BiasedRegion& region : IdentifyIbs(data, params)) {
+  for (const BiasedRegion& region : IdentifyIbs(data, params).value()) {
     EXPECT_NE(region.pattern, Pattern({0, 0}));
   }
   params.min_region_size = 10;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params).value();
   bool found = std::any_of(ibs.begin(), ibs.end(), [](const BiasedRegion& r) {
     return r.pattern == Pattern({0, 0});
   });
@@ -73,16 +73,16 @@ TEST(IbsIdentifyTest, ThresholdControlsSensitivity) {
   loose.imbalance_threshold = 0.05;
   IbsParams tight;
   tight.imbalance_threshold = 5.0;
-  EXPECT_GE(IdentifyIbs(data, loose).size(),
-            IdentifyIbs(data, tight).size());
-  EXPECT_TRUE(IdentifyIbs(data, tight).empty());
+  EXPECT_GE(IdentifyIbs(data, loose).value().size(),
+            IdentifyIbs(data, tight).value().size());
+  EXPECT_TRUE(IdentifyIbs(data, tight).value().empty());
 }
 
 TEST(IbsIdentifyTest, LeafScopeOnlyLeafLevel) {
   IbsParams params;
   params.imbalance_threshold = 0.3;
   params.scope = IbsScope::kLeaf;
-  for (const BiasedRegion& region : IdentifyIbs(PlantedBias(), params)) {
+  for (const BiasedRegion& region : IdentifyIbs(PlantedBias(), params).value()) {
     EXPECT_EQ(region.pattern.NumDeterministic(), 2);
   }
 }
@@ -91,7 +91,7 @@ TEST(IbsIdentifyTest, TopScopeOnlyLevelOne) {
   IbsParams params;
   params.imbalance_threshold = 0.05;
   params.scope = IbsScope::kTop;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params).value();
   for (const BiasedRegion& region : ibs) {
     EXPECT_EQ(region.pattern.NumDeterministic(), 1);
   }
@@ -105,11 +105,11 @@ TEST(IbsIdentifyTest, TopScopeOnlyLevelOne) {
 TEST(IbsIdentifyTest, LatticeScopeIsSupersetOfLeafAndTop) {
   IbsParams params;
   params.imbalance_threshold = 0.3;
-  std::vector<BiasedRegion> lattice = IdentifyIbs(PlantedBias(), params);
+  std::vector<BiasedRegion> lattice = IdentifyIbs(PlantedBias(), params).value();
   params.scope = IbsScope::kLeaf;
-  std::vector<BiasedRegion> leaf = IdentifyIbs(PlantedBias(), params);
+  std::vector<BiasedRegion> leaf = IdentifyIbs(PlantedBias(), params).value();
   params.scope = IbsScope::kTop;
-  std::vector<BiasedRegion> top = IdentifyIbs(PlantedBias(), params);
+  std::vector<BiasedRegion> top = IdentifyIbs(PlantedBias(), params).value();
   EXPECT_EQ(lattice.size(), leaf.size() + top.size());
 }
 
@@ -119,7 +119,7 @@ TEST(IbsIdentifyTest, AllPositiveRegionUsesSentinel) {
                               {{30, 30}, {30, 30}}});
   IbsParams params;
   params.imbalance_threshold = 1.0;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params).value();
   bool found = false;
   for (const BiasedRegion& region : ibs) {
     if (region.pattern == Pattern({0, 0})) {
@@ -134,7 +134,7 @@ TEST(IbsIdentifyTest, AllPositiveRegionUsesSentinel) {
 TEST(IbsIdentifyTest, DominatesAnyBiasedRegion) {
   IbsParams params;
   params.imbalance_threshold = 1.0;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(PlantedBias(), params).value();
   // (a=0) dominates the biased (a0, b0).
   EXPECT_TRUE(
       DominatesAnyBiasedRegion(Pattern({0, Pattern::kWildcard}), ibs));
@@ -162,9 +162,9 @@ TEST_P(IbsAlgorithmEquivalenceTest, NaiveEqualsOptimized) {
   params.min_region_size = 10;
   params.distance_threshold = distance_threshold;
   params.algorithm = IbsAlgorithm::kNaive;
-  std::vector<BiasedRegion> naive = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> naive = IdentifyIbs(data, params).value();
   params.algorithm = IbsAlgorithm::kOptimized;
-  std::vector<BiasedRegion> optimized = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> optimized = IdentifyIbs(data, params).value();
   ASSERT_EQ(naive.size(), optimized.size());
   for (size_t i = 0; i < naive.size(); ++i) {
     EXPECT_EQ(naive[i].pattern, optimized[i].pattern);
@@ -193,9 +193,9 @@ TEST(IbsIdentifyTest, AdultScalabilityNaiveEqualsOptimized) {
     IbsParams params;
     params.imbalance_threshold = 0.5;
     params.algorithm = IbsAlgorithm::kNaive;
-    std::vector<BiasedRegion> naive = IdentifyIbs(data, params);
+    std::vector<BiasedRegion> naive = IdentifyIbs(data, params).value();
     params.algorithm = IbsAlgorithm::kOptimized;
-    std::vector<BiasedRegion> optimized = IdentifyIbs(data, params);
+    std::vector<BiasedRegion> optimized = IdentifyIbs(data, params).value();
     ASSERT_EQ(naive.size(), optimized.size()) << "|X| = " << count;
     for (size_t i = 0; i < naive.size(); ++i) {
       EXPECT_EQ(naive[i].pattern, optimized[i].pattern);

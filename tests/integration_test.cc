@@ -51,7 +51,7 @@ TEST(IntegrationTest, UnfairSubgroupsAlignWithIbs) {
   std::vector<int> predictions = model->PredictAll(pipeline.test);
 
   IbsParams params;  // tau_c = 0.1, T = 1 as in Sec. V-B1
-  std::vector<BiasedRegion> ibs = IdentifyIbs(pipeline.train, params);
+  std::vector<BiasedRegion> ibs = IdentifyIbs(pipeline.train, params).value();
   ASSERT_FALSE(ibs.empty());
 
   SubgroupAnalysis analysis =
@@ -78,7 +78,7 @@ TEST(IntegrationTest, RemedyImprovesFairnessIndex) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(pipeline.train, params);
+  Dataset remedied = RemedyDataset(pipeline.train, params).value();
 
   ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
   treated->Fit(remedied);
@@ -100,7 +100,7 @@ TEST(IntegrationTest, RemedyKeepsAccuracyLossBounded) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(pipeline.train, params);
+  Dataset remedied = RemedyDataset(pipeline.train, params).value();
   ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
   treated->Fit(remedied);
   double accuracy_after =
@@ -121,7 +121,7 @@ TEST(IntegrationTest, RemedyHelpsBothStatisticsAtOnce) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(pipeline.train, params);
+  Dataset remedied = RemedyDataset(pipeline.train, params).value();
   ClassifierPtr treated = MakeClassifier(ModelType::kDecisionTree);
   treated->Fit(remedied);
   std::vector<int> after = treated->PredictAll(pipeline.test);
@@ -144,7 +144,7 @@ TEST(IntegrationTest, RemedyIsModelAgnostic) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kUndersample;
-  Dataset remedied = RemedyDataset(pipeline.train, params);
+  Dataset remedied = RemedyDataset(pipeline.train, params).value();
 
   for (ModelType type :
        {ModelType::kLogisticRegression, ModelType::kNaiveBayes}) {
@@ -169,7 +169,7 @@ TEST(IntegrationTest, LawSchoolPipelineRuns) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.1;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset remedied = RemedyDataset(train, params);
+  Dataset remedied = RemedyDataset(train, params).value();
 
   ClassifierPtr model = MakeClassifier(ModelType::kDecisionTree);
   model->Fit(remedied);

@@ -183,7 +183,7 @@ TEST_P(MinerIbsEquivalenceTest, IdentifyIbsWithMinerMatchesLattice) {
   Dataset data = MakeCompas(1500, 500 + GetParam());
   IbsParams params;
   params.imbalance_threshold = 0.15;
-  std::vector<BiasedRegion> lattice = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> lattice = IdentifyIbs(data, params).value();
   std::vector<BiasedRegion> mined = IdentifyIbsWithMiner(data, params);
   ASSERT_EQ(lattice.size(), mined.size()) << "seed " << GetParam();
   for (size_t i = 0; i < lattice.size(); ++i) {

@@ -138,7 +138,7 @@ TEST_P(OracleTest, IdentifyIbsMatchesDefinitionalScan) {
   }
 
   std::map<std::string, bool> actual;
-  for (const BiasedRegion& region : IdentifyIbs(data, params)) {
+  for (const BiasedRegion& region : IdentifyIbs(data, params).value()) {
     actual[region.pattern.ToString(data.schema())] = true;
   }
   EXPECT_EQ(actual, expected) << "seed " << GetParam();

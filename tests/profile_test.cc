@@ -115,9 +115,9 @@ TEST_P(RandomSpecFuzzTest, NaiveAndOptimizedIdentificationAgree) {
   params.imbalance_threshold = 0.2;
   params.min_region_size = 15;
   params.algorithm = IbsAlgorithm::kNaive;
-  std::vector<BiasedRegion> naive = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> naive = IdentifyIbs(data, params).value();
   params.algorithm = IbsAlgorithm::kOptimized;
-  std::vector<BiasedRegion> optimized = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> optimized = IdentifyIbs(data, params).value();
   ASSERT_EQ(naive.size(), optimized.size()) << "seed " << GetParam();
   for (size_t i = 0; i < naive.size(); ++i) {
     EXPECT_EQ(naive[i].pattern, optimized[i].pattern);
@@ -132,7 +132,7 @@ TEST_P(RandomSpecFuzzTest, MinerAndLatticeIdentificationAgree) {
   IbsParams params;
   params.imbalance_threshold = 0.25;
   params.min_region_size = 20;
-  std::vector<BiasedRegion> lattice = IdentifyIbs(data, params);
+  std::vector<BiasedRegion> lattice = IdentifyIbs(data, params).value();
   std::vector<BiasedRegion> mined = IdentifyIbsWithMiner(data, params);
   ASSERT_EQ(lattice.size(), mined.size()) << "seed " << GetParam();
   for (size_t i = 0; i < lattice.size(); ++i) {

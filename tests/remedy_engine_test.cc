@@ -75,11 +75,11 @@ TEST(RemedyEngineTest, IncrementalMatchesRebuild) {
 
       params.engine = RemedyEngine::kRebuild;
       RemedyStats rebuild_stats;
-      Dataset rebuilt = RemedyDataset(data, params, &rebuild_stats);
+      Dataset rebuilt = RemedyDataset(data, params, &rebuild_stats).value();
 
       params.engine = RemedyEngine::kIncremental;
       RemedyStats incremental_stats;
-      Dataset incremental = RemedyDataset(data, params, &incremental_stats);
+      Dataset incremental = RemedyDataset(data, params, &incremental_stats).value();
 
       ExpectIdenticalDatasets(rebuilt, incremental, context);
       ExpectIdenticalStats(rebuild_stats, incremental_stats, context);
@@ -99,11 +99,11 @@ TEST(RemedyEngineTest, OutputIsIndependentOfPlanningThreads) {
 
     params.planning_threads = 1;
     RemedyStats serial_stats;
-    Dataset serial = RemedyDataset(data, params, &serial_stats);
+    Dataset serial = RemedyDataset(data, params, &serial_stats).value();
 
     params.planning_threads = 4;
     RemedyStats parallel_stats;
-    Dataset parallel = RemedyDataset(data, params, &parallel_stats);
+    Dataset parallel = RemedyDataset(data, params, &parallel_stats).value();
 
     ExpectIdenticalDatasets(serial, parallel, context);
     ExpectIdenticalStats(serial_stats, parallel_stats, context);
@@ -119,11 +119,11 @@ TEST(RemedyEngineTest, AddBudgetPathMatches) {
 
   params.engine = RemedyEngine::kRebuild;
   RemedyStats rebuild_stats;
-  Dataset rebuilt = RemedyDataset(data, params, &rebuild_stats);
+  Dataset rebuilt = RemedyDataset(data, params, &rebuild_stats).value();
 
   params.engine = RemedyEngine::kIncremental;
   RemedyStats incremental_stats;
-  Dataset incremental = RemedyDataset(data, params, &incremental_stats);
+  Dataset incremental = RemedyDataset(data, params, &incremental_stats).value();
 
   ExpectIdenticalDatasets(rebuilt, incremental, "budget");
   ExpectIdenticalStats(rebuild_stats, incremental_stats, "budget");
@@ -140,11 +140,11 @@ TEST(RemedyEngineTest, UnlimitedBudgetMatches) {
 
   params.engine = RemedyEngine::kRebuild;
   RemedyStats rebuild_stats;
-  Dataset rebuilt = RemedyDataset(data, params, &rebuild_stats);
+  Dataset rebuilt = RemedyDataset(data, params, &rebuild_stats).value();
 
   params.engine = RemedyEngine::kIncremental;
   RemedyStats incremental_stats;
-  Dataset incremental = RemedyDataset(data, params, &incremental_stats);
+  Dataset incremental = RemedyDataset(data, params, &incremental_stats).value();
 
   ExpectIdenticalDatasets(rebuilt, incremental, "unlimited");
   ExpectIdenticalStats(rebuild_stats, incremental_stats, "unlimited");

@@ -157,10 +157,10 @@ TEST_P(RemedyTechniqueTest, ReducesIbsCount) {
   params.ibs.imbalance_threshold = 0.5;
   params.technique = GetParam();
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, params, &stats);
+  Dataset remedied = RemedyDataset(train, params, &stats).value();
   EXPECT_GT(stats.regions_processed, 0);
-  std::vector<BiasedRegion> before = IdentifyIbs(train, params.ibs);
-  std::vector<BiasedRegion> after = IdentifyIbs(remedied, params.ibs);
+  std::vector<BiasedRegion> before = IdentifyIbs(train, params.ibs).value();
+  std::vector<BiasedRegion> after = IdentifyIbs(remedied, params.ibs).value();
   EXPECT_LT(after.size(), before.size())
       << TechniqueName(GetParam());
 }
@@ -172,7 +172,7 @@ TEST_P(RemedyTechniqueTest, InputDatasetIsUntouched) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.5;
   params.technique = GetParam();
-  RemedyDataset(train, params);
+  RemedyDataset(train, params).value();
   EXPECT_EQ(train.NumRows(), rows_before);
   EXPECT_EQ(train.PositiveCount(), positives_before);
 }
@@ -183,8 +183,8 @@ TEST_P(RemedyTechniqueTest, IsDeterministic) {
   params.ibs.imbalance_threshold = 0.5;
   params.technique = GetParam();
   params.seed = 77;
-  Dataset first = RemedyDataset(train, params);
-  Dataset second = RemedyDataset(train, params);
+  Dataset first = RemedyDataset(train, params).value();
+  Dataset second = RemedyDataset(train, params).value();
   ASSERT_EQ(first.NumRows(), second.NumRows());
   for (int r = 0; r < first.NumRows(); ++r) {
     EXPECT_EQ(first.Row(r), second.Row(r));
@@ -208,7 +208,7 @@ TEST(RemedyDatasetTest, OversampleOnlyAdds) {
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kOversample;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, params, &stats);
+  Dataset remedied = RemedyDataset(train, params, &stats).value();
   EXPECT_EQ(stats.instances_removed, 0);
   EXPECT_EQ(stats.labels_flipped, 0);
   EXPECT_GT(stats.instances_added, 0);
@@ -221,7 +221,7 @@ TEST(RemedyDatasetTest, UndersampleOnlyRemoves) {
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kUndersample;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, params, &stats);
+  Dataset remedied = RemedyDataset(train, params, &stats).value();
   EXPECT_EQ(stats.instances_added, 0);
   EXPECT_GT(stats.instances_removed, 0);
   EXPECT_EQ(remedied.NumRows(), train.NumRows() - stats.instances_removed);
@@ -233,7 +233,7 @@ TEST(RemedyDatasetTest, MassagingPreservesSize) {
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kMassaging;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, params, &stats);
+  Dataset remedied = RemedyDataset(train, params, &stats).value();
   EXPECT_EQ(remedied.NumRows(), train.NumRows());
   EXPECT_GT(stats.labels_flipped, 0);
   // Flips move mass from positive to negative in the too-positive region.
@@ -246,7 +246,7 @@ TEST(RemedyDatasetTest, PreferentialSamplingPreservesSize) {
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kPreferentialSampling;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, params, &stats);
+  Dataset remedied = RemedyDataset(train, params, &stats).value();
   // PS adds and removes the same count per region.
   EXPECT_EQ(stats.instances_added, stats.instances_removed);
   EXPECT_EQ(remedied.NumRows(), train.NumRows());
@@ -257,7 +257,7 @@ TEST(RemedyDatasetTest, TargetRatioApproached) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kUndersample;
-  Dataset remedied = RemedyDataset(train, params);
+  Dataset remedied = RemedyDataset(train, params).value();
   // The planted cell's imbalance must now be near its neighbors' ~1.0.
   int positives = 0, negatives = 0;
   Pattern cell({0, 0});
@@ -276,7 +276,7 @@ TEST(RemedyDatasetTest, AddBudgetIsRespected) {
   params.technique = RemedyTechnique::kOversample;
   params.max_added_total = 10;
   RemedyStats stats;
-  RemedyDataset(train, params, &stats);
+  RemedyDataset(train, params, &stats).value();
   EXPECT_LE(stats.instances_added, 10);
   EXPECT_TRUE(stats.add_budget_exhausted);
 }
@@ -286,8 +286,8 @@ TEST(PlanRemedyTest, PreviewsEveryBiasedRegion) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kUndersample;
-  std::vector<PlannedAction> plan = PlanRemedy(train, params);
-  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params.ibs);
+  std::vector<PlannedAction> plan = PlanRemedy(train, params).value();
+  std::vector<BiasedRegion> ibs = IdentifyIbs(train, params.ibs).value();
   ASSERT_EQ(plan.size(), ibs.size());
   for (size_t i = 0; i < plan.size(); ++i) {
     EXPECT_EQ(plan[i].region.pattern, ibs[i].pattern);
@@ -305,7 +305,7 @@ TEST(PlanRemedyTest, DoesNotTouchTheDataset) {
   int rows = train.NumRows();
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.5;
-  PlanRemedy(train, params);
+  PlanRemedy(train, params).value();
   EXPECT_EQ(train.NumRows(), rows);
 }
 
@@ -315,7 +315,7 @@ TEST(PlanRemedyTest, EmptyOnCleanData) {
                                {{50, 50}, {50, 50}}});
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.2;
-  EXPECT_TRUE(PlanRemedy(train, params).empty());
+  EXPECT_TRUE(PlanRemedy(train, params).value().empty());
 }
 
 // Property sweep over random grids: every technique moves each processed
@@ -343,9 +343,9 @@ TEST_P(RemedyPropertyTest, ProcessedRegionsReachTheirOriginalTarget) {
   params.technique = technique;
   params.seed = seed;
 
-  std::vector<BiasedRegion> before = IdentifyIbs(train, params.ibs);
+  std::vector<BiasedRegion> before = IdentifyIbs(train, params.ibs).value();
   ASSERT_FALSE(before.empty()) << "uninformative draw, adjust the seed set";
-  Dataset remedied = RemedyDataset(train, params);
+  Dataset remedied = RemedyDataset(train, params).value();
 
   Hierarchy hierarchy(remedied);
   uint32_t leaf = hierarchy.LeafMask();
@@ -383,16 +383,16 @@ TEST(IterativeRemedyTest, ConvergesOnPlantedBias) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.5;
   params.technique = RemedyTechnique::kUndersample;
-  IterativeRemedyResult result = RemedyUntilConverged(train, params, 5);
+  IterativeRemedyResult result = RemedyUntilConverged(train, params, 5).value();
   EXPECT_GE(result.rounds, 1);
   EXPECT_GT(result.total_stats.instances_removed, 0);
   // Residual IBS shrinks monotonically to convergence (or stalls).
   std::vector<BiasedRegion> residual =
-      IdentifyIbs(result.dataset, params.ibs);
+      IdentifyIbs(result.dataset, params.ibs).value();
   if (result.converged) {
     EXPECT_TRUE(residual.empty());
   } else {
-    EXPECT_LE(residual.size(), IdentifyIbs(train, params.ibs).size());
+    EXPECT_LE(residual.size(), IdentifyIbs(train, params.ibs).value().size());
   }
 }
 
@@ -402,7 +402,7 @@ TEST(IterativeRemedyTest, CleanDataConvergesInZeroRounds) {
                                {{50, 50}, {50, 50}}});
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.2;
-  IterativeRemedyResult result = RemedyUntilConverged(train, params);
+  IterativeRemedyResult result = RemedyUntilConverged(train, params).value();
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.rounds, 0);
   EXPECT_EQ(result.dataset.NumRows(), train.NumRows());
@@ -415,11 +415,11 @@ TEST(IterativeRemedyTest, ExtraRoundsReduceResidualIbs) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.3;
   params.technique = RemedyTechnique::kPreferentialSampling;
-  Dataset one_pass = RemedyDataset(train, params);
-  size_t residual_after_one = IdentifyIbs(one_pass, params.ibs).size();
-  IterativeRemedyResult iterated = RemedyUntilConverged(train, params, 4);
+  Dataset one_pass = RemedyDataset(train, params).value();
+  size_t residual_after_one = IdentifyIbs(one_pass, params.ibs).value().size();
+  IterativeRemedyResult iterated = RemedyUntilConverged(train, params, 4).value();
   size_t residual_after_many =
-      IdentifyIbs(iterated.dataset, params.ibs).size();
+      IdentifyIbs(iterated.dataset, params.ibs).value().size();
   EXPECT_LE(residual_after_many, residual_after_one);
 }
 
@@ -430,7 +430,7 @@ TEST(RemedyDatasetTest, CleanDataIsANoOp) {
   RemedyParams params;
   params.ibs.imbalance_threshold = 0.2;
   RemedyStats stats;
-  Dataset remedied = RemedyDataset(train, params, &stats);
+  Dataset remedied = RemedyDataset(train, params, &stats).value();
   EXPECT_EQ(stats.regions_processed, 0);
   EXPECT_EQ(remedied.NumRows(), train.NumRows());
 }

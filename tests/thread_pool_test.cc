@@ -1,0 +1,130 @@
+// Failure-path coverage for ThreadPool: throwing tasks, shutdown semantics,
+// and ParallelFor error propagation. The happy paths live in common_test.cc;
+// this suite also has a TSan twin (thread_pool_tsan_test) so the
+// synchronization around failure recording is race-checked.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace remedy {
+namespace {
+
+TEST(ThreadPoolFailureTest, ThrowingTaskSurfacesInWait) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("boom"); }).ok());
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolFailureTest, WaitClearsTheFailureOnceReported) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("once"); }).ok());
+  EXPECT_FALSE(pool.Wait().ok());
+  // The pool is usable again and the stale failure is gone.
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] { ++ran; }).ok());
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolFailureTest, FirstFailureWinsAcrossManyThrowingTasks) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.Submit([i] {
+              throw std::runtime_error("task " + std::to_string(i));
+            }).ok());
+  }
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("task 0"), std::string::npos);
+}
+
+TEST(ThreadPoolFailureTest, NonStdExceptionIsCaughtToo) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([] { throw 42; }).ok());
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolFailureTest, SubmitAfterShutdownFailsCleanly) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] { ++ran; }).ok());
+  EXPECT_TRUE(pool.Wait().ok());
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  Status status = pool.Submit([&ran] { ++ran; });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolFailureTest, ParallelForAfterShutdownFailsCleanly) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  Status status = pool.ParallelFor(16, [&ran](int64_t) { ++ran; });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolFailureTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> completed{0};
+  Status status = pool.ParallelFor(1000, [&completed](int64_t i) {
+    if (i == 17) throw std::runtime_error("element 17");
+    ++completed;
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("element 17"), std::string::npos);
+  // The failure short-circuits the sweep: workers stop claiming indices.
+  EXPECT_LT(completed.load(), 1000);
+}
+
+TEST(ThreadPoolFailureTest, ParallelForInlinePathPropagatesException) {
+  ThreadPool pool(1);  // inline execution path
+  Status status =
+      pool.ParallelFor(8, [](int64_t i) {
+        if (i == 3) throw std::runtime_error("inline");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolFailureTest, PoolStaysUsableAfterParallelForFailure) {
+  ThreadPool pool(4);
+  ASSERT_FALSE(
+      pool.ParallelFor(64, [](int64_t) { throw std::runtime_error("x"); })
+          .ok());
+  std::vector<std::atomic<int>> hits(64);
+  ASSERT_TRUE(pool.ParallelFor(64, [&hits](int64_t i) { ++hits[i]; }).ok());
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolFailureTest, ConcurrentThrowersDoNotRace) {
+  // Many tasks throwing at once must still produce exactly one coherent
+  // Status; under the TSan twin this checks the failure-recording lock.
+  ThreadPool pool(8);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(
+          pool.Submit([] { throw std::runtime_error("concurrent"); }).ok());
+    }
+    Status status = pool.Wait();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+  }
+}
+
+}  // namespace
+}  // namespace remedy
