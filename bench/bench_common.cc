@@ -40,11 +40,15 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref,
   std::printf("==============================================================\n\n");
 }
 
-std::string JsonPathFromArgs(int argc, char** argv) {
+std::string FlagValue(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+    if (flag == argv[i]) return argv[i + 1];
   }
   return "";
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  return FlagValue(argc, argv, "--json");
 }
 
 bool HasFlag(int argc, char** argv, const std::string& flag) {

@@ -30,6 +30,10 @@ EvalResult Evaluate(const Dataset& train, const Dataset& test, ModelType type,
 void PrintBanner(const std::string& experiment, const std::string& paper_ref,
                  const std::string& expectation);
 
+// Returns the value following `flag` (e.g. "--metrics-json out.json"), or
+// "" when the flag is absent or has no value.
+std::string FlagValue(int argc, char** argv, const std::string& flag);
+
 // Returns the value following a `--json <path>` argument, or "" when the
 // flag is absent. Lets experiment binaries emit machine-readable results
 // next to their console tables.

@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -312,6 +313,8 @@ int main(int argc, char** argv) {
     opts.repeats = 1;
   }
   const std::string json_path = remedy::bench::JsonPathFromArgs(argc, argv);
+  const std::string metrics_path =
+      remedy::bench::FlagValue(argc, argv, "--metrics-json");
   remedy::bench::JsonResultWriter json;
   remedy::Dataset base = remedy::MakeAdult(opts.base_rows);
   remedy::VaryProtectedAttributes(base, opts, &json);
@@ -319,6 +322,16 @@ int main(int argc, char** argv) {
   remedy::CountingEngine(base, opts, &json);
   if (!json_path.empty() && json.WriteFile(json_path)) {
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    remedy::Status written = remedy::WriteMetricsJsonFile(metrics_path);
+    if (written.ok()) {
+      std::printf("wrote pipeline metrics %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

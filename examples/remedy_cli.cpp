@@ -7,6 +7,13 @@
 //                     [--technique ps|us|os|massage] [--tau-c 0.1] [--T 1]
 //   remedy_cli remedy <csv> --protected race,gender --out remedied.csv
 //                     [--technique ps|us|os|massage] [--tau-c 0.1] [--T 1]
+//                     [--report] [--report-json[=file]]
+//
+// `<csv>` is a file path, or one of the built-in generators `@adult`,
+// `@compas`, `@lawschool` (optionally `@adult:10000` for a row count).
+// Generator input is serialized to CSV text and re-ingested through the
+// regular loader, so the run exercises — and meters — the same pipeline a
+// real file would. `--protected` defaults to the generator's protected set.
 //
 // Shared ingestion flags:
 //   --on-bad-row fail|quarantine|drop   what to do with malformed records
@@ -14,12 +21,22 @@
 //   --max-quarantine-frac x             circuit breaker for quarantine mode
 //                                       (default: 0.05)
 //
+// Observability (any command):
+//   --trace-out=file.json    record tracing spans, write Chrome trace JSON
+//   --metrics                print the pipeline metrics table on exit
+//   --metrics-json[=file]    dump the metrics snapshot as JSON (stdout when
+//                            no file is given)
+//
+// Flags may appear anywhere and accept both `--flag value` and
+// `--flag=value`.
+//
 // `audit` trains a decision tree on a 70/30 split, prints the fairness
 // audit (unfair subgroups + IBS alignment), and exits non-zero if any
 // significant unfair subgroup was found — handy as a CI data-quality gate.
 // `plan` previews the biased regions and the updates the remedy would
 // apply, without writing anything.
-// `remedy` rewrites the full dataset's biased regions and writes the result.
+// `remedy` rewrites the full dataset's biased regions and writes the result;
+// with --report it also prints the per-region before/after audit trail.
 //
 // Exit codes: 0 success; 1 usage error; 2 audit gate tripped; then one code
 // per error class so scripts can react to the cause — 64 invalid argument,
@@ -27,18 +44,28 @@
 // 74 I/O, 75 resource exhausted.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/trace.h"
+#include "core/pipeline_report.h"
 #include "core/remedy.h"
 #include "data/loader.h"
 #include "data/profile.h"
+#include "datagen/adult.h"
+#include "datagen/compas.h"
+#include "datagen/law_school.h"
 #include "fairness/report.h"
 #include "ml/model_factory.h"
 
@@ -71,6 +98,17 @@ int Fail(const char* what, const Status& status) {
   return ExitCodeFor(status.code());
 }
 
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot open " + path + " for writing");
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    return IoError("short write to " + path);
+  }
+  return OkStatus();
+}
+
 struct CliArgs {
   std::string command;
   std::string input;
@@ -80,6 +118,15 @@ struct CliArgs {
   double tau_d = 0.1;
   double distance = 1.0;
   RemedyTechnique technique = RemedyTechnique::kPreferentialSampling;
+  uint64_t seed = 23;
+  std::string trace_out;
+  bool metrics_table = false;
+  bool metrics_json = false;
+  std::string metrics_json_path;  // empty with metrics_json: stdout
+  bool report = false;
+  bool report_json = false;
+  std::string report_json_path;  // empty with report_json: stdout
+  bool protected_given = false;
   bool valid = false;
 };
 
@@ -94,9 +141,14 @@ void PrintUsage() {
       "             [--technique ps|us|os|massage]\n"
       "  remedy_cli remedy <csv> --protected a,b[,..] --out file.csv\n"
       "             [--label col] [--positive v] [--tau-c x] [--T x]\n"
-      "             [--technique ps|us|os|massage]\n"
+      "             [--technique ps|us|os|massage] [--seed n]\n"
+      "             [--report] [--report-json[=file]]\n"
+      "  <csv>:  a file path, or @adult | @compas | @lawschool\n"
+      "          (append :N for N rows, e.g. @adult:10000)\n"
       "  shared: [--on-bad-row fail|quarantine|drop]\n"
-      "          [--max-quarantine-frac x]\n");
+      "          [--max-quarantine-frac x]\n"
+      "          [--trace-out=file.json] [--metrics]\n"
+      "          [--metrics-json[=file]]\n");
 }
 
 bool ParseTechnique(const std::string& name, RemedyTechnique* technique) {
@@ -129,45 +181,89 @@ bool ParseBadRowPolicy(const std::string& name, BadRowPolicy* policy) {
 
 CliArgs ParseArgs(int argc, char** argv) {
   CliArgs args;
-  if (argc < 3) return args;
-  args.command = argv[1];
-  args.input = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
+    if (flag.rfind("--", 0) != 0) {
+      positional.push_back(std::move(flag));
+      continue;
+    }
+    // Split --flag=value; flags without '=' read the next argv slot when
+    // they require a value.
+    std::optional<std::string> inline_value;
+    const size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    }
+    auto value_of = [&]() -> std::optional<std::string> {
+      if (inline_value.has_value()) return inline_value;
+      if (i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
     };
-    const char* value = nullptr;
-    if (flag == "--protected" && (value = next())) {
-      args.loader.protected_attributes = Split(value, ',');
-    } else if (flag == "--label" && (value = next())) {
-      args.loader.label_column = value;
-    } else if (flag == "--positive" && (value = next())) {
-      args.loader.positive_label = value;
-    } else if (flag == "--out" && (value = next())) {
-      args.output = value;
-    } else if (flag == "--tau-c" && (value = next())) {
-      args.tau_c = std::atof(value);
-    } else if (flag == "--tau-d" && (value = next())) {
-      args.tau_d = std::atof(value);
-    } else if (flag == "--T" && (value = next())) {
-      args.distance = std::atof(value);
-    } else if (flag == "--technique" && (value = next())) {
-      if (!ParseTechnique(value, &args.technique)) return args;
-    } else if (flag == "--on-bad-row" && (value = next())) {
-      if (!ParseBadRowPolicy(value, &args.loader.on_bad_row)) {
+    std::optional<std::string> value;
+    if (flag == "--protected" && (value = value_of())) {
+      args.loader.protected_attributes = Split(*value, ',');
+      args.protected_given = true;
+    } else if (flag == "--label" && (value = value_of())) {
+      args.loader.label_column = *value;
+    } else if (flag == "--positive" && (value = value_of())) {
+      args.loader.positive_label = *value;
+    } else if (flag == "--out" && (value = value_of())) {
+      args.output = *value;
+    } else if (flag == "--tau-c" && (value = value_of())) {
+      args.tau_c = std::atof(value->c_str());
+    } else if (flag == "--tau-d" && (value = value_of())) {
+      args.tau_d = std::atof(value->c_str());
+    } else if (flag == "--T" && (value = value_of())) {
+      args.distance = std::atof(value->c_str());
+    } else if (flag == "--seed" && (value = value_of())) {
+      args.seed = static_cast<uint64_t>(std::strtoull(value->c_str(), nullptr, 10));
+    } else if (flag == "--technique" && (value = value_of())) {
+      if (!ParseTechnique(*value, &args.technique)) return args;
+    } else if (flag == "--on-bad-row" && (value = value_of())) {
+      if (!ParseBadRowPolicy(*value, &args.loader.on_bad_row)) {
         std::fprintf(stderr, "--on-bad-row wants fail|quarantine|drop\n");
         return args;
       }
-    } else if (flag == "--max-quarantine-frac" && (value = next())) {
-      args.loader.max_quarantine_fraction = std::atof(value);
+    } else if (flag == "--max-quarantine-frac" && (value = value_of())) {
+      args.loader.max_quarantine_fraction = std::atof(value->c_str());
+    } else if (flag == "--trace-out" && (value = value_of())) {
+      args.trace_out = *value;
+    } else if (flag == "--metrics") {
+      args.metrics_table = true;
+    } else if (flag == "--metrics-json") {
+      args.metrics_json = true;
+      // Optional value: `--metrics-json=file`, or `--metrics-json file`
+      // when the next slot is not a flag; bare means stdout.
+      if (inline_value.has_value()) {
+        args.metrics_json_path = *inline_value;
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.metrics_json_path = argv[++i];
+      }
+    } else if (flag == "--report") {
+      args.report = true;
+    } else if (flag == "--report-json") {
+      args.report_json = true;
+      if (inline_value.has_value()) {
+        args.report_json_path = *inline_value;
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.report_json_path = argv[++i];
+      }
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return args;
     }
   }
-  if (args.loader.protected_attributes.empty()) {
-    std::fprintf(stderr, "--protected is required\n");
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "expected a command and an input\n");
+    return args;
+  }
+  args.command = positional[0];
+  args.input = positional[1];
+  const bool generated = !args.input.empty() && args.input[0] == '@';
+  if (!args.protected_given && !generated) {
+    std::fprintf(stderr, "--protected is required for file input\n");
     return args;
   }
   if (args.command == "remedy" && args.output.empty()) {
@@ -179,11 +275,50 @@ CliArgs ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// Expands an `@name[:rows]` input: generates the named synthetic dataset,
+// serializes it to CSV text, and re-parses that text — so generator runs
+// exercise (and meter) the same ingestion path as file runs.
+StatusOr<CsvTable> GenerateInput(const std::string& input, CliArgs* args) {
+  std::string name = input.substr(1);
+  int rows = 0;  // 0: the generator's Table II default
+  const size_t colon = name.find(':');
+  if (colon != std::string::npos) {
+    rows = std::atoi(name.c_str() + colon + 1);
+    if (rows <= 0) {
+      return InvalidArgumentError("bad row count in generator input '" +
+                                  input + "'");
+    }
+    name = name.substr(0, colon);
+  }
+  Dataset generated;
+  if (name == "adult") {
+    generated = rows > 0 ? MakeAdult(rows) : MakeAdult();
+  } else if (name == "compas") {
+    generated = rows > 0 ? MakeCompas(rows) : MakeCompas();
+  } else if (name == "lawschool") {
+    generated = rows > 0 ? MakeLawSchool(rows) : MakeLawSchool();
+  } else {
+    return InvalidArgumentError("unknown generator '" + input +
+                                "' (want @adult, @compas or @lawschool)");
+  }
+  if (!args->protected_given) {
+    for (int index : generated.schema().protected_indices()) {
+      args->loader.protected_attributes.push_back(
+          generated.schema().attribute(index).name());
+    }
+  }
+  CsvParseOptions parse;
+  parse.has_header = true;
+  parse.tolerate_bad_rows = args->loader.on_bad_row != BadRowPolicy::kFail;
+  return ParseCsv(WriteCsv(generated.ToCsv()), parse);
+}
+
 int RunPlanCommand(const CliArgs& args, const Dataset& data) {
   RemedyParams params;
   params.ibs.imbalance_threshold = args.tau_c;
   params.ibs.distance_threshold = args.distance;
   params.technique = args.technique;
+  params.seed = args.seed;
   StatusOr<std::vector<PlannedAction>> planned = PlanRemedy(data, params);
   if (!planned.ok()) return Fail("plan failed", planned.status());
   const std::vector<PlannedAction>& plan = planned.value();
@@ -252,9 +387,32 @@ int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
   params.ibs.imbalance_threshold = args.tau_c;
   params.ibs.distance_threshold = args.distance;
   params.technique = args.technique;
+  params.seed = args.seed;
+
+  Dataset remedied;
   RemedyStats stats;
-  StatusOr<Dataset> remedied = RemedyDataset(data, params, &stats);
-  if (!remedied.ok()) return Fail("remedy failed", remedied.status());
+  if (args.report || args.report_json) {
+    StatusOr<PipelineReport> audited =
+        RunAuditedRemedy(data, params, &remedied);
+    if (!audited.ok()) return Fail("remedy failed", audited.status());
+    const PipelineReport& report = audited.value();
+    stats = report.stats;
+    if (args.report) PrintPipelineReport(report, std::cout);
+    if (args.report_json) {
+      const std::string json = report.ToJson();
+      if (args.report_json_path.empty()) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        Status written = WriteTextFile(args.report_json_path, json);
+        if (!written.ok()) return Fail("report write failed", written);
+        std::printf("wrote report %s\n", args.report_json_path.c_str());
+      }
+    }
+  } else {
+    StatusOr<Dataset> result = RemedyDataset(data, params, &stats);
+    if (!result.ok()) return Fail("remedy failed", result.status());
+    remedied = std::move(result).value();
+  }
   std::printf(
       "remedied %d regions (skipped %d): +%lld / -%lld instances, %lld "
       "labels flipped; %d -> %d rows\n",
@@ -262,26 +420,23 @@ int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
       static_cast<long long>(stats.instances_added),
       static_cast<long long>(stats.instances_removed),
       static_cast<long long>(stats.labels_flipped), data.NumRows(),
-      remedied.value().NumRows());
-  Status written = WriteCsvFile(args.output, remedied.value().ToCsv());
+      remedied.NumRows());
+  Status written = WriteCsvFile(args.output, remedied.ToCsv());
   if (!written.ok()) return Fail("write failed", written);
   std::printf("wrote %s\n", args.output.c_str());
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliArgs args = ParseArgs(argc, argv);
-  if (!args.valid) {
-    PrintUsage();
-    return 1;
-  }
-
+int RunCommand(CliArgs& args) {
   LoaderReport report;
   QuarantineReport quarantine;
-  StatusOr<Dataset> loaded =
-      LoadCsvDataset(args.input, args.loader, &report, &quarantine);
+  StatusOr<Dataset> loaded = [&]() -> StatusOr<Dataset> {
+    if (!args.input.empty() && args.input[0] == '@') {
+      ASSIGN_OR_RETURN(CsvTable table, GenerateInput(args.input, &args));
+      return BuildDataset(table, args.loader, &report, &quarantine);
+    }
+    return LoadCsvDataset(args.input, args.loader, &report, &quarantine);
+  }();
   if (!loaded.ok()) return Fail("load failed", loaded.status());
   const Dataset& data = loaded.value();
   std::printf(
@@ -312,4 +467,53 @@ int main(int argc, char** argv) {
   if (args.command == "audit") return RunAuditCommand(args, data);
   if (args.command == "plan") return RunPlanCommand(args, data);
   return RunRemedyCommand(args, data);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args = ParseArgs(argc, argv);
+  if (!args.valid) {
+    PrintUsage();
+    return 1;
+  }
+
+  int rc;
+  {
+    // The sink brackets the whole run, so loader spans are captured too.
+    std::unique_ptr<TraceSink> sink;
+    if (!args.trace_out.empty()) sink = std::make_unique<TraceSink>();
+    rc = RunCommand(args);
+    if (sink != nullptr) {
+      Status written = sink->WriteChromeJson(args.trace_out);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     written.ToString().c_str());
+        if (rc == 0) rc = ExitCodeFor(written.code());
+      } else {
+        std::printf("wrote trace %s (%zu spans)\n", args.trace_out.c_str(),
+                    sink->Events().size());
+      }
+    }
+  }
+
+  if (args.metrics_table) {
+    PrintMetricsTable(MetricsRegistry::Global().Snapshot(), std::cout);
+  }
+  if (args.metrics_json) {
+    if (args.metrics_json_path.empty()) {
+      std::printf("%s\n",
+                  MetricsToJson(MetricsRegistry::Global().Snapshot()).c_str());
+    } else {
+      Status written = WriteMetricsJsonFile(args.metrics_json_path);
+      if (!written.ok()) {
+        std::fprintf(stderr, "metrics write failed: %s\n",
+                     written.ToString().c_str());
+        if (rc == 0) rc = ExitCodeFor(written.code());
+      } else {
+        std::printf("wrote metrics %s\n", args.metrics_json_path.c_str());
+      }
+    }
+  }
+  return rc;
 }

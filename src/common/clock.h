@@ -1,0 +1,21 @@
+#ifndef REMEDY_COMMON_CLOCK_H_
+#define REMEDY_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace remedy {
+
+// The one monotonic time source of the library. WallTimer, TraceSpan, the
+// thread-pool latency histogram, and the bench harness all read this clock,
+// so a bench timing and the trace span covering the same work agree to the
+// clock's resolution instead of drifting across clock domains.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace remedy
+
+#endif  // REMEDY_COMMON_CLOCK_H_

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/fault_injection.h"
+#include "common/pipeline_metrics.h"
 
 namespace remedy {
 namespace {
@@ -176,6 +177,11 @@ StatusOr<CsvTable> ParseCsv(const std::string& text,
     }
     table.rows.push_back(std::move(fields));
   }
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.csv_records->Increment(static_cast<int64_t>(table.rows.size()) +
+                                 static_cast<int64_t>(table.bad_rows.size()));
+  metrics.csv_bad_records->Increment(
+      static_cast<int64_t>(table.bad_rows.size()));
   return table;
 }
 
@@ -193,6 +199,7 @@ StatusOr<CsvTable> ReadCsvFile(const std::string& path,
     }
     bool retryable = true;
     ++attempts;
+    if (attempt > 1) PipelineMetrics::Get().csv_read_retries->Increment();
     last = ReadFileOnce(path, &contents, &retryable);
     if (last.ok()) {
       StatusOr<CsvTable> parsed = ParseCsv(contents, options.parse);

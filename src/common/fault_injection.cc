@@ -1,6 +1,7 @@
 #include "common/fault_injection.h"
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
 
 namespace remedy {
 namespace {
@@ -95,6 +96,7 @@ int64_t FaultInjector::HitCount(const std::string& point) const {
 }
 
 Status FaultInjector::Hit(const char* point) {
+  PipelineMetrics::Get().fault_points_crossed->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   const int64_t hit = ++hits_[point];
   auto it = armed_.find(point);
@@ -117,6 +119,7 @@ Status FaultInjector::Hit(const char* point) {
     }
   }
   if (!fire) return OkStatus();
+  PipelineMetrics::Get().fault_faults_fired->Increment();
   return Status(arming.code, std::string("injected fault at ") + point +
                                  " (hit " + std::to_string(hit) + ")");
 }

@@ -1,0 +1,199 @@
+#ifndef REMEDY_COMMON_METRICS_H_
+#define REMEDY_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace remedy {
+
+// Pipeline metrics: counters, gauges, and log-scale histograms behind a
+// process-global registry.
+//
+// Design goals, in order: (1) a hot-path write must never take a lock or
+// contend a shared cache line — counters and histograms are sharded into
+// cache-line-padded per-thread slots updated with relaxed atomics, and a
+// snapshot aggregates the shards; (2) instruments are registered once and
+// live for the process, so call sites cache a reference and pay only the
+// atomic add afterwards; (3) everything is readable at any time — Snapshot()
+// is linearizable enough for reporting (each shard is read atomically, the
+// sum may miss in-flight increments, never double-counts).
+//
+// The canonical instrument set of the library lives in
+// common/pipeline_metrics.h; docs/METRICS.md documents every name and the
+// docs-check CI target holds the two in sync.
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+namespace metrics_internal {
+
+// Shard count: power of two, enough that 8-16 worker threads rarely share a
+// slot. Threads hash onto shards by a thread-local id, so a thread's
+// increments always land on the same cache line.
+inline constexpr int kShards = 16;
+
+// Index of the calling thread's shard (stable per thread).
+int ShardIndex();
+
+struct alignas(64) PaddedCount {
+  std::atomic<int64_t> value{0};
+};
+
+}  // namespace metrics_internal
+
+// Monotonically increasing count (events, rows, nodes). Lock-free sharded
+// fast path; Value() sums the shards.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    shards_[metrics_internal::ShardIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const;
+
+  // Test-only: zeroes every shard. Not atomic with concurrent increments.
+  void Reset();
+
+ private:
+  std::array<metrics_internal::PaddedCount, metrics_internal::kShards>
+      shards_;
+};
+
+// Instantaneous level (queue depth, working-set rows) with a high-water
+// mark. Set/Add are single relaxed atomics plus a CAS loop for the
+// watermark (contended only while the gauge is actually rising).
+class Gauge {
+ public:
+  void Set(int64_t value);
+  void Add(int64_t delta);
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  void RaiseMax(int64_t candidate);
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Distribution of a non-negative integer quantity (latencies in ns, sizes)
+// over fixed base-2 log-scale buckets: bucket 0 holds values <= 1, bucket i
+// holds (2^(i-1), 2^i], the last bucket is open-ended. Sharded like Counter;
+// Observe is two relaxed adds and one bucket add.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;  // covers up to ~2^43 ns ≈ 2.4h
+
+  void Observe(int64_t value);
+
+  int64_t Count() const;
+  int64_t Sum() const;
+  std::array<int64_t, kNumBuckets> BucketCounts() const;
+
+  // Inclusive upper bound of bucket `b` (1, 2, 4, ...; INT64_MAX for the
+  // open-ended last bucket).
+  static int64_t BucketUpperBound(int b);
+  // The bucket a value lands in.
+  static int BucketFor(int64_t value);
+
+  // Approximate quantile (0 <= q <= 1) from the bucket histogram: the upper
+  // bound of the bucket holding the q-th observation. 0 when empty.
+  int64_t ApproxQuantile(double q) const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::array<std::atomic<int64_t>, kNumBuckets> buckets{};
+  };
+  std::array<Shard, metrics_internal::kShards> shards_;
+};
+
+// One instrument's aggregated state at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::string unit;
+  std::string help;
+  int64_t value = 0;  // counter total / gauge current
+  int64_t max = 0;    // gauge high-water mark
+  // Histogram only.
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t p50 = 0;
+  int64_t p99 = 0;
+  // (inclusive upper bound, count) for non-empty buckets, ascending.
+  std::vector<std::pair<int64_t, int64_t>> buckets;
+};
+
+// Process-global instrument registry. Get* registers on first use (name ->
+// stable instrument pointer, so call sites cache the reference); re-getting
+// an existing name returns the same instrument and CHECKs the type matches.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view unit,
+                      std::string_view help);
+  Gauge* GetGauge(std::string_view name, std::string_view unit,
+                  std::string_view help);
+  Histogram* GetHistogram(std::string_view name, std::string_view unit,
+                          std::string_view help);
+
+  // Aggregated state of every registered instrument, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  // Test/CLI support: zero every instrument (registrations are kept).
+  // Not atomic with concurrent writers.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    MetricType type;
+    std::string unit;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> instruments_;
+};
+
+// Serializes snapshots as one JSON object keyed by metric name, e.g.
+//   {"lattice/nodes_built": {"type": "counter", "unit": "nodes",
+//    "value": 254}, ...}
+// Histograms carry count/sum/p50/p99 and a buckets array of [le, n] pairs.
+std::string MetricsToJson(const std::vector<MetricSnapshot>& snapshots);
+
+// Human-readable table (name, type, value columns) via TablePrinter.
+void PrintMetricsTable(const std::vector<MetricSnapshot>& snapshots,
+                       std::ostream& out);
+
+// Snapshot the global registry and write MetricsToJson to `path`.
+Status WriteMetricsJsonFile(const std::string& path);
+
+}  // namespace remedy
+
+#endif  // REMEDY_COMMON_METRICS_H_

@@ -1,0 +1,28 @@
+#include "common/pipeline_metrics.h"
+
+namespace remedy {
+
+const PipelineMetrics& PipelineMetrics::Get() {
+  static const PipelineMetrics* instance = [] {
+    auto* m = new PipelineMetrics();
+    MetricsRegistry& reg = MetricsRegistry::Global();
+#define REMEDY_REGISTER_COUNTER(field, name, unit, help) \
+  m->field = reg.GetCounter(name, unit, help);
+    REMEDY_PIPELINE_COUNTERS(REMEDY_REGISTER_COUNTER)
+#undef REMEDY_REGISTER_COUNTER
+
+#define REMEDY_REGISTER_GAUGE(field, name, unit, help) \
+  m->field = reg.GetGauge(name, unit, help);
+    REMEDY_PIPELINE_GAUGES(REMEDY_REGISTER_GAUGE)
+#undef REMEDY_REGISTER_GAUGE
+
+#define REMEDY_REGISTER_HISTOGRAM(field, name, unit, help) \
+  m->field = reg.GetHistogram(name, unit, help);
+    REMEDY_PIPELINE_HISTOGRAMS(REMEDY_REGISTER_HISTOGRAM)
+#undef REMEDY_REGISTER_HISTOGRAM
+    return m;
+  }();
+  return *instance;
+}
+
+}  // namespace remedy

@@ -1,0 +1,114 @@
+#ifndef REMEDY_COMMON_PIPELINE_METRICS_H_
+#define REMEDY_COMMON_PIPELINE_METRICS_H_
+
+#include "common/metrics.h"
+
+namespace remedy {
+
+// The canonical instrument set of the remedy pipeline, declared in one
+// place as X-macro tables. Every metric the library emits is named here —
+// instrumented code pulls its instrument from PipelineMetrics::Get()
+// instead of calling MetricsRegistry::GetCounter with an ad-hoc string.
+//
+// This centralization is load-bearing for CI: tools/docs_check.sh greps
+// the quoted names out of THESE tables and diffs them against the table in
+// docs/METRICS.md, failing the docs-check test on drift. When you add a
+// metric: add a row to the matching table below, document it in
+// docs/METRICS.md, and use it via PipelineMetrics::Get().<field>.
+//
+// Naming convention: "<family>/<event>", lower_snake within segments.
+// Families: lattice (hierarchy construction), ibs (subgroup
+// identification), remedy (dataset repair), loader + csv (ingestion),
+// threadpool, fault (fault injection).
+
+// REMEDY_PIPELINE_COUNTERS(X): X(field, "name", "unit", "help")
+#define REMEDY_PIPELINE_COUNTERS(X)                                           \
+  X(lattice_nodes_built, "lattice/nodes_built", "nodes",                      \
+    "lattice nodes materialized by Hierarchy::EagerBuild")                    \
+  X(lattice_leaf_scans, "lattice/leaf_scans", "nodes",                        \
+    "level-L nodes counted by direct dataset scan")                           \
+  X(lattice_rollups, "lattice/rollups", "nodes",                              \
+    "nodes derived by bottom-up rollup instead of a scan")                    \
+  X(lattice_delta_rows, "lattice/delta_rows", "rows",                         \
+    "row deltas applied to the lattice by the incremental engine")            \
+  X(ibs_nodes_visited, "ibs/nodes_visited", "nodes",                          \
+    "lattice nodes examined by IdentifyIbs")                                  \
+  X(ibs_hits, "ibs/hits", "nodes",                                            \
+    "nodes flagged as imbalanced subgroups")                                  \
+  X(ibs_neighbor_reuse, "ibs/neighbor_reuse", "nodes",                        \
+    "neighbor-count evaluations served by the dominating-region "             \
+    "optimization instead of a naive rescan")                                 \
+  X(ibs_neighbor_naive, "ibs/neighbor_naive", "nodes",                        \
+    "neighbor-count evaluations that fell back to the naive scan")            \
+  X(remedy_regions_planned, "remedy/regions_planned", "regions",              \
+    "imbalanced regions a remedy plan was computed for")                      \
+  X(remedy_oversample_rows_added, "remedy/oversample/rows_added", "rows",     \
+    "rows duplicated by the oversampling technique")                          \
+  X(remedy_undersample_rows_removed, "remedy/undersample/rows_removed",       \
+    "rows", "rows removed by the undersampling technique")                    \
+  X(remedy_preferential_rows_added, "remedy/preferential/rows_added",         \
+    "rows", "rows added by preferential sampling")                            \
+  X(remedy_preferential_rows_removed, "remedy/preferential/rows_removed",     \
+    "rows", "rows removed by preferential sampling")                          \
+  X(remedy_massaging_labels_flipped, "remedy/massaging/labels_flipped",       \
+    "rows", "labels flipped by the massaging technique")                      \
+  X(remedy_incremental_passes, "remedy/incremental_passes", "passes",         \
+    "remedy passes served by the incremental (delta-maintained) engine")      \
+  X(remedy_rebuild_passes, "remedy/rebuild_passes", "passes",                 \
+    "remedy passes that fell back to a full lattice rebuild")                 \
+  X(loader_files, "loader/files", "files",                                    \
+    "CSV files ingested by LoadCsvDataset")                                   \
+  X(loader_rows_loaded, "loader/rows_loaded", "rows",                         \
+    "rows accepted into a Dataset")                                           \
+  X(loader_rows_dropped_missing, "loader/rows_dropped_missing", "rows",       \
+    "rows dropped for missing values under DropRow policy")                   \
+  X(loader_rows_quarantined, "loader/rows_quarantined", "rows",               \
+    "malformed rows diverted to the quarantine file")                         \
+  X(csv_records, "csv/records", "records",                                    \
+    "CSV records parsed (including later-dropped ones)")                      \
+  X(csv_bad_records, "csv/bad_records", "records",                           \
+    "CSV records rejected by the parser as structurally malformed")           \
+  X(csv_read_retries, "csv/read_retries", "attempts",                         \
+    "extra read attempts taken by ReadCsvFile after transient I/O faults")    \
+  X(threadpool_tasks_submitted, "threadpool/tasks_submitted", "tasks",        \
+    "tasks enqueued on any ThreadPool")                                       \
+  X(fault_points_crossed, "fault/points_crossed", "events",                   \
+    "REMEDY_FAULT_POINT sites evaluated while an injector was active")        \
+  X(fault_faults_fired, "fault/faults_fired", "events",                       \
+    "fault-injection sites that actually fired a fault")
+
+// REMEDY_PIPELINE_GAUGES(X): X(field, "name", "unit", "help")
+#define REMEDY_PIPELINE_GAUGES(X)                               \
+  X(threadpool_queue_depth, "threadpool/queue_depth", "tasks",  \
+    "tasks waiting in ThreadPool queues (max = high-water mark)")
+
+// REMEDY_PIPELINE_HISTOGRAMS(X): X(field, "name", "unit", "help")
+#define REMEDY_PIPELINE_HISTOGRAMS(X)                              \
+  X(threadpool_task_latency_ns, "threadpool/task_latency_ns", "ns", \
+    "per-task wall time from dequeue to completion")                \
+  X(threadpool_queue_wait_ns, "threadpool/queue_wait_ns", "ns",     \
+    "per-task wall time from enqueue to dequeue")
+
+// All pipeline instruments, registered once on first use. Call sites do
+//   PipelineMetrics::Get().ibs_nodes_visited->Increment(n);
+struct PipelineMetrics {
+#define REMEDY_DECLARE_COUNTER(field, name, unit, help) Counter* field;
+  REMEDY_PIPELINE_COUNTERS(REMEDY_DECLARE_COUNTER)
+#undef REMEDY_DECLARE_COUNTER
+
+#define REMEDY_DECLARE_GAUGE(field, name, unit, help) Gauge* field;
+  REMEDY_PIPELINE_GAUGES(REMEDY_DECLARE_GAUGE)
+#undef REMEDY_DECLARE_GAUGE
+
+#define REMEDY_DECLARE_HISTOGRAM(field, name, unit, help) Histogram* field;
+  REMEDY_PIPELINE_HISTOGRAMS(REMEDY_DECLARE_HISTOGRAM)
+#undef REMEDY_DECLARE_HISTOGRAM
+
+  // The process-wide instance (instruments registered in the global
+  // MetricsRegistry; the returned reference never moves).
+  static const PipelineMetrics& Get();
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_COMMON_PIPELINE_METRICS_H_

@@ -10,7 +10,9 @@
 #endif
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/fault_injection.h"
+#include "common/pipeline_metrics.h"
 
 namespace remedy {
 
@@ -38,12 +40,15 @@ void ThreadPool::Shutdown() {
 
 Status ThreadPool::Submit(std::function<void()> task) {
   REMEDY_CHECK(task != nullptr);
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stop_) return InternalError("Submit after ThreadPool shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), MonotonicNanos()});
     ++pending_;
   }
+  metrics.threadpool_tasks_submitted->Increment();
+  metrics.threadpool_queue_depth->Add(1);
   work_cv_.notify_one();
   return OkStatus();
 }
@@ -60,8 +65,9 @@ void ThreadPool::RecordFailure(Status status) {
 }
 
 void ThreadPool::WorkerLoop() {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -69,15 +75,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const int64_t dequeue_ns = MonotonicNanos();
+    metrics.threadpool_queue_depth->Add(-1);
+    metrics.threadpool_queue_wait_ns->Observe(dequeue_ns - task.enqueue_ns);
     // A throwing task must not unwind into the worker thread (that is
     // std::terminate); capture the first failure for the next Wait().
     try {
-      task();
+      task.fn();
     } catch (const std::exception& e) {
       RecordFailure(InternalError(std::string("task threw: ") + e.what()));
     } catch (...) {
       RecordFailure(InternalError("task threw a non-std exception"));
     }
+    metrics.threadpool_task_latency_ns->Observe(MonotonicNanos() -
+                                                dequeue_ns);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--pending_ == 0) idle_cv_.notify_all();

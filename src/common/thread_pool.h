@@ -69,8 +69,15 @@ class ThreadPool {
   void WorkerLoop();
   void RecordFailure(Status status);  // keeps the first failure only
 
+  // Queued task plus its enqueue timestamp, so the dequeueing worker can
+  // charge the queue-wait histogram.
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_ns;
+  };
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: task queued / stop
   std::condition_variable idle_cv_;  // signals Wait(): pending_ hit zero

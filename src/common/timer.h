@@ -1,27 +1,28 @@
 #ifndef REMEDY_COMMON_TIMER_H_
 #define REMEDY_COMMON_TIMER_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "common/clock.h"
 
 namespace remedy {
 
 // Wall-clock stopwatch for the runtime experiments (Fig. 9, Table III).
+// Reads MonotonicNanos() — the same clock TraceSpan stamps spans with — so
+// bench timings and trace durations of the same phase agree.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_ns_(MonotonicNanos()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ns_ = MonotonicNanos(); }
 
-  // Seconds elapsed since construction or the last Restart().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  double Millis() const { return Seconds() * 1e3; }
+  // Elapsed since construction or the last Restart().
+  int64_t Nanos() const { return MonotonicNanos() - start_ns_; }
+  double Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
+  double Millis() const { return static_cast<double>(Nanos()) * 1e-6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace remedy

@@ -1,0 +1,201 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace remedy {
+namespace {
+
+// Process-global active sink, installed/uninstalled by TraceSink's
+// ctor/dtor (same shape as FaultInjector's global registration).
+std::atomic<TraceSink*> g_active_sink{nullptr};
+
+// Small per-process thread numbers for trace rows: the first thread that
+// opens a span becomes tid 1, the next tid 2, ...
+uint32_t ThisThreadTid() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local const uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Per-thread open-span context for parent/child nesting.
+struct ThreadSpanContext {
+  uint64_t current_parent = 0;
+  int depth = 0;
+};
+
+ThreadSpanContext& ThisThreadContext() {
+  thread_local ThreadSpanContext ctx;
+  return ctx;
+}
+
+// JSON string escaping for span names (quotes, backslashes, control
+// characters). Names are normally plain literals, but the exporter must not
+// produce invalid JSON for any input.
+std::string JsonEscape(const char* text) {
+  std::string out;
+  if (text == nullptr) return out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSink::TraceSink() {
+  TraceSink* expected = nullptr;
+  bool installed = g_active_sink.compare_exchange_strong(
+      expected, this, std::memory_order_acq_rel);
+  REMEDY_CHECK(installed) << "TraceSink: another sink is already active";
+}
+
+TraceSink::~TraceSink() {
+  TraceSink* expected = this;
+  g_active_sink.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel);
+}
+
+TraceSink* TraceSink::Active() {
+  return g_active_sink.load(std::memory_order_acquire);
+}
+
+bool TracingActive() {
+  return g_active_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+uint64_t TraceSink::NextId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string TraceSink::ToChromeJson() const {
+  std::vector<TraceEvent> events = Events();
+  // Normalize timestamps to the earliest span so the viewer opens at t=0.
+  int64_t base_ns = 0;
+  if (!events.empty()) {
+    base_ns = std::min_element(events.begin(), events.end(),
+                               [](const TraceEvent& a, const TraceEvent& b) {
+                                 return a.start_ns < b.start_ns;
+                               })
+                  ->start_ns;
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ", ";
+    // Complete ("X") events; Chrome expects microseconds. Durations round
+    // up so sub-microsecond spans stay visible.
+    int64_t ts_us = (e.start_ns - base_ns) / 1000;
+    int64_t dur_us = (e.duration_ns + 999) / 1000;
+    out << "{\"name\": \"" << JsonEscape(e.name)
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << ts_us << ", \"dur\": " << dur_us
+        << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent_id
+        << ", \"depth\": " << e.depth;
+    if (e.has_arg) out << ", \"arg\": " << e.arg;
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status TraceSink::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return IoError("trace: cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return IoError("trace: short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+TraceSpan::TraceSpan(const char* name) { Open(name); }
+
+TraceSpan::TraceSpan(const char* name, int64_t arg) {
+  Open(name);
+  if (sink_ != nullptr) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+}
+
+void TraceSpan::Open(const char* name) {
+  if (!TracingActive()) return;  // disarmed: one relaxed load, no clock read
+  TraceSink* sink = TraceSink::Active();
+  if (sink == nullptr) return;  // sink uninstalled between the two loads
+  sink_ = sink;
+  name_ = name;
+  id_ = sink->NextId();
+  ThreadSpanContext& ctx = ThisThreadContext();
+  parent_id_ = ctx.current_parent;
+  depth_ = ctx.depth;
+  ctx.current_parent = id_;
+  ++ctx.depth;
+  start_ns_ = MonotonicNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (sink_ == nullptr) return;
+  const int64_t end_ns = MonotonicNanos();
+  ThreadSpanContext& ctx = ThisThreadContext();
+  ctx.current_parent = parent_id_;
+  --ctx.depth;
+  // Record only if the sink this span opened under is still installed; a
+  // span that outlives its sink drops the event rather than touch freed
+  // memory.
+  if (TraceSink::Active() != sink_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns - start_ns_;
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.depth = depth_;
+  event.tid = ThisThreadTid();
+  event.arg = arg_;
+  event.has_arg = has_arg_;
+  sink_->Record(event);
+}
+
+}  // namespace remedy

@@ -1,0 +1,142 @@
+#ifndef REMEDY_COMMON_TRACE_H_
+#define REMEDY_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace remedy {
+
+// Low-overhead tracing spans with Chrome trace_event JSON export.
+//
+// The library marks its coarse phase boundaries with RAII spans:
+//
+//   Status Hierarchy::EagerBuild(int threads) {
+//     REMEDY_TRACE_SPAN("hierarchy/eager_build");
+//     ...
+//   }
+//
+// With no TraceSink installed (the common case) a span costs one relaxed
+// atomic load and a never-taken branch — no clock read, no allocation. A
+// tool that wants a trace installs a scoped TraceSink, runs the pipeline,
+// and writes the collected spans as Chrome trace JSON (chrome://tracing /
+// Perfetto loadable):
+//
+//   TraceSink sink;
+//   RemedyDataset(train, params).value();
+//   sink.WriteChromeJson("trace.json");
+//
+// Nesting: each thread keeps a span stack, so spans opened on the same
+// thread record their parent span and depth. Spans opened inside a
+// thread-pool task are roots of that worker thread (the pool does not
+// propagate the submitting thread's context — a deliberate choice: the
+// trace shows which worker ran what, and the enclosing phase span brackets
+// the pool barrier anyway).
+//
+// Span names must be string literals (or otherwise outlive the sink); the
+// span stores the pointer, not a copy.
+//
+// Compile-time kill switch: building with -DREMEDY_TRACE_DISABLED (CMake
+// -DREMEDY_ENABLE_TRACING=OFF, or the `trace-off` preset) turns the
+// REMEDY_TRACE_SPAN* macros into no-ops — zero code at every instrumented
+// boundary. The TraceSpan/TraceSink types stay defined so tools still link.
+
+// One completed span.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;     // MonotonicNanos at span open
+  int64_t duration_ns = 0;  // close - open
+  uint64_t id = 0;          // 1-based, in open order per sink
+  uint64_t parent_id = 0;   // 0 = root of its thread
+  int depth = 0;            // 0 = root
+  uint32_t tid = 0;         // small per-process thread number
+  int64_t arg = 0;          // optional payload (level, node mask, ...)
+  bool has_arg = false;
+};
+
+// Thread-safe span collector. At most one sink is active at a time; the
+// constructor installs it process-wide, the destructor uninstalls it.
+// Spans record into the sink that was active when they *opened*; a span
+// that outlives the sink drops its event instead of touching freed memory.
+class TraceSink {
+ public:
+  TraceSink();
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // The active sink, or nullptr.
+  static TraceSink* Active();
+
+  // Completed spans in close order (a parent closes after its children).
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  // Timestamps are microseconds relative to the first span opened.
+  std::string ToChromeJson() const;
+
+  // Writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+  // Used by TraceSpan.
+  void Record(const TraceEvent& event);
+  uint64_t NextId();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+// True while a TraceSink is installed. Single relaxed atomic load — the
+// whole cost of a disarmed span.
+bool TracingActive();
+
+// RAII span: opens on construction, records into the active sink on
+// destruction. Inert (no clock read) when no sink is active.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const char* name, int64_t arg);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Open(const char* name);
+
+  TraceSink* sink_ = nullptr;  // the sink this span opened under
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  int64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace remedy
+
+// Scoped span macros. The variable name folds in the line number so two
+// spans can share a scope.
+#if defined(REMEDY_TRACE_DISABLED)
+#define REMEDY_TRACE_SPAN(name)
+#define REMEDY_TRACE_SPAN_ARG(name, arg)
+#else
+#define REMEDY_TRACE_CONCAT_INNER(a, b) a##b
+#define REMEDY_TRACE_CONCAT(a, b) REMEDY_TRACE_CONCAT_INNER(a, b)
+#define REMEDY_TRACE_SPAN(name) \
+  ::remedy::TraceSpan REMEDY_TRACE_CONCAT(remedy_trace_span_, __LINE__)(name)
+#define REMEDY_TRACE_SPAN_ARG(name, arg)                                 \
+  ::remedy::TraceSpan REMEDY_TRACE_CONCAT(remedy_trace_span_, __LINE__)( \
+      name, static_cast<int64_t>(arg))
+#endif
+
+#endif  // REMEDY_COMMON_TRACE_H_

@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace remedy {
 
@@ -23,7 +25,12 @@ const NodeTable& Hierarchy::NodeCounts(uint32_t mask) {
 }
 
 NodeTable Hierarchy::BuildNode(uint32_t mask) {
-  if (mask == LeafMask()) return counter_.CountNode(*data_, mask);
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.lattice_nodes_built->Increment();
+  if (mask == LeafMask()) {
+    metrics.lattice_leaf_scans->Increment();
+    return counter_.CountNode(*data_, mask);
+  }
   // Prefer any already-built child (one extra deterministic attribute);
   // otherwise recurse through the lowest missing position, terminating at
   // the leaf scan. Any child yields the same counts: rolling up a marginal
@@ -33,9 +40,11 @@ NodeTable Hierarchy::BuildNode(uint32_t mask) {
     const uint32_t child = mask | (bits & (~bits + 1));
     auto it = node_cache_.find(child);
     if (it != node_cache_.end()) {
+      metrics.lattice_rollups->Increment();
       return counter_.RollUp(it->second, child, mask);
     }
   }
+  metrics.lattice_rollups->Increment();
   const uint32_t child = mask | (missing & (~missing + 1));
   return counter_.RollUp(NodeCounts(child), child, mask);
 }
@@ -49,9 +58,13 @@ constexpr size_t kMinNodesForParallelLevel = 8;
 }  // namespace
 
 Status Hierarchy::EagerBuild(int threads) {
+  REMEDY_TRACE_SPAN("hierarchy/eager_build");
   if (threads <= 0) threads = ThreadPool::DefaultThreads();
-  NodeCounts(LeafMask());  // the one dataset scan
-  TotalCounts();
+  {
+    REMEDY_TRACE_SPAN_ARG("hierarchy/leaf_scan", NumProtected());
+    NodeCounts(LeafMask());  // the one dataset scan
+    TotalCounts();
+  }
   if (NumProtected() == 1) {
     fully_built_ = true;
     return OkStatus();
@@ -61,7 +74,9 @@ Status Hierarchy::EagerBuild(int threads) {
   // a single-core host (or a narrow lattice) never pays thread start-up and
   // scheduling costs just to run the rollups inline anyway.
   std::unique_ptr<ThreadPool> pool;
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
   for (int level = NumProtected() - 1; level >= 1; --level) {
+    REMEDY_TRACE_SPAN_ARG("hierarchy/build_level", level);
     // Pre-insert this level's slots single-threaded so the parallel phase
     // never mutates the cache map — workers fill distinct, already-inserted
     // values and only read the fully-built level below.
@@ -70,6 +85,8 @@ Status Hierarchy::EagerBuild(int threads) {
       auto [it, inserted] = node_cache_.try_emplace(mask);
       if (inserted) work.emplace_back(mask, &it->second);
     }
+    metrics.lattice_nodes_built->Increment(static_cast<int64_t>(work.size()));
+    metrics.lattice_rollups->Increment(static_cast<int64_t>(work.size()));
     auto build_one = [this, &work](int64_t i) {
       const uint32_t mask = work[i].first;
       // Fixed child choice (lowest missing position) keeps the build
@@ -102,6 +119,8 @@ void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas) {
   REMEDY_CHECK(fully_built_ && total_valid_)
       << "ApplyDeltas requires a fully built hierarchy (call EagerBuild)";
   if (deltas.empty()) return;
+  PipelineMetrics::Get().lattice_delta_rows->Increment(
+      static_cast<int64_t>(deltas.size()));
   const uint32_t leaf = LeafMask();
   for (auto& [mask, table] : node_cache_) {
     for (const LeafDelta& delta : deltas) {

@@ -4,6 +4,8 @@
 #include <iterator>
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
+#include "common/trace.h"
 
 namespace remedy {
 
@@ -38,6 +40,10 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
   // no second lookup per region.
   const NodeTable& node = hierarchy.NodeCounts(mask);
   std::vector<BiasedRegion> biased;
+  // Batch the per-region tallies locally and publish once per node, so the
+  // inner sweep costs no atomics.
+  int64_t reuse = 0;
+  int64_t naive = 0;
   for (const auto& [key, counts] : node) {
     if (counts.Total() <= params.min_region_size) continue;
     Pattern pattern = hierarchy.counter().PatternFor(key, mask);
@@ -45,6 +51,7 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
         use_optimized
             ? neighborhood.OptimizedNeighborCounts(pattern, counts)
             : neighborhood.NaiveNeighborCounts(pattern);
+    use_optimized ? ++reuse : ++naive;
     double ratio = ImbalanceScore(counts);
     double neighbor_ratio = ImbalanceScore(neighbor_counts);
     if (std::abs(ratio - neighbor_ratio) > params.imbalance_threshold) {
@@ -52,6 +59,11 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
                         neighbor_ratio});
     }
   }
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.ibs_nodes_visited->Increment();
+  metrics.ibs_hits->Increment(static_cast<int64_t>(biased.size()));
+  if (reuse > 0) metrics.ibs_neighbor_reuse->Increment(reuse);
+  if (naive > 0) metrics.ibs_neighbor_naive->Increment(naive);
   return biased;
 }
 
@@ -61,9 +73,11 @@ StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
     return InvalidArgumentError(
         "IBS identification needs protected attributes");
   }
+  REMEDY_TRACE_SPAN("ibs/identify");
   Hierarchy hierarchy(data);
   std::vector<BiasedRegion> ibs;
   for (uint32_t mask : ScopeMasks(hierarchy, params.scope)) {
+    REMEDY_TRACE_SPAN_ARG("ibs/node", mask);
     std::vector<BiasedRegion> node_biased =
         IdentifyIbsInNode(hierarchy, mask, params);
     ibs.insert(ibs.end(), std::make_move_iterator(node_biased.begin()),

@@ -11,8 +11,10 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/pipeline_metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/ranker.h"
 
 namespace remedy {
@@ -231,6 +233,7 @@ Dataset RemedyRebuild(const Dataset& train, const RemedyParams& params,
 
   Hierarchy hierarchy(working);
   for (uint32_t mask : ScopeMasks(hierarchy, params.ibs.scope)) {
+    REMEDY_TRACE_SPAN_ARG("remedy/node", mask);
     std::vector<BiasedRegion> biased =
         IdentifyIbsInNode(hierarchy, mask, params.ibs);
     if (biased.empty()) continue;
@@ -238,6 +241,7 @@ Dataset RemedyRebuild(const Dataset& train, const RemedyParams& params,
     auto rows_by_key = hierarchy.counter().CollectRows(working, mask);
     std::vector<RegionPlan> plans(biased.size());
     for (size_t i = 0; i < biased.size(); ++i) {
+      REMEDY_TRACE_SPAN("remedy/plan_region");
       const BiasedRegion& region = biased[i];
       RegionUpdate update =
           ComputeUpdate(params.technique, region.counts.positives,
@@ -412,6 +416,7 @@ StatusOr<Dataset> RemedyIncremental(const Dataset& train,
 
   std::unique_ptr<ThreadPool> pool;
   for (uint32_t mask : ScopeMasks(hierarchy, params.ibs.scope)) {
+    REMEDY_TRACE_SPAN_ARG("remedy/node", mask);
     std::vector<BiasedRegion> biased =
         IdentifyIbsInNode(hierarchy, mask, params.ibs);
     if (biased.empty()) continue;
@@ -429,6 +434,7 @@ StatusOr<Dataset> RemedyIncremental(const Dataset& train,
                                 0)
             : -1;
     auto plan_one = [&](int64_t i) {
+      REMEDY_TRACE_SPAN("remedy/plan_region");
       const BiasedRegion& region = biased[i];
       RegionUpdate update =
           ComputeUpdate(params.technique, region.counts.positives,
@@ -643,14 +649,48 @@ StatusOr<Dataset> RemedyDataset(const Dataset& train,
     return InvalidArgumentError("remedy needs protected attributes");
   }
   REMEDY_FAULT_POINT("remedy/apply");
-  switch (params.engine) {
-    case RemedyEngine::kIncremental:
-      return RemedyIncremental(train, params, stats_out);
-    case RemedyEngine::kRebuild:
-      return RemedyRebuild(train, params, stats_out);
+  REMEDY_TRACE_SPAN("remedy/dataset");
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  // Run through a local stats block even when the caller passed none, so
+  // the pipeline counters see the pass regardless.
+  RemedyStats stats;
+  StatusOr<Dataset> remedied = [&]() -> StatusOr<Dataset> {
+    switch (params.engine) {
+      case RemedyEngine::kIncremental:
+        metrics.remedy_incremental_passes->Increment();
+        return RemedyIncremental(train, params, &stats);
+      case RemedyEngine::kRebuild:
+        metrics.remedy_rebuild_passes->Increment();
+        return RemedyRebuild(train, params, &stats);
+    }
+    REMEDY_CHECK(false) << "unknown engine";
+    return train;
+  }();
+  if (remedied.ok()) {
+    metrics.remedy_regions_planned->Increment(stats.regions_processed +
+                                              stats.regions_skipped);
+    switch (params.technique) {
+      case RemedyTechnique::kOversample:
+        metrics.remedy_oversample_rows_added->Increment(stats.instances_added);
+        break;
+      case RemedyTechnique::kUndersample:
+        metrics.remedy_undersample_rows_removed->Increment(
+            stats.instances_removed);
+        break;
+      case RemedyTechnique::kPreferentialSampling:
+        metrics.remedy_preferential_rows_added->Increment(
+            stats.instances_added);
+        metrics.remedy_preferential_rows_removed->Increment(
+            stats.instances_removed);
+        break;
+      case RemedyTechnique::kMassaging:
+        metrics.remedy_massaging_labels_flipped->Increment(
+            stats.labels_flipped);
+        break;
+    }
   }
-  REMEDY_CHECK(false) << "unknown engine";
-  return train;
+  if (stats_out != nullptr) *stats_out = stats;
+  return remedied;
 }
 
 StatusOr<std::vector<PlannedAction>> PlanRemedy(const Dataset& train,

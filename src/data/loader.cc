@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/pipeline_metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "data/discretize.h"
 
 namespace remedy {
@@ -142,6 +144,7 @@ StatusOr<Dataset> BuildDataset(const CsvTable& table,
                                LoaderReport* report_out,
                                QuarantineReport* quarantine) {
   REMEDY_FAULT_POINT("loader/build");
+  REMEDY_TRACE_SPAN("loader/build_dataset");
   LoaderReport report;
   RETURN_IF_ERROR(SettleBadRows(table, options, &report, quarantine));
   if (table.header.empty()) {
@@ -259,6 +262,11 @@ StatusOr<Dataset> BuildDataset(const CsvTable& table,
         options.positive_label + "'");
   }
 
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.loader_rows_loaded->Increment(report.rows_loaded);
+  metrics.loader_rows_dropped_missing->Increment(report.rows_dropped_missing);
+  metrics.loader_rows_quarantined->Increment(report.rows_quarantined);
+
   if (report_out != nullptr) *report_out = report;
   return dataset;
 }
@@ -267,6 +275,8 @@ StatusOr<Dataset> LoadCsvDataset(const std::string& path,
                                  const LoaderOptions& options,
                                  LoaderReport* report,
                                  QuarantineReport* quarantine) {
+  REMEDY_TRACE_SPAN("loader/load_csv");
+  PipelineMetrics::Get().loader_files->Increment();
   CsvReadOptions read_options;
   read_options.parse.has_header = true;
   read_options.parse.tolerate_bad_rows =

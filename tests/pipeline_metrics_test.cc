@@ -1,0 +1,287 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/pipeline_metrics.h"
+#include "common/thread_pool.h"
+
+namespace remedy {
+namespace {
+
+// The registry is process-global and other code (thread pools, loaders)
+// writes into it, so every assertion here is delta-based: snapshot, act,
+// snapshot again, compare the difference.
+
+int64_t CounterValue(const std::string& name) {
+  for (const MetricSnapshot& s : MetricsRegistry::Global().Snapshot()) {
+    if (s.name == name) return s.value;
+  }
+  return -1;
+}
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+// The shard-aggregation contract: increments from many threads — which land
+// on different shards — sum to exactly the number of increments. The TSan
+// twin runs this under -fsanitize=thread.
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  Gauge gauge;
+  gauge.Set(5);
+  EXPECT_EQ(gauge.Value(), 5);
+  EXPECT_EQ(gauge.Max(), 5);
+  gauge.Add(3);
+  EXPECT_EQ(gauge.Value(), 8);
+  EXPECT_EQ(gauge.Max(), 8);
+  gauge.Add(-6);
+  EXPECT_EQ(gauge.Value(), 2);
+  EXPECT_EQ(gauge.Max(), 8) << "max must not follow the value down";
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(gauge.Max(), 0);
+}
+
+TEST(GaugeTest, ConcurrentAddsBalanceOut) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge.Add(1);
+        gauge.Add(-1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_GE(gauge.Max(), 1);
+  EXPECT_LE(gauge.Max(), kThreads);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds values <= 1; bucket i holds (2^(i-1), 2^i].
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 0);
+  EXPECT_EQ(Histogram::BucketFor(2), 1);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 2);
+  EXPECT_EQ(Histogram::BucketFor(5), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 3);
+  EXPECT_EQ(Histogram::BucketFor(9), 4);
+  EXPECT_EQ(Histogram::BucketFor(1024), 10);
+  EXPECT_EQ(Histogram::BucketFor(1025), 11);
+  // Out-of-range values clamp into the open-ended last bucket.
+  EXPECT_EQ(Histogram::BucketFor(INT64_MAX), Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            INT64_MAX);
+}
+
+TEST(HistogramTest, ObserveAggregates) {
+  Histogram hist;
+  hist.Observe(1);
+  hist.Observe(100);
+  hist.Observe(100);
+  hist.Observe(10000);
+  EXPECT_EQ(hist.Count(), 4);
+  EXPECT_EQ(hist.Sum(), 10201);
+  std::array<int64_t, Histogram::kNumBuckets> buckets = hist.BucketCounts();
+  EXPECT_EQ(buckets[Histogram::BucketFor(1)], 1);
+  EXPECT_EQ(buckets[Histogram::BucketFor(100)], 2);
+  EXPECT_EQ(buckets[Histogram::BucketFor(10000)], 1);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0);
+  EXPECT_EQ(hist.Sum(), 0);
+}
+
+TEST(HistogramTest, ApproxQuantile) {
+  Histogram hist;
+  EXPECT_EQ(hist.ApproxQuantile(0.5), 0) << "empty histogram";
+  for (int i = 0; i < 99; ++i) hist.Observe(10);    // bucket (8, 16]
+  hist.Observe(1 << 20);                            // one outlier
+  // The 50th percentile observation sits in the (8, 16] bucket, whose
+  // inclusive upper bound is 16.
+  EXPECT_EQ(hist.ApproxQuantile(0.5), 16);
+  // The 99th percentile is still within the bulk; the 100th is the outlier.
+  EXPECT_EQ(hist.ApproxQuantile(0.99), 16);
+  EXPECT_EQ(hist.ApproxQuantile(1.0), 1 << 20);
+}
+
+TEST(HistogramTest, ConcurrentObservesSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  Histogram hist;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) hist.Observe(t + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.Count(), int64_t{kThreads} * kPerThread);
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += int64_t{t + 1} * kPerThread;
+  EXPECT_EQ(hist.Sum(), expected_sum);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("test/registry_stable", "events", "help");
+  Counter* b = registry.GetCounter("test/registry_stable", "events", "help");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(CounterValue("test/registry_stable"), b->Value());
+}
+
+// Death tests fork, which TSan instrumentation does not tolerate well;
+// the sanitizer twin skips this case.
+#if !defined(REMEDY_TSAN_BUILD)
+TEST(RegistryTest, TypeMismatchDies) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test/registry_typed", "events", "help");
+  EXPECT_DEATH(registry.GetGauge("test/registry_typed", "events", "help"),
+               "");
+}
+#endif
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test/zzz_last", "events", "help");
+  registry.GetCounter("test/aaa_first", "events", "help");
+  std::vector<MetricSnapshot> snapshots = registry.Snapshot();
+  ASSERT_GE(snapshots.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(
+      snapshots.begin(), snapshots.end(),
+      [](const MetricSnapshot& a, const MetricSnapshot& b) {
+        return a.name < b.name;
+      }));
+  std::vector<std::string> names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.size(), snapshots.size());
+}
+
+TEST(RegistryTest, PipelineMetricsRegistersEveryDocumentedName) {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  (void)metrics;
+  std::set<std::string> registered;
+  for (const std::string& name : MetricsRegistry::Global().Names()) {
+    registered.insert(name);
+  }
+  // Spot-check one instrument per family; tools/docs_check.sh enforces the
+  // full list against docs/METRICS.md.
+  for (const char* name :
+       {"lattice/nodes_built", "ibs/nodes_visited", "remedy/regions_planned",
+        "loader/rows_loaded", "csv/records", "threadpool/tasks_submitted",
+        "threadpool/queue_depth", "threadpool/task_latency_ns",
+        "fault/points_crossed"}) {
+    EXPECT_TRUE(registered.count(name)) << name << " not registered";
+  }
+}
+
+TEST(RegistryTest, ThreadPoolPublishesTaskMetrics) {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  const int64_t submitted_before = metrics.threadpool_tasks_submitted->Value();
+  const int64_t latency_before = metrics.threadpool_task_latency_ns->Count();
+  const int64_t wait_before = metrics.threadpool_queue_wait_ns->Count();
+  {
+    ThreadPool pool(4);
+    ASSERT_TRUE(pool.ParallelFor(32, [](int64_t) {}).ok());
+  }
+  EXPECT_GE(metrics.threadpool_tasks_submitted->Value() - submitted_before, 1);
+  EXPECT_GE(metrics.threadpool_task_latency_ns->Count() - latency_before, 1);
+  EXPECT_EQ(metrics.threadpool_task_latency_ns->Count() - latency_before,
+            metrics.threadpool_queue_wait_ns->Count() - wait_before);
+  // Every submitted task drained: the queue-depth gauge is balanced again.
+  EXPECT_EQ(metrics.threadpool_queue_depth->Value(), 0);
+}
+
+TEST(JsonTest, MetricsToJsonShape) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test/json_counter", "rows", "help");
+  Gauge* gauge = registry.GetGauge("test/json_gauge", "tasks", "help");
+  Histogram* hist = registry.GetHistogram("test/json_hist", "ns", "help");
+  counter->Increment(7);
+  gauge->Set(3);
+  hist->Observe(100);
+  const std::string json = MetricsToJson(registry.Snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"test/json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(JsonTest, WriteMetricsJsonFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/metrics_roundtrip.json";
+  ASSERT_TRUE(WriteMetricsJsonFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str().front(), '{');
+  std::remove(path.c_str());
+}
+
+TEST(JsonTest, WriteMetricsJsonFileReportsIoError) {
+  Status status = WriteMetricsJsonFile("/nonexistent-dir/metrics.json");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(PrintTest, TableListsEveryInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test/print_counter", "rows", "help");
+  std::ostringstream out;
+  PrintMetricsTable(registry.Snapshot(), out);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("test/print_counter"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remedy

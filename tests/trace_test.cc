@@ -1,0 +1,351 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace remedy {
+namespace {
+
+// --- Minimal JSON validator --------------------------------------------------
+// Enough of a parser to certify that ToChromeJson() emits syntactically valid
+// JSON (balanced structure, proper strings/numbers/commas) without pulling in
+// a JSON library. Rejects, rather than tolerates, malformed output.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// -----------------------------------------------------------------------------
+
+TEST(TraceTest, NoSinkMeansInertSpans) {
+  ASSERT_EQ(TraceSink::Active(), nullptr);
+  EXPECT_FALSE(TracingActive());
+  {
+    TraceSpan span("orphan");  // must not crash or leak
+  }
+  EXPECT_EQ(TraceSink::Active(), nullptr);
+}
+
+TEST(TraceTest, RecordsCompletedSpans) {
+  TraceSink sink;
+  EXPECT_TRUE(TracingActive());
+  EXPECT_EQ(TraceSink::Active(), &sink);
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+  }
+  std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Children close before parents.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_GE(events[0].duration_ns, 0);
+  EXPECT_GE(events[1].duration_ns, 0);
+}
+
+TEST(TraceTest, NestingLinksParentAndDepth) {
+  TraceSink sink;
+  {
+    TraceSpan a("a");
+    {
+      TraceSpan b("b");
+      { TraceSpan c("c"); }
+    }
+    { TraceSpan d("d"); }
+  }
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& e : sink.Events()) by_name[e.name] = e;
+  ASSERT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(by_name["a"].parent_id, 0u);
+  EXPECT_EQ(by_name["a"].depth, 0);
+  EXPECT_EQ(by_name["b"].parent_id, by_name["a"].id);
+  EXPECT_EQ(by_name["b"].depth, 1);
+  EXPECT_EQ(by_name["c"].parent_id, by_name["b"].id);
+  EXPECT_EQ(by_name["c"].depth, 2);
+  // d is a sibling of b: same parent, same depth, later id.
+  EXPECT_EQ(by_name["d"].parent_id, by_name["a"].id);
+  EXPECT_EQ(by_name["d"].depth, 1);
+  EXPECT_GT(by_name["d"].id, by_name["b"].id);
+}
+
+TEST(TraceTest, ChildTimestampsNestWithinParent) {
+  TraceSink sink;
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+  }
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& e : sink.Events()) by_name[e.name] = e;
+  const TraceEvent& outer = by_name["outer"];
+  const TraceEvent& inner = by_name["inner"];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+}
+
+TEST(TraceTest, ArgIsCarried) {
+  TraceSink sink;
+  { TraceSpan span("with_arg", 42); }
+  { TraceSpan span("without_arg"); }
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& e : sink.Events()) by_name[e.name] = e;
+  EXPECT_TRUE(by_name["with_arg"].has_arg);
+  EXPECT_EQ(by_name["with_arg"].arg, 42);
+  EXPECT_FALSE(by_name["without_arg"].has_arg);
+}
+
+TEST(TraceTest, MacroSpansFollowTheBuildFlag) {
+  TraceSink sink;
+  {
+    REMEDY_TRACE_SPAN("macro_span");
+    REMEDY_TRACE_SPAN_ARG("macro_arg_span", 7);
+  }
+  std::vector<TraceEvent> events = sink.Events();
+#if defined(REMEDY_TRACE_DISABLED)
+  // trace-off preset: the macros compile to nothing.
+  ASSERT_EQ(events.size(), 0u);
+#else
+  ASSERT_EQ(events.size(), 2u);
+#endif
+}
+
+TEST(TraceTest, SinkUninstallsOnDestruction) {
+  {
+    TraceSink sink;
+    EXPECT_TRUE(TracingActive());
+  }
+  EXPECT_FALSE(TracingActive());
+  // A successor sink installs cleanly.
+  TraceSink next;
+  EXPECT_EQ(TraceSink::Active(), &next);
+}
+
+TEST(TraceTest, SpanOutlivingSinkDropsItsEvent) {
+  auto sink = std::make_unique<TraceSink>();
+  auto span = std::make_unique<TraceSpan>("straggler");
+  sink.reset();            // sink gone while the span is open
+  span.reset();            // must not touch freed memory (ASan-checked twin)
+  TraceSink successor;     // and must not record into a successor
+  EXPECT_TRUE(successor.Events().empty());
+}
+
+// Spans opened concurrently inside pool tasks must record race-free (the
+// TSan twin checks this under -fsanitize=thread) and keep per-thread
+// nesting: every worker's spans form their own parent chains, and no event
+// is lost. The pool is constructed with 4 workers regardless of the host's
+// core count, so the test is genuinely concurrent even on 1-CPU CI.
+TEST(TraceTest, ConcurrentSpansUnderThreadPool) {
+  constexpr int kTasks = 64;
+  TraceSink sink;
+  ThreadPool pool(4);
+  ASSERT_TRUE(pool
+                  .ParallelFor(kTasks,
+                               [](int64_t i) {
+                                 TraceSpan outer("task");
+                                 TraceSpan inner("task_inner", i);
+                               })
+                  .ok());
+  ASSERT_TRUE(pool.Wait().ok());
+  std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u * kTasks);
+
+  std::map<uint64_t, TraceEvent> by_id;
+  int inner_count = 0;
+  for (const TraceEvent& e : events) by_id[e.id] = e;
+  ASSERT_EQ(by_id.size(), events.size()) << "span ids must be unique";
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) != "task_inner") continue;
+    ++inner_count;
+    // Each inner span's parent is a "task" span on the same thread.
+    auto parent = by_id.find(e.parent_id);
+    ASSERT_NE(parent, by_id.end());
+    EXPECT_STREQ(parent->second.name, "task");
+    EXPECT_EQ(parent->second.tid, e.tid);
+    EXPECT_EQ(e.depth, parent->second.depth + 1);
+  }
+  EXPECT_EQ(inner_count, kTasks);
+}
+
+TEST(TraceTest, ChromeJsonIsValidAndNormalized) {
+  TraceSink sink;
+  {
+    TraceSpan outer("phase \"quoted\"");  // exercises string escaping
+    { TraceSpan inner("inner", 3); }
+  }
+  const std::string json = sink.ToChromeJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Timestamps are normalized to the earliest span: some event is at ts 0.
+  EXPECT_NE(json.find("\"ts\": 0"), std::string::npos);
+}
+
+TEST(TraceTest, EmptySinkSerializesToValidJson) {
+  TraceSink sink;
+  const std::string json = sink.ToChromeJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+}
+
+TEST(TraceTest, WriteChromeJsonRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.json";
+  TraceSink sink;
+  { TraceSpan span("persisted"); }
+  ASSERT_TRUE(sink.WriteChromeJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  EXPECT_EQ(contents, sink.ToChromeJson());
+  JsonValidator validator(contents);
+  EXPECT_TRUE(validator.Valid());
+  EXPECT_NE(contents.find("persisted"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, WriteChromeJsonReportsIoError) {
+  TraceSink sink;
+  Status status = sink.WriteChromeJson("/nonexistent-dir/trace.json");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace remedy

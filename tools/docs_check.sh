@@ -1,0 +1,66 @@
+#!/bin/sh
+# docs-check: keep docs/METRICS.md and the registered metric set in lockstep.
+#
+# Every metric the library emits is declared in the X-macro tables of
+# src/common/pipeline_metrics.h, as the second argument of an X(...) row:
+#   X(field, "family/event", "unit", "help...")
+# and docs/METRICS.md documents each one as the first backticked cell of a
+# markdown table row:
+#   | `family/event` | counter | unit | ... |
+# This script extracts both name sets and fails (exit 1) on any difference,
+# printing the drift. Wired up as the `docs_check` ctest and the
+# `docs-check` build target.
+#
+# Usage: docs_check.sh [repo-root]
+set -u
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+header="$root/src/common/pipeline_metrics.h"
+doc="$root/docs/METRICS.md"
+
+fail=0
+for f in "$header" "$doc"; do
+  if [ ! -f "$f" ]; then
+    echo "docs-check: missing $f" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Registered names: the first quoted string of each X(...) row. The field
+# name precedes it unquoted, so "the first string literal on the line that
+# contains a slash" is exactly the metric name; units/help never contain '/'
+# except in names, which only appear as that first literal.
+sed -n 's/^ *X([a-z_0-9]*, *"\([a-z_0-9]*\/[a-z_0-9/]*\)".*/\1/p' \
+  "$header" | sort -u > "$tmpdir/code"
+
+# Documented names: first backticked cell of each table row.
+sed -n 's/^| *`\([a-z_0-9]*\/[a-z_0-9/]*\)`.*/\1/p' "$doc" \
+  | sort -u > "$tmpdir/docs"
+
+if [ ! -s "$tmpdir/code" ]; then
+  echo "docs-check: extracted no metric names from $header (pattern drift?)" >&2
+  exit 1
+fi
+
+undocumented="$(comm -23 "$tmpdir/code" "$tmpdir/docs")"
+stale="$(comm -13 "$tmpdir/code" "$tmpdir/docs")"
+
+if [ -n "$undocumented" ]; then
+  echo "docs-check: metrics registered in pipeline_metrics.h but missing from docs/METRICS.md:" >&2
+  echo "$undocumented" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [ -n "$stale" ]; then
+  echo "docs-check: metrics documented in docs/METRICS.md but not registered:" >&2
+  echo "$stale" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs-check: $(wc -l < "$tmpdir/code" | tr -d ' ') metrics in sync"
+fi
+exit "$fail"
