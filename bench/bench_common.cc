@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,6 +32,20 @@ EvalResult Evaluate(const Dataset& train, const Dataset& test, ModelType type,
   return result;
 }
 
+EvalResult Evaluate(const EncodedMatrix& train, const EncodedMatrix& test,
+                    ModelType type, uint64_t seed, int threads) {
+  ClassifierPtr model = MakeClassifier(type, seed, threads);
+  model->FitEncoded(train);
+  std::vector<int> predictions = model->PredictAllEncoded(test);
+  EvalResult result;
+  result.fairness_index_fpr =
+      ComputeFairnessIndex(test.data(), predictions, Statistic::kFpr);
+  result.fairness_index_fnr =
+      ComputeFairnessIndex(test.data(), predictions, Statistic::kFnr);
+  result.accuracy = Accuracy(test.data(), predictions);
+  return result;
+}
+
 void PrintBanner(const std::string& experiment, const std::string& paper_ref,
                  const std::string& expectation) {
   std::printf("==============================================================\n");
@@ -49,6 +64,16 @@ std::string FlagValue(int argc, char** argv, const std::string& flag) {
 
 std::string JsonPathFromArgs(int argc, char** argv) {
   return FlagValue(argc, argv, "--json");
+}
+
+int IntFlagValue(int argc, char** argv, const std::string& flag,
+                 int fallback) {
+  const std::string value = FlagValue(argc, argv, flag);
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
 }
 
 bool HasFlag(int argc, char** argv, const std::string& flag) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/encoding.h"
 #include "fairness/divergence.h"
 #include "ml/model_factory.h"
 
@@ -25,6 +26,18 @@ struct EvalResult {
 // Trains `type` on `train`, evaluates on `test`.
 EvalResult Evaluate(const Dataset& train, const Dataset& test, ModelType type,
                     uint64_t seed = 7);
+
+// Same evaluation over pre-built encodings: the one-hot caches are built
+// once per split and shared across every model evaluated on it. `threads`
+// is the in-model worker count (see MakeClassifier); results are
+// bit-identical to the Dataset form for every thread count.
+EvalResult Evaluate(const EncodedMatrix& train, const EncodedMatrix& test,
+                    ModelType type, uint64_t seed = 7, int threads = 1);
+
+// Integer flag value (e.g. "--threads 8"): `fallback` when the flag is
+// absent or not a number.
+int IntFlagValue(int argc, char** argv, const std::string& flag,
+                 int fallback);
 
 // Pretty banner for each experiment binary.
 void PrintBanner(const std::string& experiment, const std::string& paper_ref,

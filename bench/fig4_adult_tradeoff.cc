@@ -4,7 +4,7 @@
 #include "datagen/adult.h"
 #include "tradeoff.h"
 
-int main() {
+int main(int argc, char** argv) {
   remedy::bench::PrintBanner(
       "Fig. 4 — fairness-accuracy trade-off (Adult)",
       "Lin, Gupta & Jagadish, ICDE'24, Figure 4 (tau_c = 0.5, T = 1)",
@@ -13,6 +13,10 @@ int main() {
       "is coarse. PS and US are the strongest techniques; Massaging costs "
       "the most accuracy.");
   remedy::Dataset data = remedy::MakeAdult();
-  remedy::bench::RunTradeoff("Adult", data, /*imbalance_threshold=*/0.5);
+  remedy::bench::TradeoffOptions options;
+  options.threads = remedy::bench::IntFlagValue(argc, argv, "--threads", 0);
+  options.json_path = remedy::bench::JsonPathFromArgs(argc, argv);
+  remedy::bench::RunTradeoff("Adult", data, /*imbalance_threshold=*/0.5,
+                             options);
   return 0;
 }

@@ -5,7 +5,7 @@
 #include "datagen/law_school.h"
 #include "tradeoff.h"
 
-int main() {
+int main(int argc, char** argv) {
   remedy::bench::PrintBanner(
       "Fig. 5 — fairness-accuracy trade-off (Law School)",
       "Lin, Gupta & Jagadish, ICDE'24, Figure 5 (tau_c = 0.1, T = 1)",
@@ -13,6 +13,10 @@ int main() {
       "preferential sampling edges out undersampling on this smaller "
       "dataset.");
   remedy::Dataset data = remedy::MakeLawSchool();
-  remedy::bench::RunTradeoff("LawSchool", data, /*imbalance_threshold=*/0.1);
+  remedy::bench::TradeoffOptions options;
+  options.threads = remedy::bench::IntFlagValue(argc, argv, "--threads", 0);
+  options.json_path = remedy::bench::JsonPathFromArgs(argc, argv);
+  remedy::bench::RunTradeoff("LawSchool", data, /*imbalance_threshold=*/0.1,
+                             options);
   return 0;
 }

@@ -5,13 +5,17 @@
 #include "datagen/compas.h"
 #include "tradeoff.h"
 
-int main() {
+int main(int argc, char** argv) {
   remedy::bench::PrintBanner(
       "Fig. 6 — fairness-accuracy trade-off (ProPublica)",
       "Lin, Gupta & Jagadish, ICDE'24, Figure 6 (tau_c = 0.1, T = 1)",
       "Lattice mitigates FPR and FNR subgroup unfairness simultaneously "
       "for DT / RF / LG / NN with a bounded accuracy decrease.");
   remedy::Dataset data = remedy::MakeCompas();
-  remedy::bench::RunTradeoff("ProPublica", data, /*imbalance_threshold=*/0.1);
+  remedy::bench::TradeoffOptions options;
+  options.threads = remedy::bench::IntFlagValue(argc, argv, "--threads", 0);
+  options.json_path = remedy::bench::JsonPathFromArgs(argc, argv);
+  remedy::bench::RunTradeoff("ProPublica", data, /*imbalance_threshold=*/0.1,
+                             options);
   return 0;
 }

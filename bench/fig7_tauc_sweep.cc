@@ -15,7 +15,8 @@
 namespace remedy {
 namespace {
 
-void Sweep(const std::string& name, const Dataset& data) {
+void Sweep(const std::string& name, const Dataset& data, int threads,
+           bench::JsonResultWriter* writer) {
   auto [train, test] = bench::Split(data);
   std::printf("(%s) decision tree, T = 1, tau_c from 0.1 to 0.9\n",
               name.c_str());
@@ -26,11 +27,18 @@ void Sweep(const std::string& name, const Dataset& data) {
       bench::Evaluate(train, test, ModelType::kDecisionTree);
   table.AddRow({"original", FormatDouble(original.fairness_index_fpr, 4),
                 FormatDouble(original.accuracy, 4), "-", "-"});
+  if (writer != nullptr) {
+    writer->AddRecord(name,
+                      {{"original", 1.0},
+                       {"fairness_index_fpr", original.fairness_index_fpr},
+                       {"accuracy", original.accuracy}});
+  }
 
   for (double tau_c : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     RemedyParams params;
     params.ibs.imbalance_threshold = tau_c;
     params.technique = RemedyTechnique::kPreferentialSampling;
+    params.planning_threads = threads;
     RemedyStats stats;
     Dataset remedied = RemedyDataset(train, params, &stats).value();
     bench::EvalResult result =
@@ -41,6 +49,17 @@ void Sweep(const std::string& name, const Dataset& data) {
                   std::to_string(stats.regions_processed),
                   std::to_string(stats.instances_added +
                                  stats.instances_removed)});
+    if (writer != nullptr) {
+      writer->AddRecord(
+          name,
+          {{"tau_c", tau_c},
+           {"fairness_index_fpr", result.fairness_index_fpr},
+           {"accuracy", result.accuracy},
+           {"regions_processed",
+            static_cast<double>(stats.regions_processed)},
+           {"instances_moved", static_cast<double>(stats.instances_added +
+                                                   stats.instances_removed)}});
+    }
   }
   table.Print(std::cout);
   std::printf("\n");
@@ -49,14 +68,22 @@ void Sweep(const std::string& name, const Dataset& data) {
 }  // namespace
 }  // namespace remedy
 
-int main() {
+int main(int argc, char** argv) {
   remedy::bench::PrintBanner(
       "Fig. 7 — fairness index and accuracy, varying tau_c",
       "Lin, Gupta & Jagadish, ICDE'24, Figure 7 (DT, ProPublica & Adult)",
       "lower tau_c => more regions flagged and more instance updates => "
       "better fairness but lower accuracy; Adult (6 protected attributes) "
       "stays robust even at high tau_c because its IBS is larger.");
-  remedy::Sweep("ProPublica", remedy::MakeCompas());
-  remedy::Sweep("Adult", remedy::MakeAdult());
+  const int threads = remedy::bench::IntFlagValue(argc, argv, "--threads", 0);
+  const std::string json_path = remedy::bench::JsonPathFromArgs(argc, argv);
+  remedy::bench::JsonResultWriter writer;
+  remedy::bench::JsonResultWriter* sink =
+      json_path.empty() ? nullptr : &writer;
+  remedy::Sweep("ProPublica", remedy::MakeCompas(), threads, sink);
+  remedy::Sweep("Adult", remedy::MakeAdult(), threads, sink);
+  if (sink != nullptr && writer.WriteFile(json_path)) {
+    std::printf("JSON results written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -15,7 +15,8 @@
 namespace remedy {
 namespace {
 
-void Compare(const std::string& name, const Dataset& data, double tau_c) {
+void Compare(const std::string& name, const Dataset& data, double tau_c,
+             int threads, bench::JsonResultWriter* writer) {
   auto [train, test] = bench::Split(data);
   const int num_protected = data.schema().NumProtected();
   std::printf("(%s) decision tree, tau_c = %.1f, |X| = %d\n", name.c_str(),
@@ -28,12 +29,20 @@ void Compare(const std::string& name, const Dataset& data, double tau_c) {
   table.AddRow({"original", FormatDouble(original.fairness_index_fpr, 4),
                 FormatDouble(original.fairness_index_fnr, 4),
                 FormatDouble(original.accuracy, 4)});
+  if (writer != nullptr) {
+    writer->AddRecord(name,
+                      {{"original", 1.0},
+                       {"fairness_index_fpr", original.fairness_index_fpr},
+                       {"fairness_index_fnr", original.fairness_index_fnr},
+                       {"accuracy", original.accuracy}});
+  }
 
   for (double distance : {1.0, static_cast<double>(num_protected)}) {
     RemedyParams params;
     params.ibs.imbalance_threshold = tau_c;
     params.ibs.distance_threshold = distance;
     params.technique = RemedyTechnique::kPreferentialSampling;
+    params.planning_threads = threads;
     Dataset remedied = RemedyDataset(train, params).value();
     bench::EvalResult result =
         bench::Evaluate(remedied, test, ModelType::kDecisionTree);
@@ -41,6 +50,13 @@ void Compare(const std::string& name, const Dataset& data, double tau_c) {
     table.AddRow({label, FormatDouble(result.fairness_index_fpr, 4),
                   FormatDouble(result.fairness_index_fnr, 4),
                   FormatDouble(result.accuracy, 4)});
+    if (writer != nullptr) {
+      writer->AddRecord(name,
+                        {{"distance_threshold", distance},
+                         {"fairness_index_fpr", result.fairness_index_fpr},
+                         {"fairness_index_fnr", result.fairness_index_fnr},
+                         {"accuracy", result.accuracy}});
+    }
   }
   table.Print(std::cout);
   std::printf("\n");
@@ -49,7 +65,7 @@ void Compare(const std::string& name, const Dataset& data, double tau_c) {
 }  // namespace
 }  // namespace remedy
 
-int main() {
+int main(int argc, char** argv) {
   remedy::bench::PrintBanner(
       "Fig. 8 — fairness index and accuracy under different T",
       "Lin, Gupta & Jagadish, ICDE'24, Figure 8 (DT, ProPublica & Adult)",
@@ -57,7 +73,15 @@ int main() {
       "ProPublica (3 protected attributes) while T = 1 is the better choice "
       "on Adult (6), i.e. global class-distribution equalization loses "
       "ground as |X| grows.");
-  remedy::Compare("ProPublica", remedy::MakeCompas(), 0.1);
-  remedy::Compare("Adult", remedy::MakeAdult(), 0.5);
+  const int threads = remedy::bench::IntFlagValue(argc, argv, "--threads", 0);
+  const std::string json_path = remedy::bench::JsonPathFromArgs(argc, argv);
+  remedy::bench::JsonResultWriter writer;
+  remedy::bench::JsonResultWriter* sink =
+      json_path.empty() ? nullptr : &writer;
+  remedy::Compare("ProPublica", remedy::MakeCompas(), 0.1, threads, sink);
+  remedy::Compare("Adult", remedy::MakeAdult(), 0.5, threads, sink);
+  if (sink != nullptr && writer.WriteFile(json_path)) {
+    std::printf("JSON results written to %s\n", json_path.c_str());
+  }
   return 0;
 }

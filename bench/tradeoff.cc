@@ -1,43 +1,41 @@
 #include "tradeoff.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/check.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "core/remedy.h"
+#include "data/encoding.h"
 
 namespace remedy::bench {
 namespace {
 
 struct Treatment {
   std::string name;
-  // One cached evaluation per StandardModels() entry.
+  Dataset train;
+  // One evaluation per StandardModels() entry, filled by the cell fan-out.
   std::vector<EvalResult> results;
 };
 
-Treatment EvaluateTreatment(const std::string& name, const Dataset& train,
-                            const Dataset& test) {
-  Treatment treatment;
-  treatment.name = name;
-  for (ModelType type : StandardModels()) {
-    treatment.results.push_back(Evaluate(train, test, type));
-  }
-  return treatment;
-}
-
 void PrintPanel(const std::string& title,
-                const std::vector<Treatment>& treatments,
+                const std::vector<const Treatment*>& treatments,
                 double EvalResult::*metric) {
   std::printf("%s\n", title.c_str());
   std::vector<std::string> header = {"treatment"};
   for (ModelType type : StandardModels()) header.push_back(ModelName(type));
   TablePrinter table(header);
-  for (const Treatment& treatment : treatments) {
-    std::vector<std::string> row = {treatment.name};
-    for (const EvalResult& result : treatment.results) {
+  for (const Treatment* treatment : treatments) {
+    std::vector<std::string> row = {treatment->name};
+    for (const EvalResult& result : treatment->results) {
       row.push_back(FormatDouble(result.*metric, 4));
     }
     table.AddRow(std::move(row));
@@ -47,40 +45,102 @@ void PrintPanel(const std::string& title,
 }
 
 Dataset Remedied(const Dataset& train, IbsScope scope,
-                 RemedyTechnique technique, double imbalance_threshold) {
+                 RemedyTechnique technique, double imbalance_threshold,
+                 int threads) {
   RemedyParams params;
   params.ibs.imbalance_threshold = imbalance_threshold;
   params.ibs.scope = scope;
   params.technique = technique;
+  params.planning_threads = threads;
   return RemedyDataset(train, params).value();
 }
 
 }  // namespace
 
 void RunTradeoff(const std::string& dataset_name, const Dataset& data,
-                 double imbalance_threshold) {
+                 double imbalance_threshold, const TradeoffOptions& options) {
+  REMEDY_TRACE_SPAN("bench/tradeoff");
+  WallTimer total_timer;
   auto [train, test] = Split(data);
-  std::printf("dataset=%s  train=%d rows  test=%d rows  tau_c=%.2f  T=1\n\n",
-              dataset_name.c_str(), train.NumRows(), test.NumRows(),
-              imbalance_threshold);
+  const int threads = ResolveThreadCount(options.threads);
+  std::printf(
+      "dataset=%s  train=%d rows  test=%d rows  tau_c=%.2f  T=1  threads=%d\n\n",
+      dataset_name.c_str(), train.NumRows(), test.NumRows(),
+      imbalance_threshold, threads);
+
+  // The seven distinct treatments behind the panels. PS under the Lattice
+  // scope appears in both the scope and the technique panel, so it is
+  // evaluated once here and referenced twice below.
+  std::vector<Treatment> treatments;
+  treatments.push_back({"Original", train, {}});
+  treatments.push_back(
+      {"Lattice",
+       Remedied(train, IbsScope::kLattice,
+                RemedyTechnique::kPreferentialSampling, imbalance_threshold,
+                options.threads),
+       {}});
+  treatments.push_back(
+      {"Leaf",
+       Remedied(train, IbsScope::kLeaf,
+                RemedyTechnique::kPreferentialSampling, imbalance_threshold,
+                options.threads),
+       {}});
+  treatments.push_back(
+      {"Top",
+       Remedied(train, IbsScope::kTop,
+                RemedyTechnique::kPreferentialSampling, imbalance_threshold,
+                options.threads),
+       {}});
+  treatments.push_back(
+      {"US",
+       Remedied(train, IbsScope::kLattice, RemedyTechnique::kUndersample,
+                imbalance_threshold, options.threads),
+       {}});
+  treatments.push_back(
+      {"DP",
+       Remedied(train, IbsScope::kLattice, RemedyTechnique::kOversample,
+                imbalance_threshold, options.threads),
+       {}});
+  treatments.push_back(
+      {"Massaging",
+       Remedied(train, IbsScope::kLattice, RemedyTechnique::kMassaging,
+                imbalance_threshold, options.threads),
+       {}});
+
+  // Encode every split exactly once; the cells share the caches read-only.
+  const EncodedMatrix test_encoded(test);
+  std::vector<std::unique_ptr<EncodedMatrix>> train_encoded;
+  train_encoded.reserve(treatments.size());
+  for (Treatment& treatment : treatments) {
+    train_encoded.push_back(std::make_unique<EncodedMatrix>(treatment.train));
+    treatment.results.resize(StandardModels().size());
+  }
+
+  // Fan the independent (treatment, model) cells out on the pool. Each
+  // cell writes only its own slot and trains with inner threads = 1, so
+  // the tables are identical to a serial evaluation.
+  const std::vector<ModelType> models = StandardModels();
+  const int num_cells =
+      static_cast<int>(treatments.size() * models.size());
+  WallTimer eval_timer;
+  const auto evaluate_cell = [&](int64_t cell) {
+    const size_t t = static_cast<size_t>(cell) / models.size();
+    const size_t m = static_cast<size_t>(cell) % models.size();
+    treatments[t].results[m] =
+        Evaluate(*train_encoded[t], test_encoded, models[m]);
+  };
+  if (std::min(threads, num_cells) > 1) {
+    ThreadPool pool(std::min(threads, num_cells));
+    Status status = pool.ParallelFor(num_cells, evaluate_cell);
+    REMEDY_CHECK(status.ok()) << status.message();
+  } else {
+    for (int cell = 0; cell < num_cells; ++cell) evaluate_cell(cell);
+  }
+  const double eval_seconds = eval_timer.Nanos() * 1e-9;
 
   // Panels (a)-(c): identification scopes, remedy = preferential sampling.
-  Dataset lattice_ps =
-      Remedied(train, IbsScope::kLattice,
-               RemedyTechnique::kPreferentialSampling, imbalance_threshold);
-  std::vector<Treatment> scopes;
-  scopes.push_back(EvaluateTreatment("Original", train, test));
-  scopes.push_back(EvaluateTreatment("Lattice", lattice_ps, test));
-  scopes.push_back(EvaluateTreatment(
-      "Leaf",
-      Remedied(train, IbsScope::kLeaf,
-               RemedyTechnique::kPreferentialSampling, imbalance_threshold),
-      test));
-  scopes.push_back(EvaluateTreatment(
-      "Top",
-      Remedied(train, IbsScope::kTop,
-               RemedyTechnique::kPreferentialSampling, imbalance_threshold),
-      test));
+  const std::vector<const Treatment*> scopes = {
+      &treatments[0], &treatments[1], &treatments[2], &treatments[3]};
   PrintPanel("(a) Fairness index, gamma = FPR (preferential sampling)",
              scopes, &EvalResult::fairness_index_fpr);
   PrintPanel("(b) Fairness index, gamma = FNR (preferential sampling)",
@@ -88,30 +148,42 @@ void RunTradeoff(const std::string& dataset_name, const Dataset& data,
   PrintPanel("(c) Model accuracy", scopes, &EvalResult::accuracy);
 
   // Panel (d): pre-processing techniques under the Lattice scope.
-  std::vector<Treatment> techniques;
-  techniques.push_back(scopes[0]);  // Original
-  Treatment ps = scopes[1];
+  Treatment ps = treatments[1];
   ps.name = "PS";
-  techniques.push_back(ps);
-  techniques.push_back(EvaluateTreatment(
-      "US",
-      Remedied(train, IbsScope::kLattice, RemedyTechnique::kUndersample,
-               imbalance_threshold),
-      test));
-  techniques.push_back(EvaluateTreatment(
-      "DP",
-      Remedied(train, IbsScope::kLattice, RemedyTechnique::kOversample,
-               imbalance_threshold),
-      test));
-  techniques.push_back(EvaluateTreatment(
-      "Massaging",
-      Remedied(train, IbsScope::kLattice, RemedyTechnique::kMassaging,
-               imbalance_threshold),
-      test));
+  const std::vector<const Treatment*> techniques = {
+      &treatments[0], &ps, &treatments[4], &treatments[5], &treatments[6]};
   PrintPanel("(d) Fairness index under FPR, by pre-processing technique",
              techniques, &EvalResult::fairness_index_fpr);
   PrintPanel("(d') Model accuracy, by pre-processing technique", techniques,
              &EvalResult::accuracy);
+
+  const double total_seconds = total_timer.Nanos() * 1e-9;
+  std::printf("evaluation cells: %d in %.3fs (total %.3fs, threads=%d)\n",
+              num_cells, eval_seconds, total_seconds, threads);
+
+  if (!options.json_path.empty()) {
+    JsonResultWriter writer;
+    writer.AddRecord("run", {{"threads", static_cast<double>(threads)},
+                             {"cells", static_cast<double>(num_cells)},
+                             {"train_rows", static_cast<double>(train.NumRows())},
+                             {"test_rows", static_cast<double>(test.NumRows())},
+                             {"eval_seconds", eval_seconds},
+                             {"total_seconds", total_seconds}});
+    for (size_t t = 0; t < treatments.size(); ++t) {
+      for (size_t m = 0; m < models.size(); ++m) {
+        const EvalResult& result = treatments[t].results[m];
+        writer.AddRecord(
+            treatments[t].name,
+            {{"model", static_cast<double>(m)},
+             {"fairness_index_fpr", result.fairness_index_fpr},
+             {"fairness_index_fnr", result.fairness_index_fnr},
+             {"accuracy", result.accuracy}});
+      }
+    }
+    if (writer.WriteFile(options.json_path)) {
+      std::printf("JSON results written to %s\n", options.json_path.c_str());
+    }
+  }
 }
 
 }  // namespace remedy::bench

@@ -7,15 +7,29 @@
 
 namespace remedy::bench {
 
+struct TradeoffOptions {
+  // Workers for the evaluation engine: the remedy planner's per-region
+  // fan-out and the (treatment, model) evaluation cells. 1 = serial,
+  // <= 0 = every usable CPU. Results are bit-identical for every value;
+  // only the wall time changes.
+  int threads = 0;
+  // When non-empty, the per-cell results and run timings are also written
+  // to this path as JSON (same shape as the other BENCH_*.json artifacts).
+  std::string json_path;
+};
+
 // Shared driver for the fairness-accuracy trade-off figures (Fig. 4 Adult,
 // Fig. 5 Law School, Fig. 6 ProPublica):
 //   (a/b) fairness index under FPR and FNR for Original vs the Lattice /
 //         Leaf / Top identification scopes (remedy = preferential sampling),
 //   (c)   model accuracy for the same treatments,
 //   (d)   the four pre-processing techniques under the Lattice scope.
-// All of DT / RF / LG / NN are evaluated, as in the paper.
+// All of DT / RF / LG / NN are evaluated, as in the paper. Every treatment
+// train set and the test set are one-hot encoded exactly once; the 28
+// independent (treatment, model) cells then run on a pool.
 void RunTradeoff(const std::string& dataset_name, const Dataset& data,
-                 double imbalance_threshold);
+                 double imbalance_threshold,
+                 const TradeoffOptions& options = {});
 
 }  // namespace remedy::bench
 

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/pipeline_metrics.h"
+#include "common/rng.h"
 
 namespace remedy {
 namespace {
@@ -10,13 +11,6 @@ namespace {
 // (it is meant to be scoped around the calls under test), so the
 // check-then-use in REMEDY_FAULT_POINT needs no further synchronization.
 std::atomic<FaultInjector*> g_active{nullptr};
-
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
 
 }  // namespace
 

@@ -19,7 +19,8 @@ namespace remedy {
 // Naming convention: "<family>/<event>", lower_snake within segments.
 // Families: lattice (hierarchy construction), ibs (subgroup
 // identification), remedy (dataset repair), loader + csv (ingestion),
-// threadpool, fault (fault injection).
+// threadpool, fault (fault injection), ml (model training / tuning),
+// fairness (bootstrap confidence intervals).
 
 // REMEDY_PIPELINE_COUNTERS(X): X(field, "name", "unit", "help")
 #define REMEDY_PIPELINE_COUNTERS(X)                                           \
@@ -75,7 +76,19 @@ namespace remedy {
   X(fault_points_crossed, "fault/points_crossed", "events",                   \
     "REMEDY_FAULT_POINT sites evaluated while an injector was active")        \
   X(fault_faults_fired, "fault/faults_fired", "events",                       \
-    "fault-injection sites that actually fired a fault")
+    "fault-injection sites that actually fired a fault")                      \
+  X(ml_fits, "ml/fits", "models",                                             \
+    "classifier Fit calls completed (any model type)")                        \
+  X(ml_trees_trained, "ml/trees_trained", "trees",                            \
+    "decision trees grown inside RandomForest::Fit")                          \
+  X(ml_epochs, "ml/epochs", "epochs",                                         \
+    "gradient epochs run by logistic regression and the neural network")      \
+  X(ml_encoded_matrices, "ml/encoded_matrices", "matrices",                   \
+    "EncodedMatrix caches built from a Dataset")                              \
+  X(ml_grid_candidates, "ml/grid_candidates", "candidates",                   \
+    "candidate configurations evaluated by GridSearch")                       \
+  X(fairness_bootstrap_replicates, "fairness/bootstrap_replicates",           \
+    "replicates", "bootstrap resamples evaluated by BootstrapFairnessIndex")
 
 // REMEDY_PIPELINE_GAUGES(X): X(field, "name", "unit", "help")
 #define REMEDY_PIPELINE_GAUGES(X)                               \
@@ -87,7 +100,9 @@ namespace remedy {
   X(threadpool_task_latency_ns, "threadpool/task_latency_ns", "ns", \
     "per-task wall time from dequeue to completion")                \
   X(threadpool_queue_wait_ns, "threadpool/queue_wait_ns", "ns",     \
-    "per-task wall time from enqueue to dequeue")
+    "per-task wall time from enqueue to dequeue")                   \
+  X(ml_fit_ns, "ml/fit_ns", "ns",                                   \
+    "wall time of each classifier Fit call")
 
 // All pipeline instruments, registered once on first use. Call sites do
 //   PipelineMetrics::Get().ibs_nodes_visited->Increment(n);

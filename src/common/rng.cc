@@ -7,6 +7,19 @@
 
 namespace remedy {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t StreamSeed(uint64_t seed, uint64_t index) {
+  // Advance by the golden gamma per stream, then finalize: the standard
+  // SplitMix64 sequence starting at `seed`, sampled at position `index`.
+  return SplitMix64(seed + 0x9e3779b97f4a7c15ull * index);
+}
+
 int Rng::UniformInt(int n) {
   REMEDY_CHECK(n > 0) << "UniformInt needs a positive bound, got " << n;
   std::uniform_int_distribution<int> dist(0, n - 1);
@@ -70,11 +83,9 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 }
 
 Rng Rng::Fork() {
-  // SplitMix-style scramble of a fresh draw decorrelates parent and child.
-  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return Rng(z ^ (z >> 31));
+  // SplitMix64 scramble of a fresh draw decorrelates parent and child
+  // (bit-identical to the historical inline mix).
+  return Rng(SplitMix64(engine_()));
 }
 
 }  // namespace remedy

@@ -7,6 +7,17 @@
 
 namespace remedy {
 
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. The
+// library's standard way of deriving decorrelated seeds from a base seed
+// plus a key (region, tree, replicate, ...) without sharing RNG state.
+uint64_t SplitMix64(uint64_t x);
+
+// Seed of the `index`-th parallel stream derived from `seed`. Deterministic
+// parallel phases (random-forest bagging, bootstrap replicates, the remedy
+// planner) give every task its own stream keyed by a stable task index, so
+// the drawn sequences are independent of scheduling and thread count.
+uint64_t StreamSeed(uint64_t seed, uint64_t index);
+
 // Deterministic random number generator used across the library.
 //
 // Every stochastic component (dataset generators, samplers, classifiers,

@@ -86,6 +86,13 @@ class ThreadPool {
   Status first_failure_;  // first throwing Submit() task since last Wait()
 };
 
+// Worker count denoted by a `threads` knob as used across the library:
+// values <= 0 mean "every usable CPU" (ThreadPool::DefaultThreads());
+// positive values are taken literally, so 1 = serial.
+inline int ResolveThreadCount(int threads) {
+  return threads <= 0 ? ThreadPool::DefaultThreads() : threads;
+}
+
 }  // namespace remedy
 
 #endif  // REMEDY_COMMON_THREAD_POOL_H_

@@ -27,13 +27,6 @@ int64_t ClampCount(double value, int64_t lo, int64_t hi) {
   return std::clamp(rounded, lo, hi);
 }
 
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 // Independent RNG stream per region, keyed by its node and region key. The
 // stream does not depend on row numbering or processing order, so both
 // engines (and any planning thread count) draw identical sequences for the

@@ -1,6 +1,8 @@
 #include "data/encoding.h"
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
+#include "common/trace.h"
 
 namespace remedy {
 
@@ -24,6 +26,19 @@ void OneHotEncoder::EncodeRow(const Dataset& data, int row,
     REMEDY_DCHECK(code >= 0 && code < cardinalities_[c]);
     (*out)[offsets_[c] + code] = 1.0f;
   }
+}
+
+EncodedMatrix::EncodedMatrix(const Dataset& data)
+    : data_(&data), encoder_(data.schema()), num_columns_(data.NumColumns()) {
+  REMEDY_TRACE_SPAN("ml/encode");
+  active_.resize(static_cast<size_t>(data.NumRows()) * num_columns_);
+  for (int r = 0; r < data.NumRows(); ++r) {
+    int* row = active_.data() + static_cast<size_t>(r) * num_columns_;
+    for (int c = 0; c < num_columns_; ++c) {
+      row[c] = encoder_.Offset(c) + data.Value(r, c);
+    }
+  }
+  PipelineMetrics::Get().ml_encoded_matrices->Increment();
 }
 
 std::vector<float> OneHotEncoder::EncodeAll(const Dataset& data) const {

@@ -32,6 +32,39 @@ class OneHotEncoder {
   int width_ = 0;
 };
 
+// One-hot encoding of a whole Dataset, built once and shared across every
+// learner and metric that consumes the same split. Because each attribute
+// contributes exactly one active indicator per row, the cache stores only
+// that active one-hot index per (row, attribute) cell — the sparse form the
+// numeric learners iterate — instead of a dense float matrix.
+//
+// The matrix borrows `data`: the Dataset must outlive it and must not be
+// mutated while the matrix is in use (weights may change; values may not).
+class EncodedMatrix {
+ public:
+  explicit EncodedMatrix(const Dataset& data);
+
+  const Dataset& data() const { return *data_; }
+  const OneHotEncoder& encoder() const { return encoder_; }
+
+  int NumRows() const { return data_->NumRows(); }
+  int NumColumns() const { return data_->NumColumns(); }
+  // Width of the dense one-hot vector (sum of attribute cardinalities).
+  int Width() const { return encoder_.Width(); }
+
+  // The NumColumns() active one-hot indices of `row`; entry c equals
+  // encoder().Offset(c) + data().Value(row, c).
+  const int* ActiveRow(int row) const {
+    return active_.data() + static_cast<size_t>(row) * num_columns_;
+  }
+
+ private:
+  const Dataset* data_;
+  OneHotEncoder encoder_;
+  int num_columns_;
+  std::vector<int> active_;
+};
+
 }  // namespace remedy
 
 #endif  // REMEDY_DATA_ENCODING_H_

@@ -1,15 +1,31 @@
 #include "fairness/bootstrap.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace remedy {
+
+double PercentileFromSorted(const std::vector<double>& sorted, double q) {
+  REMEDY_CHECK(!sorted.empty());
+  REMEDY_CHECK(q >= 0.0 && q <= 1.0);
+  const int last = static_cast<int>(sorted.size()) - 1;
+  const double position = q * last;
+  const int lo = std::clamp(static_cast<int>(std::floor(position)), 0, last);
+  const int hi = std::min(lo + 1, last);
+  const double fraction = position - lo;
+  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
+}
 
 BootstrapInterval BootstrapFairnessIndex(
     const Dataset& test, const std::vector<int>& predictions,
     Statistic statistic, const BootstrapOptions& options) {
+  REMEDY_TRACE_SPAN("fairness/bootstrap");
   REMEDY_CHECK(static_cast<int>(predictions.size()) == test.NumRows());
   REMEDY_CHECK(options.replicates >= 10);
   REMEDY_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
@@ -20,28 +36,33 @@ BootstrapInterval BootstrapFairnessIndex(
       ComputeFairnessIndex(test, predictions, statistic, options.index);
 
   const int n = test.NumRows();
-  Rng rng(options.seed);
-  std::vector<double> indices;
-  indices.reserve(options.replicates);
-  std::vector<int> rows(n);
-  std::vector<int> resampled_predictions(n);
-  for (int b = 0; b < options.replicates; ++b) {
+  std::vector<double> indices(options.replicates);
+  // Replicate b draws its resample from its own keyed stream and evaluates
+  // it as an index view over the original test set — no per-replicate
+  // Dataset copy, no shared RNG.
+  const auto run_replicate = [&](int64_t b) {
+    Rng rng(StreamSeed(options.seed, static_cast<uint64_t>(b)));
+    std::vector<int> rows(n);
     for (int i = 0; i < n; ++i) rows[i] = rng.UniformInt(n);
-    Dataset resample = test.Select(rows);
-    for (int i = 0; i < n; ++i) {
-      resampled_predictions[i] = predictions[rows[i]];
-    }
-    indices.push_back(ComputeFairnessIndex(resample, resampled_predictions,
-                                           statistic, options.index));
+    indices[b] = ComputeFairnessIndexView(test, rows, predictions, statistic,
+                                          options.index);
+  };
+  const int threads =
+      std::min(ResolveThreadCount(options.threads), options.replicates);
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    Status status = pool.ParallelFor(options.replicates, run_replicate);
+    REMEDY_CHECK(status.ok()) << status.message();
+  } else {
+    for (int b = 0; b < options.replicates; ++b) run_replicate(b);
   }
+  PipelineMetrics::Get().fairness_bootstrap_replicates->Increment(
+      options.replicates);
+
   std::sort(indices.begin(), indices.end());
   double tail = (1.0 - options.confidence) / 2.0;
-  auto rank = [&](double q) {
-    int index = static_cast<int>(q * (options.replicates - 1));
-    return indices[std::clamp(index, 0, options.replicates - 1)];
-  };
-  interval.lower = rank(tail);
-  interval.upper = rank(1.0 - tail);
+  interval.lower = PercentileFromSorted(indices, tail);
+  interval.upper = PercentileFromSorted(indices, 1.0 - tail);
   return interval;
 }
 

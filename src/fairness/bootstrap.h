@@ -25,8 +25,18 @@ struct BootstrapOptions {
   int replicates = 200;
   double confidence = 0.95;  // central interval mass
   uint64_t seed = 61;
+  // Workers for the replicate loop: 1 = serial, <= 0 = every usable CPU.
+  // Bit-identical for every value — replicate b resamples from its own
+  // StreamSeed(seed, b) stream and writes only slot b, so the sorted
+  // replicate indices never depend on scheduling.
+  int threads = 0;
   FairnessIndexOptions index;
 };
+
+// Linearly interpolated percentile of an ascending-sorted sample: the
+// order statistic at fractional rank q * (size - 1). Exposed for the
+// bootstrap interval tests.
+double PercentileFromSorted(const std::vector<double>& sorted, double q);
 
 BootstrapInterval BootstrapFairnessIndex(
     const Dataset& test, const std::vector<int>& predictions,

@@ -34,21 +34,28 @@ std::string StatisticName(Statistic statistic) {
   return "";
 }
 
-SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
-                                  const std::vector<int>& predictions,
-                                  Statistic statistic, double min_support,
-                                  int64_t min_size) {
+namespace {
+
+// Shared core of the dataset and view forms. `view` == nullptr analyzes
+// every row of `test` in order; otherwise position i stands for test row
+// (*view)[i]. `predictions` is always indexed by original test row.
+SubgroupAnalysis AnalyzeImpl(const Dataset& test,
+                             const std::vector<int>* view,
+                             const std::vector<int>& predictions,
+                             Statistic statistic, double min_support,
+                             int64_t min_size) {
   REMEDY_CHECK(static_cast<int>(predictions.size()) == test.NumRows());
   REMEDY_CHECK(test.schema().NumProtected() > 0);
 
   SubgroupAnalysis analysis;
   analysis.statistic = statistic;
 
-  // Per-row relevance/error indicators for the chosen statistic.
-  const int n = test.NumRows();
+  // Per-position relevance/error indicators for the chosen statistic.
+  const int n = view ? static_cast<int>(view->size()) : test.NumRows();
   std::vector<char> relevant(n), error(n);
   int64_t total_relevant = 0, total_errors = 0;
-  for (int r = 0; r < n; ++r) {
+  for (int i = 0; i < n; ++i) {
+    const int r = view ? (*view)[i] : i;
     bool in_class = false;
     bool event = false;
     switch (statistic) {
@@ -69,8 +76,8 @@ SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
         event = predictions[r] != test.Label(r);
         break;
     }
-    relevant[r] = in_class;
-    error[r] = event;
+    relevant[i] = in_class;
+    error[i] = event;
     total_relevant += in_class;
     total_errors += event;
   }
@@ -83,11 +90,12 @@ SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
   for (uint32_t mask : hierarchy.BottomUpMasks()) {
     // Tally every subgroup of this node in one pass.
     std::unordered_map<uint64_t, GroupTally> tallies;
-    for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < n; ++i) {
+      const int r = view ? (*view)[i] : i;
       GroupTally& tally = tallies[counter.RowKey(test, r, mask)];
       ++tally.size;
-      tally.relevant += relevant[r];
-      tally.errors += error[r];
+      tally.relevant += relevant[i];
+      tally.errors += error[i];
     }
 
     std::vector<uint64_t> keys;
@@ -120,6 +128,29 @@ SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
     }
   }
   return analysis;
+}
+
+}  // namespace
+
+SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
+                                  const std::vector<int>& predictions,
+                                  Statistic statistic, double min_support,
+                                  int64_t min_size) {
+  return AnalyzeImpl(test, nullptr, predictions, statistic, min_support,
+                     min_size);
+}
+
+SubgroupAnalysis AnalyzeSubgroupsView(const Dataset& test,
+                                      const std::vector<int>& rows,
+                                      const std::vector<int>& predictions,
+                                      Statistic statistic, double min_support,
+                                      int64_t min_size) {
+  for (int row : rows) {
+    REMEDY_DCHECK(row >= 0 && row < test.NumRows());
+    (void)row;
+  }
+  return AnalyzeImpl(test, &rows, predictions, statistic, min_support,
+                     min_size);
 }
 
 std::vector<SubgroupReport> FilterUnfair(const SubgroupAnalysis& analysis,

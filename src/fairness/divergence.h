@@ -57,6 +57,19 @@ SubgroupAnalysis AnalyzeSubgroups(const Dataset& test,
                                   double min_support = 0.0,
                                   int64_t min_size = 1);
 
+// View form: analyzes the row multiset `rows` (indices into `test`, repeats
+// allowed — e.g. a bootstrap resample) without materializing a resampled
+// Dataset. `predictions` stays indexed by original test row. Bitwise
+// identical to AnalyzeSubgroups(test.Select(rows), predictions gathered
+// through `rows`, ...): every tally is an integer count, so the evaluation
+// order cannot perturb the statistics.
+SubgroupAnalysis AnalyzeSubgroupsView(const Dataset& test,
+                                      const std::vector<int>& rows,
+                                      const std::vector<int>& predictions,
+                                      Statistic statistic,
+                                      double min_support = 0.0,
+                                      int64_t min_size = 1);
+
 // Subgroups that violate tau_d-fairness (Def. 1) at significance `alpha`,
 // sorted by descending divergence.
 std::vector<SubgroupReport> FilterUnfair(const SubgroupAnalysis& analysis,

@@ -23,4 +23,15 @@ double ComputeFairnessIndex(const Dataset& test,
   return FairnessIndex(analysis, options);
 }
 
+double ComputeFairnessIndexView(const Dataset& test,
+                                const std::vector<int>& rows,
+                                const std::vector<int>& predictions,
+                                Statistic statistic,
+                                const FairnessIndexOptions& options) {
+  SubgroupAnalysis analysis = AnalyzeSubgroupsView(test, rows, predictions,
+                                                   statistic,
+                                                   options.min_support);
+  return FairnessIndex(analysis, options);
+}
+
 }  // namespace remedy

@@ -27,6 +27,15 @@ double ComputeFairnessIndex(const Dataset& test,
                             Statistic statistic,
                             const FairnessIndexOptions& options = {});
 
+// View form over a row multiset (see AnalyzeSubgroupsView): the index of
+// the resample `rows` of `test`, with `predictions` indexed by original
+// test row. Bitwise identical to materializing the resample first.
+double ComputeFairnessIndexView(const Dataset& test,
+                                const std::vector<int>& rows,
+                                const std::vector<int>& predictions,
+                                Statistic statistic,
+                                const FairnessIndexOptions& options = {});
+
 }  // namespace remedy
 
 #endif  // REMEDY_FAIRNESS_FAIRNESS_INDEX_H_

@@ -7,6 +7,18 @@
 namespace remedy {
 namespace {
 
+// glibc's lgamma writes the process-global `signgam`, which is a data race
+// when p-values are computed from concurrent bootstrap replicates; the
+// reentrant variant reports the sign through an out-parameter instead.
+double LogGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Continued-fraction kernel of the incomplete beta function
 // (Numerical Recipes, betacf). Converges in ~50 iterations for the
 // arguments produced by t-distributions.
@@ -52,7 +64,7 @@ double IncompleteBeta(double a, double b, double x) {
   REMEDY_CHECK(x >= 0.0 && x <= 1.0) << "x = " << x;
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  double log_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+  double log_beta = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
                     a * std::log(x) + b * std::log(1.0 - x);
   double front = std::exp(log_beta);
   if (x < (a + 1.0) / (a + b + 2.0)) {

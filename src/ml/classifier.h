@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/encoding.h"
 
 namespace remedy {
 
@@ -14,12 +15,23 @@ namespace remedy {
 // internally), honor per-instance weights from Dataset::Weight — which is
 // what the reweighting baselines rely on — and are deterministic given their
 // seed.
+//
+// The Encoded variants accept a pre-built EncodedMatrix so the one-hot
+// representation is computed once per split and shared across models and
+// metrics. They are contractually bit-identical to the Dataset forms: a
+// learner that overrides them must produce the same model / predictions as
+// its Fit / PredictProba path on the matrix's dataset.
 class Classifier {
  public:
   virtual ~Classifier() = default;
 
   // Trains on `train`; may be called again to retrain from scratch.
   virtual void Fit(const Dataset& train) = 0;
+
+  // Trains on the dataset behind `train`, reusing its cached encoding when
+  // the learner has one (logistic regression, neural network). Default
+  // forwards to Fit.
+  virtual void FitEncoded(const EncodedMatrix& train) { Fit(train.data()); }
 
   // P(y = 1 | x) for row `row` of `data`. Requires a prior Fit.
   virtual double PredictProba(const Dataset& data, int row) const = 0;
@@ -43,6 +55,26 @@ class Classifier {
       probabilities[r] = PredictProba(data, r);
     }
     return probabilities;
+  }
+
+  // Probabilities for every row of the dataset behind `data`, reusing its
+  // cached encoding when the learner has one. Default forwards to
+  // PredictProbaAll.
+  virtual std::vector<double> PredictProbaAllEncoded(
+      const EncodedMatrix& data) const {
+    return PredictProbaAll(data.data());
+  }
+
+  // Hard predictions at the fixed 0.5 threshold via PredictProbaAllEncoded.
+  // Learners with a custom decision rule (cost-sensitive wrapper, threshold
+  // post-processing) must be driven through PredictAll instead.
+  std::vector<int> PredictAllEncoded(const EncodedMatrix& data) const {
+    std::vector<double> probabilities = PredictProbaAllEncoded(data);
+    std::vector<int> predictions(probabilities.size());
+    for (size_t r = 0; r < probabilities.size(); ++r) {
+      predictions[r] = probabilities[r] >= 0.5 ? 1 : 0;
+    }
+    return predictions;
   }
 };
 

@@ -1,7 +1,12 @@
 #include "ml/grid_search.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "ml/decision_tree.h"
 #include "ml/gradient_boosting.h"
 #include "ml/logistic_regression.h"
@@ -15,30 +20,52 @@ namespace remedy {
 GridSearchResult GridSearch(
     const Dataset& train,
     const std::vector<std::function<ClassifierPtr()>>& candidates,
-    double validation_fraction, uint64_t seed) {
+    double validation_fraction, uint64_t seed, int threads) {
+  REMEDY_TRACE_SPAN("ml/grid_search");
   REMEDY_CHECK(!candidates.empty());
   REMEDY_CHECK(validation_fraction > 0.0 && validation_fraction < 1.0);
   Rng rng(seed);
   auto [fit_split, validation] =
       train.TrainTestSplit(1.0 - validation_fraction, rng);
+  const EncodedMatrix fit_encoded(fit_split);
+  const EncodedMatrix validation_encoded(validation);
 
   GridSearchResult result;
-  result.accuracies.reserve(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  result.accuracies.assign(candidates.size(), 0.0);
+  // Candidates are independent; each writes only accuracies[i], so the
+  // fan-out leaves the scores — and the serial argmax below — unchanged.
+  const auto evaluate_candidate = [&](int64_t i) {
     ClassifierPtr model = candidates[i]();
-    model->Fit(fit_split);
-    double accuracy = Accuracy(validation, model->PredictAll(validation));
-    result.accuracies.push_back(accuracy);
-    if (result.best_index < 0 || accuracy > result.best_accuracy) {
+    model->FitEncoded(fit_encoded);
+    result.accuracies[i] =
+        Accuracy(validation, model->PredictAllEncoded(validation_encoded));
+  };
+  const int workers = std::min<int>(ResolveThreadCount(threads),
+                                    static_cast<int>(candidates.size()));
+  if (workers > 1) {
+    ThreadPool pool(workers);
+    Status status = pool.ParallelFor(
+        static_cast<int64_t>(candidates.size()), evaluate_candidate);
+    REMEDY_CHECK(status.ok()) << status.message();
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      evaluate_candidate(static_cast<int64_t>(i));
+    }
+  }
+  PipelineMetrics::Get().ml_grid_candidates->Increment(
+      static_cast<int64_t>(candidates.size()));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (result.best_index < 0 ||
+        result.accuracies[i] > result.best_accuracy) {
       result.best_index = static_cast<int>(i);
-      result.best_accuracy = accuracy;
+      result.best_accuracy = result.accuracies[i];
     }
   }
   return result;
 }
 
 ClassifierPtr TunedClassifier(ModelType type, const Dataset& train,
-                              uint64_t seed) {
+                              uint64_t seed, int threads) {
   std::vector<std::function<ClassifierPtr()>> candidates;
   switch (type) {
     case ModelType::kDecisionTree:
@@ -100,7 +127,7 @@ ClassifierPtr TunedClassifier(ModelType type, const Dataset& train,
       }
       break;
   }
-  GridSearchResult result = GridSearch(train, candidates, 0.2, seed);
+  GridSearchResult result = GridSearch(train, candidates, 0.2, seed, threads);
   ClassifierPtr best = candidates[result.best_index]();
   best->Fit(train);
   return best;

@@ -20,16 +20,21 @@ struct GridSearchResult {
 
 // Evaluates each candidate factory on a (train, validation) split of `train`
 // and returns the index with the highest validation accuracy (ties go to the
-// earlier candidate). `validation_fraction` of rows are held out.
+// earlier candidate). `validation_fraction` of rows are held out. Candidates
+// are independent, so `threads` of them train concurrently (1 = serial,
+// <= 0 = every usable CPU); accuracies land in candidate order and the
+// winner is picked serially afterwards, so the result is identical for
+// every thread count.
 GridSearchResult GridSearch(
     const Dataset& train,
     const std::vector<std::function<ClassifierPtr()>>& candidates,
-    double validation_fraction = 0.2, uint64_t seed = 17);
+    double validation_fraction = 0.2, uint64_t seed = 17, int threads = 1);
 
 // Grid-searches a small per-model hyper-parameter grid, then refits the
-// winner on all of `train` and returns it.
+// winner on all of `train` and returns it. `threads` parallelizes across
+// the grid's candidates, not inside the models.
 ClassifierPtr TunedClassifier(ModelType type, const Dataset& train,
-                              uint64_t seed = 7);
+                              uint64_t seed = 7, int threads = 1);
 
 }  // namespace remedy
 

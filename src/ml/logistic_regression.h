@@ -13,6 +13,11 @@ struct LogisticRegressionParams {
   double learning_rate = 0.5;
   double l2 = 1e-4;
   int epochs = 200;
+  // Workers for the blocked gradient reduction: 1 = serial, <= 0 = every
+  // usable CPU. The coefficients are bit-identical for every value: rows
+  // are partitioned into fixed-size blocks whose partial gradients are
+  // combined in block order regardless of which worker produced them.
+  int threads = 1;
 };
 
 // L2-regularized logistic regression over one-hot-encoded categorical
@@ -23,7 +28,10 @@ class LogisticRegression : public Classifier {
   explicit LogisticRegression(LogisticRegressionParams params = {});
 
   void Fit(const Dataset& train) override;
+  void FitEncoded(const EncodedMatrix& train) override;
   double PredictProba(const Dataset& data, int row) const override;
+  std::vector<double> PredictProbaAllEncoded(
+      const EncodedMatrix& data) const override;
 
   const std::vector<double>& coefficients() const { return coefficients_; }
   double intercept() const { return intercept_; }

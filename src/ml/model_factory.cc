@@ -29,7 +29,7 @@ std::string ModelName(ModelType type) {
   return "";
 }
 
-ClassifierPtr MakeClassifier(ModelType type, uint64_t seed) {
+ClassifierPtr MakeClassifier(ModelType type, uint64_t seed, int threads) {
   switch (type) {
     case ModelType::kDecisionTree: {
       DecisionTreeParams params;
@@ -39,14 +39,18 @@ ClassifierPtr MakeClassifier(ModelType type, uint64_t seed) {
     case ModelType::kRandomForest: {
       RandomForestParams params;
       params.seed = seed;
+      params.threads = threads;
       return std::make_unique<RandomForest>(params);
     }
     case ModelType::kLogisticRegression: {
-      return std::make_unique<LogisticRegression>();
+      LogisticRegressionParams params;
+      params.threads = threads;
+      return std::make_unique<LogisticRegression>(params);
     }
     case ModelType::kNeuralNetwork: {
       NeuralNetworkParams params;
       params.seed = seed;
+      params.threads = threads;
       return std::make_unique<NeuralNetwork>(params);
     }
     case ModelType::kNaiveBayes: {

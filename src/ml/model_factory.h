@@ -24,8 +24,13 @@ enum class ModelType {
 // GBT.
 std::string ModelName(ModelType type);
 
-// Classifier with the library's default hyper-parameters.
-ClassifierPtr MakeClassifier(ModelType type, uint64_t seed = 7);
+// Classifier with the library's default hyper-parameters. `threads` is the
+// in-model worker count for the learners with a parallel trainer (RF, LG,
+// NN): 1 = serial, <= 0 = every usable CPU. Every learner is bit-identical
+// across thread counts, so the knob only affects wall time. Callers that
+// already fan out across models should keep the default of 1.
+ClassifierPtr MakeClassifier(ModelType type, uint64_t seed = 7,
+                             int threads = 1);
 
 // The four models of the paper's evaluation: DT, RF, LG, NN.
 std::vector<ModelType> StandardModels();

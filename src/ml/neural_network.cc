@@ -5,7 +5,11 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace remedy {
 namespace {
@@ -17,6 +21,11 @@ double Sigmoid(double z) {
   double e = std::exp(z);
   return e / (1.0 + e);
 }
+
+// Rows per gradient sub-block inside one batch. Fixed (never derived from
+// the thread count) so the sub-block partial gradients — and the order they
+// are applied in — are the same no matter how many workers claim them.
+constexpr int kBatchBlockRows = 64;
 
 }  // namespace
 
@@ -48,11 +57,18 @@ double NeuralNetwork::Forward(const int* active, int num_columns,
 }
 
 void NeuralNetwork::Fit(const Dataset& train) {
-  REMEDY_CHECK(train.NumRows() > 0);
-  encoder_ = std::make_unique<OneHotEncoder>(train.schema());
-  input_width_ = encoder_->Width();
-  const int n = train.NumRows();
-  const int num_columns = train.NumColumns();
+  FitEncoded(EncodedMatrix(train));
+}
+
+void NeuralNetwork::FitEncoded(const EncodedMatrix& train) {
+  REMEDY_TRACE_SPAN("ml/fit");
+  WallTimer timer;
+  const Dataset& data = train.data();
+  REMEDY_CHECK(data.NumRows() > 0);
+  encoder_ = std::make_unique<OneHotEncoder>(train.encoder());
+  input_width_ = train.Width();
+  const int n = data.NumRows();
+  const int num_columns = data.NumColumns();
   const int h_units = params_.hidden_units;
 
   Rng rng(params_.seed);
@@ -66,55 +82,91 @@ void NeuralNetwork::Fit(const Dataset& train) {
   for (double& w : output_weights_) w = glorot(h_units);
   output_bias_ = 0.0;
 
-  // Sparse row representation: the active one-hot index per attribute.
-  std::vector<int> active(static_cast<size_t>(n) * num_columns);
-  for (int r = 0; r < n; ++r) {
-    for (int c = 0; c < num_columns; ++c) {
-      active[static_cast<size_t>(r) * num_columns + c] =
-          encoder_->Offset(c) + train.Value(r, c);
-    }
-  }
-
-  double mean_weight = train.TotalWeight() / n;
+  double mean_weight = data.TotalWeight() / n;
   REMEDY_CHECK(mean_weight > 0.0) << "all training weights are zero";
+
+  const int blocks_per_batch =
+      (std::min(params_.batch_size, n) + kBatchBlockRows - 1) /
+      kBatchBlockRows;
+  const int threads =
+      std::min(ResolveThreadCount(params_.threads), blocks_per_batch);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // One gradient slot per sub-block: the hidden weight matrix, then hidden
+  // biases, then output weights, then the output bias.
+  const size_t hw_size = static_cast<size_t>(h_units) * input_width_;
+  const size_t stride = hw_size + 2 * static_cast<size_t>(h_units) + 1;
+  std::vector<double> partial(static_cast<size_t>(blocks_per_batch) * stride);
 
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::vector<double> hidden(h_units);
+  const double lr = params_.learning_rate;
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
     rng.Shuffle(order);
     for (int start = 0; start < n; start += params_.batch_size) {
-      int end = std::min(n, start + params_.batch_size);
-      // Per-example SGD within the shuffled batch window keeps the update
-      // rule simple while matching mini-batch statistics closely enough.
-      for (int i = start; i < end; ++i) {
-        int r = order[i];
-        const int* x = active.data() + static_cast<size_t>(r) * num_columns;
-        double p = Forward(x, num_columns, &hidden);
-        double error = (p - train.Label(r)) *
-                       (train.Weight(r) / mean_weight);
-        double lr = params_.learning_rate;
-        // Hidden-layer deltas must use the pre-update output weights.
-        for (int h = 0; h < h_units; ++h) {
-          double gate = hidden[h] > 0.0 ? 1.0 : kLeak;
-          double delta = error * output_weights_[h] * gate;
-          double* row = hidden_weights_.data() +
-                        static_cast<size_t>(h) * input_width_;
-          for (int c = 0; c < num_columns; ++c) {
-            row[x[c]] -= lr * (delta + params_.l2 * row[x[c]]);
+      const int end = std::min(n, start + params_.batch_size);
+      const int num_blocks =
+          (end - start + kBatchBlockRows - 1) / kBatchBlockRows;
+      // Phase 1: every sub-block accumulates its gradient against the
+      // batch-start weights (read-only here), into its own slot.
+      const auto block_gradient = [&](int64_t b) {
+        double* g = partial.data() + static_cast<size_t>(b) * stride;
+        std::fill(g, g + stride, 0.0);
+        double* ghw = g;
+        double* ghb = g + hw_size;
+        double* gow = ghb + h_units;
+        double* gob = gow + h_units;
+        std::vector<double> hidden(h_units);
+        const int block_begin = start + static_cast<int>(b) * kBatchBlockRows;
+        const int block_end = std::min(end, block_begin + kBatchBlockRows);
+        for (int i = block_begin; i < block_end; ++i) {
+          const int r = order[i];
+          const int* x = train.ActiveRow(r);
+          const double p = Forward(x, num_columns, &hidden);
+          const double error =
+              (p - data.Label(r)) * (data.Weight(r) / mean_weight);
+          for (int h = 0; h < h_units; ++h) {
+            const double gate = hidden[h] > 0.0 ? 1.0 : kLeak;
+            const double delta = error * output_weights_[h] * gate;
+            const double* row = hidden_weights_.data() +
+                                static_cast<size_t>(h) * input_width_;
+            double* grow = ghw + static_cast<size_t>(h) * input_width_;
+            for (int c = 0; c < num_columns; ++c) {
+              grow[x[c]] += delta + params_.l2 * row[x[c]];
+            }
+            ghb[h] += delta;
           }
-          hidden_bias_[h] -= lr * delta;
+          for (int h = 0; h < h_units; ++h) {
+            gow[h] += error * hidden[h] + params_.l2 * output_weights_[h];
+          }
+          *gob += error;
         }
-        // Output layer.
-        for (int h = 0; h < h_units; ++h) {
-          double gradient = error * hidden[h] + params_.l2 *
-                                                    output_weights_[h];
-          output_weights_[h] -= lr * gradient;
-        }
-        output_bias_ -= lr * error;
+      };
+      if (pool != nullptr && num_blocks > 1) {
+        Status status = pool->ParallelFor(num_blocks, block_gradient);
+        REMEDY_CHECK(status.ok()) << status.message();
+      } else {
+        for (int b = 0; b < num_blocks; ++b) block_gradient(b);
+      }
+      // Phase 2: apply the sub-block gradients in ascending order — the
+      // fixed sequence that keeps the weights independent of scheduling.
+      for (int b = 0; b < num_blocks; ++b) {
+        const double* g = partial.data() + static_cast<size_t>(b) * stride;
+        const double* ghw = g;
+        const double* ghb = g + hw_size;
+        const double* gow = ghb + h_units;
+        const double* gob = gow + h_units;
+        for (size_t j = 0; j < hw_size; ++j) hidden_weights_[j] -= lr * ghw[j];
+        for (int h = 0; h < h_units; ++h) hidden_bias_[h] -= lr * ghb[h];
+        for (int h = 0; h < h_units; ++h) output_weights_[h] -= lr * gow[h];
+        output_bias_ -= lr * *gob;
       }
     }
   }
+  PipelineMetrics::Get().ml_epochs->Increment(params_.epochs);
+  PipelineMetrics::Get().ml_fits->Increment();
+  PipelineMetrics::Get().ml_fit_ns->Observe(timer.Nanos());
 }
 
 double NeuralNetwork::PredictProba(const Dataset& data, int row) const {
@@ -127,6 +179,19 @@ double NeuralNetwork::PredictProba(const Dataset& data, int row) const {
   }
   std::vector<double> hidden;
   return Forward(active.data(), num_columns, &hidden);
+}
+
+std::vector<double> NeuralNetwork::PredictProbaAllEncoded(
+    const EncodedMatrix& data) const {
+  REMEDY_CHECK(encoder_ != nullptr)
+      << "NeuralNetwork::Fit has not been called";
+  const int num_columns = data.NumColumns();
+  std::vector<double> probabilities(data.NumRows());
+  std::vector<double> hidden;
+  for (int r = 0; r < data.NumRows(); ++r) {
+    probabilities[r] = Forward(data.ActiveRow(r), num_columns, &hidden);
+  }
+  return probabilities;
 }
 
 }  // namespace remedy

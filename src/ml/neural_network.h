@@ -16,16 +16,27 @@ struct NeuralNetworkParams {
   int epochs = 20;
   int batch_size = 64;
   uint64_t seed = 13;
+  // Workers for the per-batch gradient accumulation: 1 = serial, <= 0 =
+  // every usable CPU. Bit-identical for every value — each batch is split
+  // into fixed 64-row sub-blocks whose gradients (taken at batch-start
+  // weights) are applied in sub-block order. Parallelism only materializes
+  // when batch_size spans several sub-blocks.
+  int threads = 1;
 };
 
-// One-hidden-layer MLP (ReLU hidden, sigmoid output) over one-hot-encoded
-// features, trained by mini-batch SGD on weighted log-loss.
+// One-hidden-layer MLP (leaky-ReLU hidden, sigmoid output) over
+// one-hot-encoded features, trained by mini-batch gradient descent on
+// weighted log-loss: each shuffled batch accumulates its gradient at the
+// batch-start weights and applies it once.
 class NeuralNetwork : public Classifier {
  public:
   explicit NeuralNetwork(NeuralNetworkParams params = {});
 
   void Fit(const Dataset& train) override;
+  void FitEncoded(const EncodedMatrix& train) override;
   double PredictProba(const Dataset& data, int row) const override;
+  std::vector<double> PredictProbaAllEncoded(
+      const EncodedMatrix& data) const override;
 
  private:
   // Forward pass for one sparse row (active one-hot index per attribute);

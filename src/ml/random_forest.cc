@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
+#include "common/pipeline_metrics.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace remedy {
 
@@ -13,9 +18,11 @@ RandomForest::RandomForest(RandomForestParams params) : params_(params) {
 }
 
 void RandomForest::Fit(const Dataset& train) {
+  REMEDY_TRACE_SPAN("ml/fit");
+  WallTimer timer;
   REMEDY_CHECK(train.NumRows() > 0);
   trees_.clear();
-  trees_.reserve(params_.num_trees);
+  trees_.resize(params_.num_trees);
 
   DecisionTreeParams tree_params = params_.tree;
   if (tree_params.max_features == 0) {
@@ -24,7 +31,8 @@ void RandomForest::Fit(const Dataset& train) {
   }
 
   // Weighted bootstrap: draw rows with probability proportional to weight,
-  // via binary search over the cumulative weights (O(log n) per draw).
+  // via binary search over the cumulative weights (O(log n) per draw). The
+  // prefix sums are shared read-only across the tree builders.
   std::vector<double> cumulative(train.NumRows());
   double total = 0.0;
   for (int r = 0; r < train.NumRows(); ++r) {
@@ -33,8 +41,10 @@ void RandomForest::Fit(const Dataset& train) {
   }
   REMEDY_CHECK(total > 0.0) << "all training weights are zero";
 
-  Rng rng(params_.seed);
-  for (int t = 0; t < params_.num_trees; ++t) {
+  // Tree t consumes only its own keyed stream and writes only slot t, so
+  // the forest is identical no matter how trees are scheduled.
+  const auto build_tree = [&](int64_t t) {
+    Rng rng(StreamSeed(params_.seed, static_cast<uint64_t>(t)));
     std::vector<int> sample(train.NumRows());
     for (int i = 0; i < train.NumRows(); ++i) {
       double draw = rng.Uniform() * total;
@@ -45,12 +55,26 @@ void RandomForest::Fit(const Dataset& train) {
     }
     Dataset bootstrap = train.Select(sample);
     // Bootstrapping already accounts for the weights; train unweighted.
-    for (int r = 0; r < bootstrap.NumRows(); ++r) bootstrap.SetWeight(r, 1.0);
-    tree_params.seed = rng.engine()();
-    DecisionTree tree(tree_params);
+    bootstrap.ResetWeights(1.0);
+    DecisionTreeParams local_params = tree_params;
+    local_params.seed = rng.engine()();
+    DecisionTree tree(local_params);
     tree.Fit(bootstrap);
-    trees_.push_back(std::move(tree));
+    trees_[t] = std::move(tree);
+  };
+
+  const int threads =
+      std::min(ResolveThreadCount(params_.threads), params_.num_trees);
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    Status status = pool.ParallelFor(params_.num_trees, build_tree);
+    REMEDY_CHECK(status.ok()) << status.message();
+  } else {
+    for (int t = 0; t < params_.num_trees; ++t) build_tree(t);
   }
+  PipelineMetrics::Get().ml_trees_trained->Increment(params_.num_trees);
+  PipelineMetrics::Get().ml_fits->Increment();
+  PipelineMetrics::Get().ml_fit_ns->Observe(timer.Nanos());
 }
 
 double RandomForest::PredictProba(const Dataset& data, int row) const {

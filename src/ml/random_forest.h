@@ -12,6 +12,11 @@ struct RandomForestParams {
   int num_trees = 20;
   DecisionTreeParams tree;  // tree.max_features 0 = auto (sqrt of #attrs)
   uint64_t seed = 11;
+  // Workers for parallel bagging: 1 = serial, <= 0 = every usable CPU.
+  // Bit-identical for every value — tree t draws its bootstrap and tree
+  // seed from its own StreamSeed(seed, t) stream and lands in slot t, so
+  // neither the samples nor the ensemble order depend on scheduling.
+  int threads = 1;
 };
 
 // Bagged ensemble of multiway CART trees with per-node feature subsampling.
