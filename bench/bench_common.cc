@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +85,13 @@ bool HasFlag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
+
 void JsonResultWriter::AddRecord(const std::string& section,
                                  const Record& record) {
   for (auto& [name, records] : sections_) {
@@ -118,8 +127,13 @@ std::string JsonResultWriter::ToJson() const {
     for (size_t r = 0; r < records.size(); ++r) {
       out << "    {";
       for (size_t f = 0; f < records[r].size(); ++f) {
-        out << "\"" << records[r][f].first << "\": ";
-        AppendNumber(out, records[r][f].second);
+        const Field& field = records[r][f];
+        out << "\"" << field.key << "\": ";
+        if (field.is_text) {
+          out << "\"" << field.text << "\"";
+        } else {
+          AppendNumber(out, field.number);
+        }
         if (f + 1 < records[r].size()) out << ", ";
       }
       out << (r + 1 < records.size() ? "},\n" : "}\n");

@@ -55,13 +55,33 @@ std::string JsonPathFromArgs(int argc, char** argv);
 // True when `flag` (e.g. "--smoke") appears among the arguments.
 bool HasFlag(int argc, char** argv, const std::string& flag);
 
+// Peak resident set size of this process so far, in bytes (getrusage
+// ru_maxrss). High-water mark, not current usage — record it right after
+// the phase being measured.
+int64_t PeakRssBytes();
+
 // Minimal machine-readable results sink: named sections, each an array of
-// flat numeric records, serialized as one JSON object. Covers everything
-// the bench tables report (sizes, timings, speedups) without pulling in a
-// JSON dependency.
+// flat records (numbers, plus the occasional string such as a backend
+// name), serialized as one JSON object. Covers everything the bench tables
+// report without pulling in a JSON dependency.
 class JsonResultWriter {
  public:
-  using Record = std::vector<std::pair<std::string, double>>;
+  // One record field. The converting constructors keep the existing
+  // brace-list call sites ({"rows", 1.0}) compiling unchanged while
+  // admitting {"backend", "sharded"}.
+  struct Field {
+    Field(std::string k, double v) : key(std::move(k)), number(v) {}
+    Field(std::string k, std::string v)
+        : key(std::move(k)), text(std::move(v)), is_text(true) {}
+    Field(std::string k, const char* v)
+        : key(std::move(k)), text(v), is_text(true) {}
+
+    std::string key;
+    double number = 0.0;
+    std::string text;
+    bool is_text = false;
+  };
+  using Record = std::vector<Field>;
 
   // Appends `record` to `section` (sections appear in first-use order).
   void AddRecord(const std::string& section, const Record& record);

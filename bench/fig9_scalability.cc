@@ -22,9 +22,12 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/counting_backend.h"
 #include "core/ibs_identify.h"
 #include "core/remedy.h"
+#include "data/columnar.h"
 #include "datagen/adult.h"
+#include "datagen/generator.h"
 
 namespace remedy {
 namespace {
@@ -292,6 +295,114 @@ void CountingEngine(const Dataset& base, const BenchOptions& opts,
   table.Print(std::cout);
 }
 
+// Order-sensitive FNV-1a digest of an identification result: covers every
+// region's pattern and both count pairs, so two runs agree iff their IBS
+// outputs are identical region for region.
+uint64_t IbsDigest(const std::vector<BiasedRegion>& ibs) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(ibs.size());
+  for (const BiasedRegion& region : ibs) {
+    for (int i = 0; i < region.pattern.Arity(); ++i) {
+      mix(static_cast<uint64_t>(
+          static_cast<int64_t>(region.pattern.Value(i))));
+    }
+    mix(static_cast<uint64_t>(region.counts.positives));
+    mix(static_cast<uint64_t>(region.counts.negatives));
+    mix(static_cast<uint64_t>(region.neighbor_counts.positives));
+    mix(static_cast<uint64_t>(region.neighbor_counts.negatives));
+  }
+  return h;
+}
+
+// (f) the large-row backend sweep: for each requested row count, stream an
+// Adult-schema instance (|X| = 8) into a columnar shard store — the full
+// Dataset never materializes — and identify its IBS once per counting
+// backend. All backends must produce the identical result (checked by
+// digest; a mismatch is a hard failure). Returns the number of mismatches.
+int SweepRowsBackends(const std::vector<int64_t>& rows_list,
+                      bench::JsonResultWriter* json) {
+  std::printf(
+      "\n(f) IBS identification per counting backend (|X| = 8, streamed "
+      "columnar store)\n");
+  TablePrinter table({"rows", "shards", "backend", "threads", "identify (s)",
+                      "digest", "peak RSS (MB)"});
+  const int threads = ThreadPool::DefaultThreads();
+  int mismatches = 0;
+  for (int64_t rows : rows_list) {
+    SyntheticSpec spec = AdultSpec(static_cast<int>(rows));
+    DataSchema schema = spec.MakeSchema();
+    spec.protected_indices.clear();
+    for (const std::string& name : AdultScalabilityProtected(8)) {
+      spec.protected_indices.push_back(schema.AttributeIndex(name));
+    }
+    WallTimer generate_timer;
+    ColumnarShardStore store = GenerateSyntheticStore(spec, /*seed=*/42);
+    const double generate_s = generate_timer.Seconds();
+    uint64_t reference_digest = 0;
+    for (CountingBackendKind kind :
+         {CountingBackendKind::kScalar, CountingBackendKind::kSimd,
+          CountingBackendKind::kSharded}) {
+      IbsParams params;
+      params.imbalance_threshold = 0.5;
+      params.backend = kind;
+      params.backend_threads = threads;
+      WallTimer timer;
+      std::vector<BiasedRegion> ibs = IdentifyIbs(store, params).value();
+      const double identify_s = timer.Seconds();
+      const uint64_t digest = IbsDigest(ibs);
+      if (kind == CountingBackendKind::kScalar) {
+        reference_digest = digest;
+      } else if (digest != reference_digest) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "backend digest mismatch at %lld rows: %s != scalar\n",
+                     static_cast<long long>(rows), CountingBackendName(kind));
+      }
+      const int64_t peak_rss = bench::PeakRssBytes();
+      char digest_hex[32];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(digest));
+      table.AddRow({std::to_string(rows), std::to_string(store.NumShards()),
+                    CountingBackendName(kind), std::to_string(threads),
+                    FormatDouble(identify_s, 3), digest_hex,
+                    std::to_string(peak_rss >> 20)});
+      json->AddRecord(
+          "identify_vs_rows_backends",
+          {{"rows", static_cast<double>(store.NumRows())},
+           {"num_protected", 8.0},
+           {"backend", CountingBackendName(kind)},
+           {"num_shards", static_cast<double>(store.NumShards())},
+           {"threads", static_cast<double>(threads)},
+           {"generate_s", generate_s},
+           {"identify_s", identify_s},
+           {"digest", digest_hex},
+           {"digests_agree", digest == reference_digest ? 1.0 : 0.0},
+           {"peak_rss_bytes", static_cast<double>(peak_rss)}});
+    }
+  }
+  table.Print(std::cout);
+  if (mismatches == 0) {
+    std::printf("all backends agree on every digest\n");
+  }
+  return mismatches;
+}
+
+std::vector<int64_t> ParseRowsFlag(const std::string& value) {
+  std::vector<int64_t> rows;
+  for (const std::string& field : Split(value, ',')) {
+    if (field.empty()) continue;
+    rows.push_back(std::atoll(field.c_str()));
+    REMEDY_CHECK(rows.back() > 0) << "bad --rows value '" << field << "'";
+  }
+  return rows;
+}
+
 }  // namespace
 }  // namespace remedy
 
@@ -315,11 +426,22 @@ int main(int argc, char** argv) {
   const std::string json_path = remedy::bench::JsonPathFromArgs(argc, argv);
   const std::string metrics_path =
       remedy::bench::FlagValue(argc, argv, "--metrics-json");
+  // --rows 1000000,10000000 adds the per-backend sweep on streamed
+  // columnar stores; --sweep-only skips the (a)-(e) Dataset sections.
+  const std::vector<int64_t> sweep_rows =
+      remedy::ParseRowsFlag(remedy::bench::FlagValue(argc, argv, "--rows"));
+  const bool sweep_only = remedy::bench::HasFlag(argc, argv, "--sweep-only");
   remedy::bench::JsonResultWriter json;
-  remedy::Dataset base = remedy::MakeAdult(opts.base_rows);
-  remedy::VaryProtectedAttributes(base, opts, &json);
-  remedy::VaryDataSize(base, opts, &json);
-  remedy::CountingEngine(base, opts, &json);
+  if (!sweep_only) {
+    remedy::Dataset base = remedy::MakeAdult(opts.base_rows);
+    remedy::VaryProtectedAttributes(base, opts, &json);
+    remedy::VaryDataSize(base, opts, &json);
+    remedy::CountingEngine(base, opts, &json);
+  }
+  int mismatches = 0;
+  if (!sweep_rows.empty()) {
+    mismatches = remedy::SweepRowsBackends(sweep_rows, &json);
+  }
   if (!json_path.empty() && json.WriteFile(json_path)) {
     std::printf("\nwrote %s\n", json_path.c_str());
   }
@@ -333,5 +455,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return mismatches == 0 ? 0 : 1;
 }

@@ -21,6 +21,12 @@
 //   --max-quarantine-frac x             circuit breaker for quarantine mode
 //                                       (default: 0.05)
 //
+// Counting engine (any command):
+//   --backend scalar|simd|sharded   engine behind the leaf group-by scan;
+//                                   output is byte-identical across all
+//                                   three (default: scalar)
+//   --threads n                     sharded-counting workers (0 = all CPUs)
+//
 // Observability (any command):
 //   --trace-out=file.json    record tracing spans, write Chrome trace JSON
 //   --metrics                print the pipeline metrics table on exit
@@ -59,6 +65,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/trace.h"
+#include "core/counting_backend.h"
 #include "core/pipeline_report.h"
 #include "core/remedy.h"
 #include "data/loader.h"
@@ -118,6 +125,8 @@ struct CliArgs {
   double tau_d = 0.1;
   double distance = 1.0;
   RemedyTechnique technique = RemedyTechnique::kPreferentialSampling;
+  CountingBackendKind backend = CountingBackendKind::kScalar;
+  int backend_threads = 0;
   uint64_t seed = 23;
   std::string trace_out;
   bool metrics_table = false;
@@ -147,6 +156,7 @@ void PrintUsage() {
       "          (append :N for N rows, e.g. @adult:10000)\n"
       "  shared: [--on-bad-row fail|quarantine|drop]\n"
       "          [--max-quarantine-frac x]\n"
+      "          [--backend scalar|simd|sharded] [--threads n]\n"
       "          [--trace-out=file.json] [--metrics]\n"
       "          [--metrics-json[=file]]\n");
 }
@@ -221,6 +231,15 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(std::strtoull(value->c_str(), nullptr, 10));
     } else if (flag == "--technique" && (value = value_of())) {
       if (!ParseTechnique(*value, &args.technique)) return args;
+    } else if (flag == "--backend" && (value = value_of())) {
+      StatusOr<CountingBackendKind> parsed = ParseCountingBackend(*value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--backend wants scalar|simd|sharded\n");
+        return args;
+      }
+      args.backend = parsed.value();
+    } else if (flag == "--threads" && (value = value_of())) {
+      args.backend_threads = std::atoi(value->c_str());
     } else if (flag == "--on-bad-row" && (value = value_of())) {
       if (!ParseBadRowPolicy(*value, &args.loader.on_bad_row)) {
         std::fprintf(stderr, "--on-bad-row wants fail|quarantine|drop\n");
@@ -317,6 +336,8 @@ int RunPlanCommand(const CliArgs& args, const Dataset& data) {
   RemedyParams params;
   params.ibs.imbalance_threshold = args.tau_c;
   params.ibs.distance_threshold = args.distance;
+  params.ibs.backend = args.backend;
+  params.ibs.backend_threads = args.backend_threads;
   params.technique = args.technique;
   params.seed = args.seed;
   StatusOr<std::vector<PlannedAction>> planned = PlanRemedy(data, params);
@@ -372,6 +393,8 @@ int RunAuditCommand(const CliArgs& args, const Dataset& data) {
   options.discrimination_threshold = args.tau_d;
   options.ibs.imbalance_threshold = args.tau_c;
   options.ibs.distance_threshold = args.distance;
+  options.ibs.backend = args.backend;
+  options.ibs.backend_threads = args.backend_threads;
   AuditReport report =
       RunAudit(train, test, model->PredictAll(test), options);
   PrintAuditReport(report, data.schema(), std::cout);
@@ -386,6 +409,8 @@ int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
   RemedyParams params;
   params.ibs.imbalance_threshold = args.tau_c;
   params.ibs.distance_threshold = args.distance;
+  params.ibs.backend = args.backend;
+  params.ibs.backend_threads = args.backend_threads;
   params.technique = args.technique;
   params.seed = args.seed;
 

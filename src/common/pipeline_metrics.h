@@ -32,6 +32,20 @@ namespace remedy {
     "nodes derived by bottom-up rollup instead of a scan")                    \
   X(lattice_delta_rows, "lattice/delta_rows", "rows",                         \
     "row deltas applied to the lattice by the incremental engine")            \
+  X(lattice_shard_rows, "lattice/shard_rows", "rows",                         \
+    "rows counted through the columnar shard path (simd + sharded "           \
+    "backends)")                                                              \
+  X(lattice_shard_tallies, "lattice/shard_tallies", "shards",                 \
+    "shard-local leaf tallies computed by the sharded backend")               \
+  X(lattice_shard_merges, "lattice/shard_merges", "shards",                   \
+    "shard-local tables merged (in ascending shard order) into one "          \
+    "NodeTable")                                                              \
+  X(lattice_radix_sort_keys, "lattice/radix_sort_keys", "keys",               \
+    "NodeTable entries ordered by the LSD radix sort instead of a "           \
+    "comparison sort")                                                        \
+  X(lattice_radix_sort_passes, "lattice/radix_sort_passes", "passes",         \
+    "counting passes executed by the radix sort (one per significant "        \
+    "key byte)")                                                              \
   X(ibs_nodes_visited, "ibs/nodes_visited", "nodes",                          \
     "lattice nodes examined by IdentifyIbs")                                  \
   X(ibs_hits, "ibs/hits", "nodes",                                            \

@@ -1,0 +1,343 @@
+#include "core/counting_backend.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/pipeline_metrics.h"
+#include "common/thread_pool.h"
+#include "core/counting_kernels.h"
+
+namespace remedy {
+namespace {
+
+// Rows keyed per kernel invocation: one block of u32 keys (32 KiB) stays
+// L1-resident between the key pass and the tally pass.
+constexpr int64_t kKeyBlockRows = 8192;
+
+// Largest key space tallied into one dense array by the single-threaded
+// paths (mirrors RegionCounter's dense/sparse split).
+constexpr uint64_t kDenseKeyLimit = uint64_t{1} << 21;
+
+// Largest per-shard dense table of the sharded backend: every in-flight
+// shard owns one, so the bound is tighter than the single-table limit.
+constexpr uint64_t kShardDenseKeyLimit = uint64_t{1} << 19;
+
+// ... and the merged footprint across all shards is capped too, so a
+// many-shard store with a wide key space degrades to the sparse path
+// instead of allocating shards x table.
+constexpr uint64_t kShardedDenseBudgetBytes = uint64_t{1} << 29;  // 512 MiB
+
+std::vector<NodeTable::Entry> EntriesFromTally(
+    const std::vector<int64_t>& tally) {
+  std::vector<NodeTable::Entry> entries;
+  const uint64_t key_space = tally.size() / 2;
+  for (uint64_t key = 0; key < key_space; ++key) {
+    const int64_t negatives = tally[2 * key];
+    const int64_t positives = tally[2 * key + 1];
+    if (positives + negatives > 0) {
+      entries.emplace_back(key, RegionCounts{positives, negatives});
+    }
+  }
+  return entries;
+}
+
+// Scalar mixed-radix key of one store row — the store twin of
+// RegionCounter::RowKey (same Horner packing over the same positions).
+uint64_t StoreRowKey(const ColumnarShardStore::Shard& shard,
+                     const std::vector<int>& cardinalities, uint32_t mask,
+                     int64_t row) {
+  uint64_t key = 0;
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    if (mask & (1u << i)) {
+      const ColumnarShardStore::ColumnCodes& column = shard.columns[i];
+      const uint64_t code = column.wide.empty()
+                                ? column.narrow[row]
+                                : column.wide[row];
+      key = key * static_cast<uint64_t>(cardinalities[i]) + code;
+    }
+  }
+  return key;
+}
+
+std::vector<int> StoreCardinalities(const ColumnarShardStore& store) {
+  std::vector<int> cardinalities(store.NumProtected());
+  for (int i = 0; i < store.NumProtected(); ++i) {
+    cardinalities[i] = store.Cardinality(i);
+  }
+  return cardinalities;
+}
+
+// Row-at-a-time count of a store (the scalar backend's store path and the
+// shared fallback for key spaces the u32 kernels cannot pack).
+NodeTable ScalarCountStore(const ColumnarShardStore& store,
+                           const RegionCounter& counter, uint32_t mask) {
+  const std::vector<int> cardinalities = StoreCardinalities(store);
+  const uint64_t key_space = counter.KeySpace(mask);
+  std::vector<NodeTable::Entry> entries;
+  if (key_space <= kDenseKeyLimit) {
+    std::vector<int64_t> tally(2 * key_space, 0);
+    for (int s = 0; s < store.NumShards(); ++s) {
+      const ColumnarShardStore::Shard& shard = store.shard(s);
+      for (int64_t r = 0; r < shard.num_rows; ++r) {
+        const uint64_t key = StoreRowKey(shard, cardinalities, mask, r);
+        ++tally[2 * key + shard.labels[r]];
+      }
+    }
+    entries = EntriesFromTally(tally);
+  } else {
+    std::unordered_map<uint64_t, RegionCounts> counts;
+    for (int s = 0; s < store.NumShards(); ++s) {
+      const ColumnarShardStore::Shard& shard = store.shard(s);
+      for (int64_t r = 0; r < shard.num_rows; ++r) {
+        const uint64_t key = StoreRowKey(shard, cardinalities, mask, r);
+        RegionCounts& entry = counts[key];
+        if (shard.labels[r] == 1) {
+          ++entry.positives;
+        } else {
+          ++entry.negatives;
+        }
+      }
+    }
+    entries.assign(counts.begin(), counts.end());
+  }
+  return NodeTable(std::move(entries));
+}
+
+// Counts one shard into `tally` (2 * key_space dense array) through the
+// vectorized key kernel, reusing the caller's key/lane scratch.
+void CountShardDense(const ColumnarShardStore::Shard& shard,
+                     const LeafKeyPlan& plan, std::vector<uint32_t>& keys,
+                     std::vector<int64_t>& lanes,
+                     std::vector<int64_t>& tally) {
+  const bool lane_tally = UseLaneTally(plan.key_space);
+  for (int64_t begin = 0; begin < shard.num_rows; begin += kKeyBlockRows) {
+    const int64_t count = std::min(kKeyBlockRows, shard.num_rows - begin);
+    ComputeShardKeys(shard, plan, begin, count, keys.data());
+    if (lane_tally) {
+      TallyKeysLanes(keys.data(), shard.labels.data() + begin, count,
+                     plan.key_space, lanes.data());
+    } else {
+      TallyKeysSingle(keys.data(), shard.labels.data() + begin, count,
+                      tally.data());
+    }
+  }
+  if (lane_tally) {
+    MergeTallyLanes(lanes.data(), plan.key_space, tally.data());
+    std::fill(lanes.begin(), lanes.end(), 0);
+  }
+}
+
+// Sparse twin: keys still come from the vectorized kernel; the tally goes
+// through a hash map.
+void CountShardSparse(const ColumnarShardStore::Shard& shard,
+                      const LeafKeyPlan& plan, std::vector<uint32_t>& keys,
+                      std::unordered_map<uint64_t, RegionCounts>& counts) {
+  for (int64_t begin = 0; begin < shard.num_rows; begin += kKeyBlockRows) {
+    const int64_t count = std::min(kKeyBlockRows, shard.num_rows - begin);
+    ComputeShardKeys(shard, plan, begin, count, keys.data());
+    const uint8_t* labels = shard.labels.data() + begin;
+    for (int64_t i = 0; i < count; ++i) {
+      RegionCounts& entry = counts[keys[i]];
+      if (labels[i] == 1) {
+        ++entry.positives;
+      } else {
+        ++entry.negatives;
+      }
+    }
+  }
+}
+
+class ScalarCountingBackend : public CountingBackend {
+ public:
+  CountingBackendKind kind() const override {
+    return CountingBackendKind::kScalar;
+  }
+
+  NodeTable CountNode(const CountingSource& source,
+                      const RegionCounter& counter, uint32_t mask,
+                      int /*threads*/) const override {
+    if (source.dataset != nullptr) {
+      return counter.CountNode(*source.dataset, mask);
+    }
+    REMEDY_CHECK(source.store != nullptr)
+        << "scalar backend needs a Dataset or a ColumnarShardStore";
+    return ScalarCountStore(*source.store, counter, mask);
+  }
+};
+
+class SimdCountingBackend : public CountingBackend {
+ public:
+  CountingBackendKind kind() const override {
+    return CountingBackendKind::kSimd;
+  }
+
+  NodeTable CountNode(const CountingSource& source,
+                      const RegionCounter& counter, uint32_t mask,
+                      int /*threads*/) const override {
+    REMEDY_CHECK(source.store != nullptr)
+        << "simd backend needs a ColumnarShardStore";
+    const ColumnarShardStore& store = *source.store;
+    const LeafKeyPlan plan =
+        MakeLeafKeyPlan(StoreCardinalities(store), mask);
+    if (!plan.FitsU32()) {
+      // Keys beyond 32 bits cannot ride the u32 SIMD lanes; such spaces
+      // are far past the dense limit anyway, so take the scalar map path.
+      return ScalarCountStore(store, counter, mask);
+    }
+    PipelineMetrics::Get().lattice_shard_rows->Increment(store.NumRows());
+    std::vector<uint32_t> keys(kKeyBlockRows);
+    std::vector<NodeTable::Entry> entries;
+    if (plan.key_space <= kDenseKeyLimit) {
+      std::vector<int64_t> tally(2 * plan.key_space, 0);
+      std::vector<int64_t> lanes(
+          UseLaneTally(plan.key_space) ? kTallyLanes * 2 * plan.key_space : 0,
+          0);
+      for (int s = 0; s < store.NumShards(); ++s) {
+        CountShardDense(store.shard(s), plan, keys, lanes, tally);
+      }
+      entries = EntriesFromTally(tally);
+    } else {
+      std::unordered_map<uint64_t, RegionCounts> counts;
+      for (int s = 0; s < store.NumShards(); ++s) {
+        CountShardSparse(store.shard(s), plan, keys, counts);
+      }
+      entries.assign(counts.begin(), counts.end());
+    }
+    return NodeTable(std::move(entries));
+  }
+};
+
+class ShardedCountingBackend : public CountingBackend {
+ public:
+  CountingBackendKind kind() const override {
+    return CountingBackendKind::kSharded;
+  }
+
+  NodeTable CountNode(const CountingSource& source,
+                      const RegionCounter& counter, uint32_t mask,
+                      int threads) const override {
+    REMEDY_CHECK(source.store != nullptr)
+        << "sharded backend needs a ColumnarShardStore";
+    const ColumnarShardStore& store = *source.store;
+    const int num_shards = store.NumShards();
+    const LeafKeyPlan plan =
+        MakeLeafKeyPlan(StoreCardinalities(store), mask);
+    if (!plan.FitsU32()) {
+      return ScalarCountStore(store, counter, mask);
+    }
+    const PipelineMetrics& metrics = PipelineMetrics::Get();
+    metrics.lattice_shard_rows->Increment(store.NumRows());
+    metrics.lattice_shard_tallies->Increment(num_shards);
+
+    const bool dense =
+        plan.key_space <= kShardDenseKeyLimit &&
+        static_cast<uint64_t>(num_shards) * plan.key_space * 2 *
+                sizeof(int64_t) <=
+            kShardedDenseBudgetBytes;
+
+    // Each shard is counted independently into its own table (slot writes
+    // only — no shared mutable state), then the tables are folded in
+    // ascending shard order. Integer sums commute, so the fold order is a
+    // convention, not a correctness requirement; fixing it anyway makes
+    // the execution canonical and keeps any future non-commutative
+    // aggregate honest.
+    std::vector<std::vector<int64_t>> shard_tallies;
+    std::vector<std::vector<NodeTable::Entry>> shard_entries;
+    if (dense) {
+      shard_tallies.resize(num_shards);
+    } else {
+      shard_entries.resize(num_shards);
+    }
+    auto count_shard = [&](int64_t s) {
+      std::vector<uint32_t> keys(kKeyBlockRows);
+      const ColumnarShardStore::Shard& shard =
+          store.shard(static_cast<int>(s));
+      if (dense) {
+        std::vector<int64_t> tally(2 * plan.key_space, 0);
+        std::vector<int64_t> lanes(
+            UseLaneTally(plan.key_space) ? kTallyLanes * 2 * plan.key_space
+                                         : 0,
+            0);
+        CountShardDense(shard, plan, keys, lanes, tally);
+        shard_tallies[s] = std::move(tally);
+      } else {
+        std::unordered_map<uint64_t, RegionCounts> counts;
+        CountShardSparse(shard, plan, keys, counts);
+        std::vector<NodeTable::Entry> entries(counts.begin(), counts.end());
+        shard_entries[s] = std::move(entries);
+      }
+    };
+
+    const int workers = ResolveThreadCount(threads);
+    if (workers <= 1 || num_shards <= 1) {
+      for (int s = 0; s < num_shards; ++s) count_shard(s);
+    } else {
+      ThreadPool pool(std::min(workers, num_shards));
+      Status counted = pool.ParallelFor(num_shards, count_shard);
+      REMEDY_CHECK(counted.ok())
+          << "sharded counting failed: " << counted.ToString();
+    }
+
+    metrics.lattice_shard_merges->Increment(num_shards);
+    std::vector<NodeTable::Entry> entries;
+    if (dense) {
+      std::vector<int64_t> merged(2 * plan.key_space, 0);
+      for (int s = 0; s < num_shards; ++s) {
+        const std::vector<int64_t>& tally = shard_tallies[s];
+        for (size_t j = 0; j < merged.size(); ++j) merged[j] += tally[j];
+      }
+      entries = EntriesFromTally(merged);
+    } else {
+      size_t total = 0;
+      for (const auto& shard : shard_entries) total += shard.size();
+      entries.reserve(total);
+      for (int s = 0; s < num_shards; ++s) {
+        entries.insert(entries.end(), shard_entries[s].begin(),
+                       shard_entries[s].end());
+      }
+    }
+    return NodeTable(std::move(entries));
+  }
+};
+
+}  // namespace
+
+const char* CountingBackendName(CountingBackendKind kind) {
+  switch (kind) {
+    case CountingBackendKind::kScalar:
+      return "scalar";
+    case CountingBackendKind::kSimd:
+      return "simd";
+    case CountingBackendKind::kSharded:
+      return "sharded";
+  }
+  REMEDY_CHECK(false) << "unreachable backend kind";
+  return "";
+}
+
+StatusOr<CountingBackendKind> ParseCountingBackend(const std::string& name) {
+  if (name == "scalar") return CountingBackendKind::kScalar;
+  if (name == "simd") return CountingBackendKind::kSimd;
+  if (name == "sharded") return CountingBackendKind::kSharded;
+  return InvalidArgumentError("unknown counting backend '" + name +
+                              "' (want scalar|simd|sharded)");
+}
+
+std::unique_ptr<CountingBackend> CountingBackend::Create(
+    CountingBackendKind kind) {
+  switch (kind) {
+    case CountingBackendKind::kScalar:
+      return std::make_unique<ScalarCountingBackend>();
+    case CountingBackendKind::kSimd:
+      return std::make_unique<SimdCountingBackend>();
+    case CountingBackendKind::kSharded:
+      return std::make_unique<ShardedCountingBackend>();
+  }
+  REMEDY_CHECK(false) << "unreachable backend kind";
+  return nullptr;
+}
+
+}  // namespace remedy

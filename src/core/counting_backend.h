@@ -1,0 +1,75 @@
+#ifndef REMEDY_CORE_COUNTING_BACKEND_H_
+#define REMEDY_CORE_COUNTING_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/region_counter.h"
+#include "data/columnar.h"
+#include "data/dataset.h"
+
+namespace remedy {
+
+// Runtime-selectable implementations of the one dataset scan the counting
+// engine performs (the leaf-node group-by; every coarser node rolls up
+// from it). One API, three engines — the AbstractGfxLayer discipline:
+//
+//   scalar   the original row-oriented single scan (RegionCounter::
+//            CountNode) — the reference the others must match byte for
+//            byte; also counts a columnar store row-at-a-time when no
+//            Dataset is attached.
+//   simd     columnar single-threaded scan: vectorized mixed-radix key
+//            computation (AVX2 when compiled in and the CPU has it, a
+//            bit-identical unrolled portable kernel otherwise) feeding
+//            per-lane partial tallies.
+//   sharded  columnar parallel scan: every ~256k-row shard is tallied
+//            independently (with the simd kernels) on a thread pool and
+//            the shard-local tables are merged in ascending shard order.
+//
+// All three produce the same NodeTable for the same rows: region counts
+// are exact integer sums, which commute, and NodeTable stores entries in
+// ascending key order — so output bytes cannot depend on the backend or
+// on the thread count. The randomized cross-backend equivalence suite
+// (tests/counting_backend_test.cc) pins this contract.
+enum class CountingBackendKind {
+  kScalar,
+  kSimd,
+  kSharded,
+};
+
+// Canonical lowercase name ("scalar" / "simd" / "sharded").
+const char* CountingBackendName(CountingBackendKind kind);
+
+// Parses a --backend= value; kInvalidArgument on anything unknown.
+StatusOr<CountingBackendKind> ParseCountingBackend(const std::string& name);
+
+// What a backend counts from. Exactly one pointer may be null; the scalar
+// backend prefers the Dataset when both are present, the columnar backends
+// require the store (Hierarchy builds one on demand).
+struct CountingSource {
+  const Dataset* dataset = nullptr;
+  const ColumnarShardStore* store = nullptr;
+};
+
+class CountingBackend {
+ public:
+  virtual ~CountingBackend() = default;
+
+  virtual CountingBackendKind kind() const = 0;
+  const char* name() const { return CountingBackendName(kind()); }
+
+  // Counts every region of node `mask` in one pass over the source rows.
+  // `threads` follows the library convention (<= 0 = every usable CPU,
+  // 1 = serial); only the sharded backend fans out.
+  virtual NodeTable CountNode(const CountingSource& source,
+                              const RegionCounter& counter, uint32_t mask,
+                              int threads) const = 0;
+
+  static std::unique_ptr<CountingBackend> Create(CountingBackendKind kind);
+};
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_COUNTING_BACKEND_H_

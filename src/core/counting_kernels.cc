@@ -1,0 +1,132 @@
+#include "core/counting_kernels.h"
+
+#include "common/check.h"
+
+namespace remedy {
+
+LeafKeyPlan MakeLeafKeyPlan(const std::vector<int>& cardinalities,
+                            uint32_t mask) {
+  LeafKeyPlan plan;
+  const int n = static_cast<int>(cardinalities.size());
+  for (int i = 0; i < n; ++i) {
+    if (mask & (1u << i)) {
+      plan.positions.push_back(i);
+      plan.key_space *= static_cast<uint64_t>(cardinalities[i]);
+    }
+  }
+  // stride of position i = product of the later deterministic
+  // cardinalities; sum(code_i * stride_i) equals the Horner packing of
+  // RegionCounter::RowKey digit for digit.
+  plan.strides.resize(plan.positions.size());
+  uint64_t stride = 1;
+  for (int p = static_cast<int>(plan.positions.size()) - 1; p >= 0; --p) {
+    plan.strides[p] = static_cast<uint32_t>(stride);
+    stride *= static_cast<uint64_t>(cardinalities[plan.positions[p]]);
+  }
+  return plan;
+}
+
+void ComputeShardKeysPortable(const ColumnarShardStore::Shard& shard,
+                              const LeafKeyPlan& plan, int64_t row_begin,
+                              int64_t count, uint32_t* keys) {
+  REMEDY_DCHECK(plan.FitsU32());
+  REMEDY_DCHECK(row_begin >= 0 && row_begin + count <= shard.num_rows);
+  bool first = true;
+  for (size_t p = 0; p < plan.positions.size(); ++p) {
+    const ColumnarShardStore::ColumnCodes& column =
+        shard.columns[plan.positions[p]];
+    const uint32_t stride = plan.strides[p];
+    // Column-at-a-time accumulation: each pass streams one contiguous code
+    // array, 4 rows per step, so the compiler can keep the adds in
+    // registers and auto-vectorize where profitable.
+    auto accumulate = [&](auto* codes) {
+      int64_t i = 0;
+      if (first) {
+        for (; i + 4 <= count; i += 4) {
+          keys[i] = stride * static_cast<uint32_t>(codes[i]);
+          keys[i + 1] = stride * static_cast<uint32_t>(codes[i + 1]);
+          keys[i + 2] = stride * static_cast<uint32_t>(codes[i + 2]);
+          keys[i + 3] = stride * static_cast<uint32_t>(codes[i + 3]);
+        }
+        for (; i < count; ++i) {
+          keys[i] = stride * static_cast<uint32_t>(codes[i]);
+        }
+      } else {
+        for (; i + 4 <= count; i += 4) {
+          keys[i] += stride * static_cast<uint32_t>(codes[i]);
+          keys[i + 1] += stride * static_cast<uint32_t>(codes[i + 1]);
+          keys[i + 2] += stride * static_cast<uint32_t>(codes[i + 2]);
+          keys[i + 3] += stride * static_cast<uint32_t>(codes[i + 3]);
+        }
+        for (; i < count; ++i) {
+          keys[i] += stride * static_cast<uint32_t>(codes[i]);
+        }
+      }
+    };
+    if (column.narrow.empty() && !column.wide.empty()) {
+      accumulate(column.wide.data() + row_begin);
+    } else {
+      accumulate(column.narrow.data() + row_begin);
+    }
+    first = false;
+  }
+  if (first) {
+    // Empty mask plan (level 0): every row keys to 0.
+    for (int64_t i = 0; i < count; ++i) keys[i] = 0;
+  }
+}
+
+void ComputeShardKeys(const ColumnarShardStore::Shard& shard,
+                      const LeafKeyPlan& plan, int64_t row_begin,
+                      int64_t count, uint32_t* keys) {
+  if (Avx2CountingAvailable()) {
+    ComputeShardKeysAvx2(shard, plan, row_begin, count, keys);
+  } else {
+    ComputeShardKeysPortable(shard, plan, row_begin, count, keys);
+  }
+}
+
+void TallyKeysSingle(const uint32_t* keys, const uint8_t* labels,
+                     int64_t count, int64_t* tally) {
+  int64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    ++tally[2 * static_cast<int64_t>(keys[i]) + labels[i]];
+    ++tally[2 * static_cast<int64_t>(keys[i + 1]) + labels[i + 1]];
+    ++tally[2 * static_cast<int64_t>(keys[i + 2]) + labels[i + 2]];
+    ++tally[2 * static_cast<int64_t>(keys[i + 3]) + labels[i + 3]];
+  }
+  for (; i < count; ++i) {
+    ++tally[2 * static_cast<int64_t>(keys[i]) + labels[i]];
+  }
+}
+
+void TallyKeysLanes(const uint32_t* keys, const uint8_t* labels,
+                    int64_t count, uint64_t key_space, int64_t* lanes) {
+  const int64_t lane_stride = 2 * static_cast<int64_t>(key_space);
+  int64_t* lane0 = lanes;
+  int64_t* lane1 = lanes + lane_stride;
+  int64_t* lane2 = lanes + 2 * lane_stride;
+  int64_t* lane3 = lanes + 3 * lane_stride;
+  static_assert(kTallyLanes == 4, "lane unroll below assumes 4 lanes");
+  int64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    ++lane0[2 * static_cast<int64_t>(keys[i]) + labels[i]];
+    ++lane1[2 * static_cast<int64_t>(keys[i + 1]) + labels[i + 1]];
+    ++lane2[2 * static_cast<int64_t>(keys[i + 2]) + labels[i + 2]];
+    ++lane3[2 * static_cast<int64_t>(keys[i + 3]) + labels[i + 3]];
+  }
+  for (; i < count; ++i) {
+    ++lane0[2 * static_cast<int64_t>(keys[i]) + labels[i]];
+  }
+}
+
+void MergeTallyLanes(const int64_t* lanes, uint64_t key_space,
+                     int64_t* tally) {
+  const int64_t lane_stride = 2 * static_cast<int64_t>(key_space);
+  for (int lane = 0; lane < kTallyLanes; ++lane) {
+    const int64_t* src = lanes + lane * lane_stride;
+    for (int64_t j = 0; j < lane_stride; ++j) tally[j] += src[j];
+  }
+}
+
+}  // namespace remedy

@@ -11,7 +11,43 @@
 namespace remedy {
 
 Hierarchy::Hierarchy(const Dataset& data)
-    : data_(&data), counter_(data.schema()) {}
+    : data_(&data),
+      counter_(data.schema()),
+      backend_(CountingBackend::Create(CountingBackendKind::kScalar)) {}
+
+Hierarchy::Hierarchy(const ColumnarShardStore& store)
+    : store_(&store),
+      counter_(store.schema()),
+      backend_(CountingBackend::Create(CountingBackendKind::kScalar)) {}
+
+const Dataset& Hierarchy::data() const {
+  REMEDY_CHECK(data_ != nullptr)
+      << "store-backed hierarchy has no row-oriented Dataset view";
+  return *data_;
+}
+
+void Hierarchy::SetCountingBackend(CountingBackendKind kind, int threads) {
+  if (kind != backend_kind_) {
+    backend_ = CountingBackend::Create(kind);
+    backend_kind_ = kind;
+  }
+  backend_threads_ = threads;
+}
+
+CountingSource Hierarchy::SourceForCounting() {
+  CountingSource source{data_, store_};
+  if (source.store == nullptr &&
+      backend_kind_ != CountingBackendKind::kScalar) {
+    // Columnar backend over a Dataset-backed hierarchy: re-encode once and
+    // keep the store for later Invalidate()+rebuild rounds.
+    if (owned_store_ == nullptr) {
+      owned_store_ = std::make_unique<ColumnarShardStore>(
+          ColumnarShardStore::FromDataset(*data_));
+    }
+    source.store = owned_store_.get();
+  }
+  return source;
+}
 
 const NodeTable& Hierarchy::NodeCounts(uint32_t mask) {
   REMEDY_CHECK(mask != 0 && (mask & ~LeafMask()) == 0)
@@ -29,7 +65,8 @@ NodeTable Hierarchy::BuildNode(uint32_t mask) {
   metrics.lattice_nodes_built->Increment();
   if (mask == LeafMask()) {
     metrics.lattice_leaf_scans->Increment();
-    return counter_.CountNode(*data_, mask);
+    return backend_->CountNode(SourceForCounting(), counter_, mask,
+                               backend_threads_);
   }
   // Prefer any already-built child (one extra deterministic attribute);
   // otherwise recurse through the lowest missing position, terminating at
@@ -142,7 +179,12 @@ void Hierarchy::ApplyDelta(const LeafDelta& delta) {
 
 const RegionCounts& Hierarchy::TotalCounts() {
   if (!total_valid_) {
-    total_counts_ = counter_.DatasetCounts(*data_);
+    if (data_ != nullptr) {
+      total_counts_ = counter_.DatasetCounts(*data_);
+    } else {
+      total_counts_.positives = store_->PositiveCount();
+      total_counts_.negatives = store_->NegativeCount();
+    }
     total_valid_ = true;
   }
   return total_counts_;
@@ -189,6 +231,9 @@ std::vector<uint32_t> Hierarchy::BottomUpMasks() const {
 
 void Hierarchy::Invalidate() {
   node_cache_.clear();
+  // The owned columnar re-encoding mirrors the Dataset's rows, so a
+  // dataset mutation invalidates it too.
+  owned_store_.reset();
   total_valid_ = false;
   fully_built_ = false;
 }

@@ -2,11 +2,14 @@
 #define REMEDY_CORE_HIERARCHY_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "core/counting_backend.h"
 #include "core/region_counter.h"
+#include "data/columnar.h"
 #include "data/dataset.h"
 
 namespace remedy {
@@ -30,6 +33,22 @@ class Hierarchy {
   // `data` must outlive the hierarchy.
   explicit Hierarchy(const Dataset& data);
 
+  // Store-backed hierarchy: counts come from the columnar shards alone, so
+  // arbitrarily large inputs never need a row-oriented Dataset (the remedy
+  // write path, which mutates rows, still requires the Dataset form).
+  // `store` must outlive the hierarchy.
+  explicit Hierarchy(const ColumnarShardStore& store);
+
+  // Selects the engine behind the one leaf-node scan (default: scalar, the
+  // original row-oriented path). The columnar backends count from the
+  // attached store; a Dataset-backed hierarchy builds one on first use.
+  // `threads` sizes the sharded backend's per-shard fan-out (<= 0 = every
+  // usable CPU). Output is bit-identical across backends and thread
+  // counts; call before building — switching later does not drop memoized
+  // nodes (they are equal by contract anyway).
+  void SetCountingBackend(CountingBackendKind kind, int threads = 1);
+  CountingBackendKind counting_backend() const { return backend_kind_; }
+
   int NumProtected() const { return counter_.NumProtected(); }
   uint32_t LeafMask() const {
     return (NumProtected() == 32) ? 0xffffffffu
@@ -37,7 +56,13 @@ class Hierarchy {
   }
 
   const RegionCounter& counter() const { return counter_; }
-  const Dataset& data() const { return *data_; }
+  // Schema of whichever backing this hierarchy counts from.
+  const DataSchema& schema() const {
+    return data_ != nullptr ? data_->schema() : store_->schema();
+  }
+  // Dies on a store-backed hierarchy (no row-oriented view exists).
+  const Dataset& data() const;
+  bool has_dataset() const { return data_ != nullptr; }
 
   // Region counts of node `mask` (memoized; built by rollup, see above).
   const NodeTable& NodeCounts(uint32_t mask);
@@ -100,8 +125,17 @@ class Hierarchy {
   // or a rollup of a (possibly recursively built) child one level below.
   NodeTable BuildNode(uint32_t mask);
 
-  const Dataset* data_;
+  // The source handed to the counting backend; re-encodes the Dataset into
+  // an owned columnar store the first time a columnar backend needs one.
+  CountingSource SourceForCounting();
+
+  const Dataset* data_ = nullptr;
+  const ColumnarShardStore* store_ = nullptr;
+  std::unique_ptr<ColumnarShardStore> owned_store_;
   RegionCounter counter_;
+  std::unique_ptr<CountingBackend> backend_;
+  CountingBackendKind backend_kind_ = CountingBackendKind::kScalar;
+  int backend_threads_ = 1;
   std::unordered_map<uint32_t, NodeTable> node_cache_;
   RegionCounts total_counts_;
   bool total_valid_ = false;

@@ -67,14 +67,12 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
   return biased;
 }
 
-StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
-                                                const IbsParams& params) {
-  if (data.schema().NumProtected() == 0) {
-    return InvalidArgumentError(
-        "IBS identification needs protected attributes");
-  }
+namespace {
+
+StatusOr<std::vector<BiasedRegion>> IdentifyWithHierarchy(
+    Hierarchy& hierarchy, const IbsParams& params) {
   REMEDY_TRACE_SPAN("ibs/identify");
-  Hierarchy hierarchy(data);
+  hierarchy.SetCountingBackend(params.backend, params.backend_threads);
   std::vector<BiasedRegion> ibs;
   for (uint32_t mask : ScopeMasks(hierarchy, params.scope)) {
     REMEDY_TRACE_SPAN_ARG("ibs/node", mask);
@@ -84,6 +82,28 @@ StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
                std::make_move_iterator(node_biased.end()));
   }
   return ibs;
+}
+
+}  // namespace
+
+StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
+                                                const IbsParams& params) {
+  if (data.schema().NumProtected() == 0) {
+    return InvalidArgumentError(
+        "IBS identification needs protected attributes");
+  }
+  Hierarchy hierarchy(data);
+  return IdentifyWithHierarchy(hierarchy, params);
+}
+
+StatusOr<std::vector<BiasedRegion>> IdentifyIbs(
+    const ColumnarShardStore& store, const IbsParams& params) {
+  if (store.schema().NumProtected() == 0) {
+    return InvalidArgumentError(
+        "IBS identification needs protected attributes");
+  }
+  Hierarchy hierarchy(store);
+  return IdentifyWithHierarchy(hierarchy, params);
 }
 
 bool DominatesAnyBiasedRegion(const Pattern& pattern,

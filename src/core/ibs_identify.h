@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/counting_backend.h"
 #include "core/hierarchy.h"
 #include "core/imbalance.h"
 #include "core/pattern.h"
+#include "data/columnar.h"
 #include "data/dataset.h"
 
 namespace remedy {
@@ -31,6 +33,10 @@ struct IbsParams {
   int min_region_size = 30;          // k, the CLT rule of thumb
   IbsScope scope = IbsScope::kLattice;
   IbsAlgorithm algorithm = IbsAlgorithm::kOptimized;
+  // Engine behind the leaf-node scan (--backend=scalar|simd|sharded);
+  // output is byte-identical across all three and any thread count.
+  CountingBackendKind backend = CountingBackendKind::kScalar;
+  int backend_threads = 0;  // sharded counting workers; <= 0 = all CPUs
 };
 
 // One region of the Implicit Biased Set, with the evidence that put it there.
@@ -49,6 +55,13 @@ struct BiasedRegion {
 // Fails with kInvalidArgument when `data` has no protected attributes.
 StatusOr<std::vector<BiasedRegion>> IdentifyIbs(const Dataset& data,
                                                 const IbsParams& params);
+
+// Same identification over a columnar shard store — the out-of-core entry
+// point: a 10M+-row input streams into a store chunk by chunk (see
+// GenerateSyntheticStore) and is identified without a Dataset copy ever
+// existing. Output is byte-identical to the Dataset form on equal rows.
+StatusOr<std::vector<BiasedRegion>> IdentifyIbs(
+    const ColumnarShardStore& store, const IbsParams& params);
 
 // Same, but reusing a caller-owned hierarchy (so the remedy loop can share
 // memoized node counts across nodes of one pass).

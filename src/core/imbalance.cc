@@ -52,7 +52,7 @@ void NeighborhoodCalculator::AccumulateNeighbors(
     return;
   }
 
-  const DataSchema& schema = hierarchy_.data().schema();
+  const DataSchema& schema = hierarchy_.schema();
   const int position = det_positions[next_position];
   const AttributeSchema& attr =
       schema.attribute(schema.protected_indices()[position]);
@@ -71,7 +71,7 @@ void NeighborhoodCalculator::AccumulateNeighbors(
 }
 
 bool NeighborhoodCalculator::SupportsOptimized(uint32_t mask) const {
-  const DataSchema& schema = hierarchy_.data().schema();
+  const DataSchema& schema = hierarchy_.schema();
   // Node diameter: the largest possible distance between two regions of the
   // node under the per-attribute metrics.
   double squared_diameter = 0.0;
@@ -105,7 +105,7 @@ RegionCounts NeighborhoodCalculator::OptimizedNeighborCounts(
       << "optimized neighbor counts require T = 1 on nominal attributes or "
          "the T = |X| regime";
 
-  const DataSchema& schema = hierarchy_.data().schema();
+  const DataSchema& schema = hierarchy_.schema();
   double squared_diameter = 0.0;
   for (int i = 0; i < schema.NumProtected(); ++i) {
     if (!(mask & (1u << i))) continue;

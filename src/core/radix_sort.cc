@@ -1,0 +1,48 @@
+#include "core/radix_sort.h"
+
+#include <array>
+#include <utility>
+
+#include "common/pipeline_metrics.h"
+
+namespace remedy {
+
+void RadixSortByKey(std::vector<NodeTable::Entry>& entries) {
+  if (entries.size() < 2) return;
+  uint64_t max_key = 0;
+  for (const NodeTable::Entry& entry : entries) {
+    if (entry.first > max_key) max_key = entry.first;
+  }
+
+  std::vector<NodeTable::Entry> scratch(entries.size());
+  std::vector<NodeTable::Entry>* src = &entries;
+  std::vector<NodeTable::Entry>* dst = &scratch;
+  int64_t passes = 0;
+  for (int shift = 0; shift < 64 && (max_key >> shift) != 0; shift += 8) {
+    // One counting pass per significant byte: histogram, exclusive prefix
+    // sum, stable scatter.
+    std::array<size_t, 256> counts{};
+    for (const NodeTable::Entry& entry : *src) {
+      ++counts[(entry.first >> shift) & 0xff];
+    }
+    size_t offset = 0;
+    for (size_t bucket = 0; bucket < 256; ++bucket) {
+      const size_t count = counts[bucket];
+      counts[bucket] = offset;
+      offset += count;
+    }
+    for (NodeTable::Entry& entry : *src) {
+      (*dst)[counts[(entry.first >> shift) & 0xff]++] = std::move(entry);
+    }
+    std::swap(src, dst);
+    ++passes;
+  }
+  if (src != &entries) entries = std::move(scratch);
+
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  metrics.lattice_radix_sort_keys->Increment(
+      static_cast<int64_t>(entries.size()));
+  metrics.lattice_radix_sort_passes->Increment(passes);
+}
+
+}  // namespace remedy

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.h"
+#include "core/radix_sort.h"
 
 namespace remedy {
 namespace {
@@ -17,8 +18,18 @@ constexpr uint64_t kDenseKeySpaceLimit = uint64_t{1} << 21;
 
 NodeTable::NodeTable(std::vector<Entry> entries)
     : entries_(std::move(entries)) {
-  std::sort(entries_.begin(), entries_.end(),
-            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  // Dense-array counting and shard merges emit keys already ascending;
+  // skip the sort entirely for them.
+  const auto key_less = [](const Entry& a, const Entry& b) {
+    return a.first < b.first;
+  };
+  if (!std::is_sorted(entries_.begin(), entries_.end(), key_less)) {
+    if (entries_.size() >= kRadixSortMinEntries) {
+      RadixSortByKey(entries_);
+    } else {
+      std::sort(entries_.begin(), entries_.end(), key_less);
+    }
+  }
   // Merge duplicate keys in place (rollup projections collapse sibling
   // regions onto the same parent key).
   size_t out = 0;

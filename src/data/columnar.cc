@@ -1,0 +1,106 @@
+#include "data/columnar.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace remedy {
+
+ColumnarShardStoreBuilder::ColumnarShardStoreBuilder(DataSchema schema,
+                                                     int64_t shard_rows) {
+  REMEDY_CHECK(shard_rows > 0) << "shard_rows must be positive";
+  REMEDY_CHECK(schema.NumProtected() > 0)
+      << "ColumnarShardStore needs at least one protected attribute";
+  protected_cols_ = schema.protected_indices();
+  store_.schema_ = std::move(schema);
+  store_.shard_rows_ = shard_rows;
+  store_.cardinalities_.reserve(protected_cols_.size());
+  for (int col : protected_cols_) {
+    const int cardinality = store_.schema_.attribute(col).Cardinality();
+    REMEDY_CHECK(cardinality <= 65536)
+        << "attribute " << store_.schema_.attribute(col).name()
+        << " cardinality " << cardinality << " exceeds the u16 code space";
+    store_.cardinalities_.push_back(cardinality);
+  }
+}
+
+ColumnarShardStore::Shard& ColumnarShardStoreBuilder::ShardForNextRow() {
+  if (store_.shards_.empty() ||
+      store_.shards_.back().num_rows == store_.shard_rows_) {
+    ColumnarShardStore::Shard& shard = store_.shards_.emplace_back();
+    shard.columns.resize(protected_cols_.size());
+    const size_t reserve = static_cast<size_t>(store_.shard_rows_);
+    for (size_t p = 0; p < protected_cols_.size(); ++p) {
+      if (store_.IsNarrow(static_cast<int>(p))) {
+        shard.columns[p].narrow.reserve(reserve);
+      } else {
+        shard.columns[p].wide.reserve(reserve);
+      }
+    }
+    shard.labels.reserve(reserve);
+  }
+  return store_.shards_.back();
+}
+
+void ColumnarShardStoreBuilder::PushCode(ColumnarShardStore::Shard& shard,
+                                         int position, int code) {
+  REMEDY_DCHECK(code >= 0 && code < store_.cardinalities_[position]);
+  ColumnarShardStore::ColumnCodes& column = shard.columns[position];
+  if (store_.IsNarrow(position)) {
+    column.narrow.push_back(static_cast<uint8_t>(code));
+  } else {
+    column.wide.push_back(static_cast<uint16_t>(code));
+  }
+}
+
+void ColumnarShardStoreBuilder::FinishRow(ColumnarShardStore::Shard& shard,
+                                          int label) {
+  REMEDY_DCHECK(label == 0 || label == 1);
+  shard.labels.push_back(static_cast<uint8_t>(label));
+  ++shard.num_rows;
+  ++store_.num_rows_;
+  if (label == 1) {
+    ++store_.positives_;
+  } else {
+    ++store_.negatives_;
+  }
+}
+
+void ColumnarShardStoreBuilder::AddRow(const std::vector<int>& values,
+                                       int label) {
+  REMEDY_DCHECK(static_cast<int>(values.size()) ==
+                store_.schema_.NumAttributes());
+  ColumnarShardStore::Shard& shard = ShardForNextRow();
+  for (size_t p = 0; p < protected_cols_.size(); ++p) {
+    PushCode(shard, static_cast<int>(p), values[protected_cols_[p]]);
+  }
+  FinishRow(shard, label);
+}
+
+void ColumnarShardStoreBuilder::Append(const Dataset& chunk) {
+  REMEDY_CHECK(chunk.NumColumns() == store_.schema_.NumAttributes())
+      << "chunk attribute count " << chunk.NumColumns() << " != "
+      << store_.schema_.NumAttributes();
+  for (int r = 0; r < chunk.NumRows(); ++r) {
+    ColumnarShardStore::Shard& shard = ShardForNextRow();
+    for (size_t p = 0; p < protected_cols_.size(); ++p) {
+      PushCode(shard, static_cast<int>(p), chunk.Value(r, protected_cols_[p]));
+    }
+    FinishRow(shard, chunk.Label(r));
+  }
+}
+
+ColumnarShardStore ColumnarShardStoreBuilder::Finish() {
+  ColumnarShardStore out = std::move(store_);
+  store_ = ColumnarShardStore();
+  return out;
+}
+
+ColumnarShardStore ColumnarShardStore::FromDataset(const Dataset& data,
+                                                   int64_t shard_rows) {
+  ColumnarShardStoreBuilder builder(data.schema(), shard_rows);
+  builder.Append(data);
+  return builder.Finish();
+}
+
+}  // namespace remedy

@@ -1,8 +1,10 @@
 #include "datagen/generator.h"
 
 #include <cmath>
+#include <fstream>
 
 #include "common/check.h"
+#include "common/csv.h"
 #include "common/rng.h"
 
 namespace remedy {
@@ -16,6 +18,31 @@ bool InjectionMatches(const BiasInjection& injection,
     }
   }
   return true;
+}
+
+// The one row loop every generator entry point runs: samples attributes in
+// declaration order, then the label, and hands each row to `sink`. A single
+// shared loop is what makes the streaming forms bit-identical to
+// GenerateSynthetic — the RNG is consumed in exactly one order.
+template <typename RowSink>
+void GenerateRows(const SyntheticSpec& spec, uint64_t seed, RowSink&& sink) {
+  spec.Validate();
+  Rng rng(seed);
+  const int m = static_cast<int>(spec.attributes.size());
+  std::vector<int> values(m);
+  for (int r = 0; r < spec.num_rows; ++r) {
+    for (int i = 0; i < m; ++i) {
+      const AttributeSpec& attribute = spec.attributes[i];
+      const std::vector<double>& weights =
+          attribute.parent >= 0
+              ? attribute.conditional[values[attribute.parent]]
+              : attribute.marginal;
+      values[i] = rng.Categorical(weights);
+    }
+    double logit = LabelLogit(spec, values);
+    double p = 1.0 / (1.0 + std::exp(-logit));
+    sink(values, rng.Bernoulli(p) ? 1 : 0);
+  }
 }
 
 }  // namespace
@@ -32,25 +59,53 @@ double LabelLogit(const SyntheticSpec& spec, const std::vector<int>& values) {
 }
 
 Dataset GenerateSynthetic(const SyntheticSpec& spec, uint64_t seed) {
-  spec.Validate();
   Dataset data(spec.MakeSchema());
-  Rng rng(seed);
-  const int m = static_cast<int>(spec.attributes.size());
-  std::vector<int> values(m);
-  for (int r = 0; r < spec.num_rows; ++r) {
-    for (int i = 0; i < m; ++i) {
-      const AttributeSpec& attribute = spec.attributes[i];
-      const std::vector<double>& weights =
-          attribute.parent >= 0
-              ? attribute.conditional[values[attribute.parent]]
-              : attribute.marginal;
-      values[i] = rng.Categorical(weights);
-    }
-    double logit = LabelLogit(spec, values);
-    double p = 1.0 / (1.0 + std::exp(-logit));
-    data.AddRow(values, rng.Bernoulli(p) ? 1 : 0);
-  }
+  GenerateRows(spec, seed, [&data](const std::vector<int>& values, int label) {
+    data.AddRow(values, label);
+  });
   return data;
+}
+
+void GenerateSyntheticChunks(
+    const SyntheticSpec& spec, uint64_t seed, int64_t chunk_rows,
+    const std::function<void(const Dataset&)>& sink) {
+  REMEDY_CHECK(chunk_rows > 0) << "chunk_rows must be positive";
+  DataSchema schema = spec.MakeSchema();
+  Dataset chunk(schema);
+  GenerateRows(spec, seed, [&](const std::vector<int>& values, int label) {
+    chunk.AddRow(values, label);
+    if (chunk.NumRows() >= chunk_rows) {
+      sink(chunk);
+      chunk = Dataset(schema);
+    }
+  });
+  if (chunk.NumRows() > 0) sink(chunk);
+}
+
+ColumnarShardStore GenerateSyntheticStore(const SyntheticSpec& spec,
+                                          uint64_t seed, int64_t shard_rows) {
+  ColumnarShardStoreBuilder builder(spec.MakeSchema(), shard_rows);
+  GenerateRows(spec, seed,
+               [&builder](const std::vector<int>& values, int label) {
+                 builder.AddRow(values, label);
+               });
+  return builder.Finish();
+}
+
+Status GenerateSyntheticCsvFile(const SyntheticSpec& spec, uint64_t seed,
+                                const std::string& path, int64_t chunk_rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return IoError("cannot open '" + path + "' for writing");
+  bool wrote_header = false;
+  GenerateSyntheticChunks(spec, seed, chunk_rows, [&](const Dataset& chunk) {
+    CsvTable table = chunk.ToCsv();
+    if (wrote_header) table.header.clear();
+    wrote_header = true;
+    out << WriteCsv(table);
+  });
+  out.close();
+  if (!out) return IoError("write to '" + path + "' failed");
+  return OkStatus();
 }
 
 }  // namespace remedy

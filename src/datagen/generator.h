@@ -2,7 +2,11 @@
 #define REMEDY_DATAGEN_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
+#include "common/status.h"
+#include "data/columnar.h"
 #include "data/dataset.h"
 #include "datagen/synthetic_spec.h"
 
@@ -13,6 +17,34 @@ namespace remedy {
 // base_logit + label terms + matching bias-injection boosts. Deterministic
 // given `seed`.
 Dataset GenerateSynthetic(const SyntheticSpec& spec, uint64_t seed);
+
+// Chunk size of the streaming generator entry points below: large enough
+// to amortize per-chunk overhead, small enough that peak memory stays at
+// one chunk regardless of spec.num_rows.
+inline constexpr int64_t kGeneratorChunkRows = 64 * 1024;
+
+// Streams the exact row sequence of GenerateSynthetic(spec, seed) to
+// `sink` in Datasets of at most `chunk_rows` rows, so arbitrarily large
+// inputs are produced without the full Dataset ever materializing. The RNG
+// consumption order is identical to GenerateSynthetic: concatenating the
+// chunks reproduces it bit-for-bit, for any chunk size.
+void GenerateSyntheticChunks(const SyntheticSpec& spec, uint64_t seed,
+                             int64_t chunk_rows,
+                             const std::function<void(const Dataset&)>& sink);
+
+// Streams the generated rows straight into a columnar shard store — the
+// 10M+-row counting path. Peak memory is the store's code columns (a few
+// bytes per row) plus one in-flight row; no chunk Dataset is built at all.
+ColumnarShardStore GenerateSyntheticStore(
+    const SyntheticSpec& spec, uint64_t seed,
+    int64_t shard_rows = ColumnarShardStore::kDefaultShardRows);
+
+// Streams the generated rows to a CSV file (header + one record per row),
+// writing chunk by chunk. Byte-identical to
+// WriteCsvFile(path, GenerateSynthetic(spec, seed).ToCsv()) at any size.
+Status GenerateSyntheticCsvFile(const SyntheticSpec& spec, uint64_t seed,
+                                const std::string& path,
+                                int64_t chunk_rows = kGeneratorChunkRows);
 
 // The label logit of one attribute-value assignment under `spec`; exposed
 // so tests can verify the generator hits the intended regional skews.

@@ -1,0 +1,169 @@
+#include "data/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "datagen/generator.h"
+#include "datagen/random_spec.h"
+
+namespace remedy {
+namespace {
+
+DataSchema TwoProtectedSchema() {
+  return DataSchema({AttributeSchema("gender", {"m", "f"}),
+                     AttributeSchema("score", {"low", "mid", "high"}),
+                     AttributeSchema("race", {"a", "b", "c"})},
+                    /*protected_indices=*/{0, 2});
+}
+
+TEST(ColumnarShardStoreTest, EncodesProtectedColumnsAndLabels) {
+  DataSchema schema = TwoProtectedSchema();
+  Dataset data(schema);
+  data.AddRow({0, 1, 2}, 1);
+  data.AddRow({1, 0, 0}, 0);
+  data.AddRow({1, 2, 1}, 1);
+
+  ColumnarShardStore store = ColumnarShardStore::FromDataset(data);
+  EXPECT_EQ(store.NumRows(), 3);
+  EXPECT_EQ(store.NumShards(), 1);
+  EXPECT_EQ(store.NumProtected(), 2);
+  EXPECT_EQ(store.Cardinality(0), 2);
+  EXPECT_EQ(store.Cardinality(1), 3);
+  EXPECT_TRUE(store.IsNarrow(0));
+  EXPECT_EQ(store.PositiveCount(), 2);
+  EXPECT_EQ(store.NegativeCount(), 1);
+
+  const ColumnarShardStore::Shard& shard = store.shard(0);
+  EXPECT_EQ(shard.num_rows, 3);
+  // Position 0 = gender (dataset column 0), position 1 = race (column 2).
+  EXPECT_EQ(shard.columns[0].narrow, (std::vector<uint8_t>{0, 1, 1}));
+  EXPECT_EQ(shard.columns[1].narrow, (std::vector<uint8_t>{2, 0, 1}));
+  EXPECT_EQ(shard.labels, (std::vector<uint8_t>{1, 0, 1}));
+}
+
+TEST(ColumnarShardStoreTest, CutsShardsAtShardRows) {
+  DataSchema schema = TwoProtectedSchema();
+  Dataset data(schema);
+  for (int r = 0; r < 10; ++r) data.AddRow({r % 2, r % 3, r % 3}, r % 2);
+
+  ColumnarShardStore store = ColumnarShardStore::FromDataset(data, 4);
+  EXPECT_EQ(store.NumRows(), 10);
+  EXPECT_EQ(store.NumShards(), 3);
+  EXPECT_EQ(store.shard(0).num_rows, 4);
+  EXPECT_EQ(store.shard(1).num_rows, 4);
+  EXPECT_EQ(store.shard(2).num_rows, 2);
+}
+
+TEST(ColumnarShardStoreTest, ChunkedAppendMatchesFromDataset) {
+  Rng rng(11);
+  RandomSpecOptions options;
+  options.num_rows = 500;
+  for (int trial = 0; trial < 10; ++trial) {
+    SyntheticSpec spec = RandomSpec(rng, options);
+    Dataset data = GenerateSynthetic(spec, 77 + trial);
+    const int64_t shard_rows = 64 + rng.UniformInt(128);
+    ColumnarShardStore whole =
+        ColumnarShardStore::FromDataset(data, shard_rows);
+
+    // Stream the same rows through the builder in ragged chunks; chunk
+    // boundaries must not shift shard cuts.
+    ColumnarShardStoreBuilder builder(data.schema(), shard_rows);
+    Dataset chunk(data.schema());
+    for (int r = 0; r < data.NumRows(); ++r) {
+      chunk.AddRow(data.Row(r), data.Label(r));
+      if (chunk.NumRows() >= 1 + rng.UniformInt(100)) {
+        builder.Append(chunk);
+        chunk = Dataset(data.schema());
+      }
+    }
+    builder.Append(chunk);
+    ColumnarShardStore streamed = builder.Finish();
+
+    ASSERT_EQ(streamed.NumRows(), whole.NumRows());
+    ASSERT_EQ(streamed.NumShards(), whole.NumShards());
+    EXPECT_EQ(streamed.PositiveCount(), whole.PositiveCount());
+    EXPECT_EQ(streamed.NegativeCount(), whole.NegativeCount());
+    for (int s = 0; s < whole.NumShards(); ++s) {
+      const auto& a = streamed.shard(s);
+      const auto& b = whole.shard(s);
+      ASSERT_EQ(a.num_rows, b.num_rows);
+      EXPECT_EQ(a.labels, b.labels);
+      for (size_t c = 0; c < b.columns.size(); ++c) {
+        EXPECT_EQ(a.columns[c].narrow, b.columns[c].narrow);
+        EXPECT_EQ(a.columns[c].wide, b.columns[c].wide);
+      }
+    }
+  }
+}
+
+TEST(ColumnarShardStoreTest, WideColumnsForLargeCardinalities) {
+  std::vector<std::string> many;
+  for (int v = 0; v < 300; ++v) many.push_back("v" + std::to_string(v));
+  DataSchema schema({AttributeSchema("wide", many),
+                     AttributeSchema("narrow", {"x", "y"})},
+                    /*protected_indices=*/{0, 1});
+  Dataset data(schema);
+  data.AddRow({257, 1}, 0);
+  data.AddRow({0, 0}, 1);
+
+  ColumnarShardStore store = ColumnarShardStore::FromDataset(data);
+  EXPECT_FALSE(store.IsNarrow(0));
+  EXPECT_TRUE(store.IsNarrow(1));
+  const ColumnarShardStore::Shard& shard = store.shard(0);
+  EXPECT_TRUE(shard.columns[0].narrow.empty());
+  EXPECT_EQ(shard.columns[0].wide, (std::vector<uint16_t>{257, 0}));
+  EXPECT_EQ(shard.columns[1].narrow, (std::vector<uint8_t>{1, 0}));
+}
+
+TEST(GeneratorStreamingTest, ChunksConcatenateToGenerateSynthetic) {
+  Rng rng(5);
+  RandomSpecOptions options;
+  options.num_rows = 333;
+  SyntheticSpec spec = RandomSpec(rng, options);
+  Dataset whole = GenerateSynthetic(spec, 99);
+
+  Dataset reassembled(spec.MakeSchema());
+  int chunks = 0;
+  GenerateSyntheticChunks(spec, 99, 50, [&](const Dataset& chunk) {
+    ++chunks;
+    EXPECT_LE(chunk.NumRows(), 50);
+    for (int r = 0; r < chunk.NumRows(); ++r) {
+      reassembled.AddRow(chunk.Row(r), chunk.Label(r));
+    }
+  });
+  EXPECT_EQ(chunks, 7);  // ceil(333 / 50)
+  ASSERT_EQ(reassembled.NumRows(), whole.NumRows());
+  for (int r = 0; r < whole.NumRows(); ++r) {
+    EXPECT_EQ(reassembled.Row(r), whole.Row(r));
+    EXPECT_EQ(reassembled.Label(r), whole.Label(r));
+  }
+}
+
+TEST(GeneratorStreamingTest, StoreMatchesDatasetEncoding) {
+  Rng rng(21);
+  RandomSpecOptions options;
+  options.num_rows = 400;
+  SyntheticSpec spec = RandomSpec(rng, options);
+  Dataset whole = GenerateSynthetic(spec, 123);
+  ColumnarShardStore from_dataset =
+      ColumnarShardStore::FromDataset(whole, 128);
+  ColumnarShardStore streamed = GenerateSyntheticStore(spec, 123, 128);
+
+  ASSERT_EQ(streamed.NumRows(), from_dataset.NumRows());
+  ASSERT_EQ(streamed.NumShards(), from_dataset.NumShards());
+  for (int s = 0; s < from_dataset.NumShards(); ++s) {
+    const auto& a = streamed.shard(s);
+    const auto& b = from_dataset.shard(s);
+    EXPECT_EQ(a.labels, b.labels);
+    for (size_t c = 0; c < b.columns.size(); ++c) {
+      EXPECT_EQ(a.columns[c].narrow, b.columns[c].narrow);
+      EXPECT_EQ(a.columns[c].wide, b.columns[c].wide);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remedy

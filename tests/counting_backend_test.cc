@@ -1,0 +1,197 @@
+#include "core/counting_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hierarchy.h"
+#include "core/ibs_identify.h"
+#include "core/region_counter.h"
+#include "data/columnar.h"
+#include "datagen/generator.h"
+#include "datagen/random_spec.h"
+
+namespace remedy {
+namespace {
+
+// TSan executes the same suite ~10x slower; fewer random trials keep the
+// twin fast while every code path still runs.
+#ifdef REMEDY_TSAN_BUILD
+constexpr int kTrials = 6;
+#else
+constexpr int kTrials = 30;
+#endif
+
+TEST(CountingBackendTest, NamesAndParsingRoundTrip) {
+  EXPECT_STREQ(CountingBackendName(CountingBackendKind::kScalar), "scalar");
+  EXPECT_STREQ(CountingBackendName(CountingBackendKind::kSimd), "simd");
+  EXPECT_STREQ(CountingBackendName(CountingBackendKind::kSharded),
+               "sharded");
+  for (CountingBackendKind kind :
+       {CountingBackendKind::kScalar, CountingBackendKind::kSimd,
+        CountingBackendKind::kSharded}) {
+    StatusOr<CountingBackendKind> parsed =
+        ParseCountingBackend(CountingBackendName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+    EXPECT_EQ(CountingBackend::Create(kind)->kind(), kind);
+  }
+  EXPECT_FALSE(ParseCountingBackend("gpu").ok());
+  EXPECT_FALSE(ParseCountingBackend("").ok());
+  EXPECT_FALSE(ParseCountingBackend("Scalar").ok());
+}
+
+// The central contract: for random schemas, row counts, shard sizes and
+// thread counts, every backend produces the exact NodeTable the scalar
+// row-scan produces — full contents, every lattice node.
+TEST(CountingBackendTest, AllBackendsMatchScalarOnRandomInputs) {
+  Rng rng(4242);
+  RandomSpecOptions options;
+  options.min_attributes = 2;
+  options.max_attributes = 6;
+  options.max_cardinality = 7;
+  options.max_protected = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    options.num_rows = 50 + rng.UniformInt(1200);
+    SyntheticSpec spec = RandomSpec(rng, options);
+    Dataset data = GenerateSynthetic(spec, 1000 + trial);
+    // Small shard size so multi-shard merge paths run at test-scale rows.
+    const int64_t shard_rows = 16 + rng.UniformInt(200);
+    ColumnarShardStore store =
+        ColumnarShardStore::FromDataset(data, shard_rows);
+    RegionCounter counter(data.schema());
+    const uint32_t leaf_mask = (1u << counter.NumProtected()) - 1;
+
+    CountingSource dataset_source;
+    dataset_source.dataset = &data;
+    CountingSource store_source;
+    store_source.store = &store;
+
+    auto scalar = CountingBackend::Create(CountingBackendKind::kScalar);
+    auto simd = CountingBackend::Create(CountingBackendKind::kSimd);
+    auto sharded = CountingBackend::Create(CountingBackendKind::kSharded);
+
+    for (uint32_t mask = 1; mask <= leaf_mask; ++mask) {
+      NodeTable reference =
+          scalar->CountNode(dataset_source, counter, mask, 1);
+      // Scalar over the store must equal scalar over the dataset.
+      EXPECT_EQ(scalar->CountNode(store_source, counter, mask, 1),
+                reference)
+          << "scalar/store mask=" << mask << " trial=" << trial;
+      EXPECT_EQ(simd->CountNode(store_source, counter, mask, 1), reference)
+          << "simd mask=" << mask << " trial=" << trial;
+      for (int threads : {1, 2, 4, 0}) {
+        EXPECT_EQ(sharded->CountNode(store_source, counter, mask, threads),
+                  reference)
+            << "sharded mask=" << mask << " threads=" << threads
+            << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(CountingBackendTest, HierarchyBackendsAgreeOnNodeCounts) {
+  Rng rng(7);
+  RandomSpecOptions options;
+  options.num_rows = 900;
+  SyntheticSpec spec = RandomSpec(rng, options);
+  Dataset data = GenerateSynthetic(spec, 55);
+  ColumnarShardStore store = ColumnarShardStore::FromDataset(data, 128);
+
+  Hierarchy reference(data);
+  Hierarchy simd_over_dataset(data);
+  simd_over_dataset.SetCountingBackend(CountingBackendKind::kSimd);
+  Hierarchy sharded_over_store(store);
+  sharded_over_store.SetCountingBackend(CountingBackendKind::kSharded,
+                                        /*threads=*/3);
+
+  for (uint32_t mask : reference.BottomUpMasks()) {
+    const NodeTable& expected = reference.NodeCounts(mask);
+    EXPECT_EQ(simd_over_dataset.NodeCounts(mask), expected)
+        << "simd mask=" << mask;
+    EXPECT_EQ(sharded_over_store.NodeCounts(mask), expected)
+        << "sharded mask=" << mask;
+  }
+  EXPECT_EQ(sharded_over_store.TotalCounts(), reference.TotalCounts());
+}
+
+// End to end, fixed seed: IBS identification over a streamed store must be
+// identical region for region across every backend and thread count — the
+// same check backend_smoke runs at 1M rows, pinned here at unit scale.
+TEST(CountingBackendTest, IdentifyIbsIdenticalAcrossBackendsAndThreads) {
+  Rng rng(31);
+  RandomSpecOptions options;
+  options.num_rows = 1500;
+  options.num_injections = 4;
+  SyntheticSpec spec = RandomSpec(rng, options);
+  Dataset data = GenerateSynthetic(spec, 321);
+  ColumnarShardStore store = ColumnarShardStore::FromDataset(data, 200);
+
+  IbsParams params;
+  params.imbalance_threshold = 0.05;
+  params.min_region_size = 10;
+  StatusOr<std::vector<BiasedRegion>> reference = IdentifyIbs(data, params);
+  ASSERT_TRUE(reference.ok());
+
+  for (CountingBackendKind kind :
+       {CountingBackendKind::kScalar, CountingBackendKind::kSimd,
+        CountingBackendKind::kSharded}) {
+    for (int threads : {1, 2, 4, 0}) {
+      IbsParams backend_params = params;
+      backend_params.backend = kind;
+      backend_params.backend_threads = threads;
+      StatusOr<std::vector<BiasedRegion>> got =
+          IdentifyIbs(store, backend_params);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value().size(), reference.value().size())
+          << CountingBackendName(kind) << " threads=" << threads;
+      for (size_t i = 0; i < got.value().size(); ++i) {
+        const BiasedRegion& a = got.value()[i];
+        const BiasedRegion& b = reference.value()[i];
+        EXPECT_EQ(a.pattern, b.pattern);
+        EXPECT_EQ(a.counts, b.counts);
+        EXPECT_EQ(a.neighbor_counts, b.neighbor_counts);
+        EXPECT_EQ(a.ratio, b.ratio);  // exact: same integer inputs
+        EXPECT_EQ(a.neighbor_ratio, b.neighbor_ratio);
+      }
+    }
+  }
+}
+
+TEST(CountingBackendTest, WideCardinalityColumnsCountCorrectly) {
+  // Cardinality > 256 forces the u16 column path through the SIMD widening
+  // loads.
+  std::vector<std::string> wide_values;
+  for (int v = 0; v < 400; ++v) wide_values.push_back(std::to_string(v));
+  DataSchema schema({AttributeSchema("wide", wide_values),
+                     AttributeSchema("bit", {"0", "1"})},
+                    /*protected_indices=*/{0, 1});
+  Dataset data(schema);
+  Rng rng(13);
+  for (int r = 0; r < 3000; ++r) {
+    data.AddRow({rng.UniformInt(400), rng.UniformInt(2)},
+                rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  ColumnarShardStore store = ColumnarShardStore::FromDataset(data, 512);
+  RegionCounter counter(schema);
+  CountingSource dataset_source;
+  dataset_source.dataset = &data;
+  CountingSource store_source;
+  store_source.store = &store;
+  auto scalar = CountingBackend::Create(CountingBackendKind::kScalar);
+  for (uint32_t mask = 1; mask <= 3; ++mask) {
+    NodeTable reference = scalar->CountNode(dataset_source, counter, mask, 1);
+    for (CountingBackendKind kind :
+         {CountingBackendKind::kSimd, CountingBackendKind::kSharded}) {
+      EXPECT_EQ(CountingBackend::Create(kind)->CountNode(store_source,
+                                                         counter, mask, 2),
+                reference)
+          << CountingBackendName(kind) << " mask=" << mask;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remedy
