@@ -40,15 +40,24 @@ struct BenchOptions {
   int repeats = 3;  // min-of-N for the short eager-build timings
 };
 
-double TimeIdentify(const Dataset& data, IbsAlgorithm algorithm) {
+// Identification at small |X| finishes in single-digit milliseconds, where
+// one scheduler hiccup swamps the real cost and the optimized column can
+// appear slower than the naive one. Min-of-`repeats` is the same noise
+// discipline TimeEagerBuild already uses.
+double TimeIdentify(const Dataset& data, IbsAlgorithm algorithm,
+                    int repeats) {
   IbsParams params;
   params.imbalance_threshold = 0.5;
   params.algorithm = algorithm;
-  WallTimer timer;
-  std::vector<BiasedRegion> ibs = IdentifyIbs(data, params).value();
-  double seconds = timer.Seconds();
-  (void)ibs;
-  return seconds;
+  double best = 0.0;
+  for (int i = 0; i < std::max(1, repeats); ++i) {
+    WallTimer timer;
+    std::vector<BiasedRegion> ibs = IdentifyIbs(data, params).value();
+    double seconds = timer.Seconds();
+    (void)ibs;
+    if (i == 0 || seconds < best) best = seconds;
+  }
+  return best;
 }
 
 // Times only the per-region neighbor aggregation — the phase the two
@@ -56,7 +65,8 @@ double TimeIdentify(const Dataset& data, IbsAlgorithm algorithm) {
 // whose node counts are already materialized. With the rollup counting
 // engine the end-to-end columns are no longer dominated by group-by
 // counting, so the total and phase speedups track each other.
-double TimeNeighborPhase(const Dataset& data, IbsAlgorithm algorithm) {
+double TimeNeighborPhase(const Dataset& data, IbsAlgorithm algorithm,
+                         int repeats) {
   IbsParams params;
   params.imbalance_threshold = 0.5;
   params.algorithm = algorithm;
@@ -65,13 +75,18 @@ double TimeNeighborPhase(const Dataset& data, IbsAlgorithm algorithm) {
     hierarchy.NodeCounts(mask);  // warm the shared counts
   }
   hierarchy.TotalCounts();
-  WallTimer timer;
-  for (uint32_t mask : hierarchy.BottomUpMasks()) {
-    std::vector<BiasedRegion> node = IdentifyIbsInNode(hierarchy, mask,
-                                                       params);
-    (void)node;
+  double best = 0.0;
+  for (int i = 0; i < std::max(1, repeats); ++i) {
+    WallTimer timer;
+    for (uint32_t mask : hierarchy.BottomUpMasks()) {
+      std::vector<BiasedRegion> node = IdentifyIbsInNode(hierarchy, mask,
+                                                         params);
+      (void)node;
+    }
+    double seconds = timer.Seconds();
+    if (i == 0 || seconds < best) best = seconds;
   }
-  return timer.Seconds();
+  return best;
 }
 
 // Full-lattice counting cost: one leaf scan plus bottom-up rollups, run via
@@ -184,11 +199,13 @@ void VaryProtectedAttributes(const Dataset& base, const BenchOptions& opts,
   for (int count = opts.min_protected; count <= opts.max_protected; ++count) {
     Dataset data = base;
     data.SetProtected(AdultScalabilityProtected(count));
-    double naive = TimeIdentify(data, IbsAlgorithm::kNaive);
-    double optimized = TimeIdentify(data, IbsAlgorithm::kOptimized);
-    double naive_phase = TimeNeighborPhase(data, IbsAlgorithm::kNaive);
+    double naive = TimeIdentify(data, IbsAlgorithm::kNaive, opts.repeats);
+    double optimized =
+        TimeIdentify(data, IbsAlgorithm::kOptimized, opts.repeats);
+    double naive_phase =
+        TimeNeighborPhase(data, IbsAlgorithm::kNaive, opts.repeats);
     double optimized_phase =
-        TimeNeighborPhase(data, IbsAlgorithm::kOptimized);
+        TimeNeighborPhase(data, IbsAlgorithm::kOptimized, opts.repeats);
     identify.AddRow(
         {std::to_string(count), FormatDouble(naive, 3),
          FormatDouble(optimized, 3), FormatDouble(naive_phase, 3),
@@ -234,11 +251,13 @@ void VaryDataSize(const Dataset& base, const BenchOptions& opts,
   for (int rows : opts.row_grid) {
     Dataset data = base.SampleRows(std::min(rows, base.NumRows()), rng);
     data.SetProtected(AdultScalabilityProtected(max_protected));
-    double naive = TimeIdentify(data, IbsAlgorithm::kNaive);
-    double optimized = TimeIdentify(data, IbsAlgorithm::kOptimized);
-    double naive_phase = TimeNeighborPhase(data, IbsAlgorithm::kNaive);
+    double naive = TimeIdentify(data, IbsAlgorithm::kNaive, opts.repeats);
+    double optimized =
+        TimeIdentify(data, IbsAlgorithm::kOptimized, opts.repeats);
+    double naive_phase =
+        TimeNeighborPhase(data, IbsAlgorithm::kNaive, opts.repeats);
     double optimized_phase =
-        TimeNeighborPhase(data, IbsAlgorithm::kOptimized);
+        TimeNeighborPhase(data, IbsAlgorithm::kOptimized, opts.repeats);
     identify.AddRow(
         {std::to_string(data.NumRows()), FormatDouble(naive, 3),
          FormatDouble(optimized, 3), FormatDouble(naive_phase, 3),
@@ -393,6 +412,95 @@ int SweepRowsBackends(const std::vector<int64_t>& rows_list,
   return mismatches;
 }
 
+// (g) the out-of-core sweep: stream the same Adult-schema rows (|X| = 8)
+// through the spill-mode builder into per-shard files under --store-dir,
+// then identify the IBS counting straight off the memory-mapped files. Up
+// to the in-memory verify limit the run also builds the in-memory store and
+// checks the two digests are byte-identical (the out-of-core acceptance
+// proof); beyond it — the 100M-row cell — only the mmap path runs, and the
+// peak-RSS column is the evidence that counting never materializes the
+// store. Returns the number of digest mismatches.
+int SweepOutOfCore(const std::vector<int64_t>& rows_list,
+                   const std::string& store_dir,
+                   bench::JsonResultWriter* json) {
+  std::printf(
+      "\n(g) out-of-core IBS identification (|X| = 8, mmap-backed spilled "
+      "store)\n");
+  TablePrinter table({"rows", "shards", "store (MB)", "spill (s)",
+                      "identify (s)", "digest", "in-mem match",
+                      "peak RSS (MB)"});
+  const int threads = ThreadPool::DefaultThreads();
+  constexpr int64_t kInMemoryVerifyLimit = 10'000'000;
+  int mismatches = 0;
+  for (int64_t rows : rows_list) {
+    SyntheticSpec spec = AdultSpec(static_cast<int>(rows));
+    DataSchema schema = spec.MakeSchema();
+    spec.protected_indices.clear();
+    for (const std::string& name : AdultScalabilityProtected(8)) {
+      spec.protected_indices.push_back(schema.AttributeIndex(name));
+    }
+    const std::string dir = store_dir + "/oocore-" + std::to_string(rows);
+    WallTimer spill_timer;
+    StatusOr<ColumnarShardStore> spilled =
+        GenerateSyntheticSpilledStore(spec, /*seed=*/42, dir);
+    REMEDY_CHECK(spilled.ok()) << spilled.status().ToString();
+    const double spill_s = spill_timer.Seconds();
+    const ColumnarShardStore& store = spilled.value();
+    IbsParams params;
+    params.imbalance_threshold = 0.5;
+    params.backend = CountingBackendKind::kSharded;
+    params.backend_threads = threads;
+    WallTimer timer;
+    std::vector<BiasedRegion> ibs = IdentifyIbs(store, params).value();
+    const double identify_s = timer.Seconds();
+    const uint64_t digest = IbsDigest(ibs);
+    std::string match = "n/a";
+    double matches_inmemory = -1.0;
+    if (rows <= kInMemoryVerifyLimit) {
+      ColumnarShardStore in_memory = GenerateSyntheticStore(spec, /*seed=*/42);
+      std::vector<BiasedRegion> reference =
+          IdentifyIbs(in_memory, params).value();
+      const bool ok = IbsDigest(reference) == digest;
+      matches_inmemory = ok ? 1.0 : 0.0;
+      match = ok ? "yes" : "NO";
+      if (!ok) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "out-of-core digest mismatch at %lld rows: mmap-backed "
+                     "!= in-memory\n",
+                     static_cast<long long>(rows));
+      }
+    }
+    const int64_t store_bytes = store.SpilledBytes();
+    const int64_t peak_rss = bench::PeakRssBytes();
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    table.AddRow({std::to_string(rows), std::to_string(store.NumShards()),
+                  std::to_string(store_bytes >> 20), FormatDouble(spill_s, 3),
+                  FormatDouble(identify_s, 3), digest_hex, match,
+                  std::to_string(peak_rss >> 20)});
+    json->AddRecord("identify_oocore",
+                    {{"rows", static_cast<double>(store.NumRows())},
+                     {"num_protected", 8.0},
+                     {"backend", "sharded"},
+                     {"num_shards", static_cast<double>(store.NumShards())},
+                     {"threads", static_cast<double>(threads)},
+                     {"spill_s", spill_s},
+                     {"identify_s", identify_s},
+                     {"digest", digest_hex},
+                     {"matches_inmemory", matches_inmemory},
+                     {"store_bytes", static_cast<double>(store_bytes)},
+                     {"peak_rss_bytes", static_cast<double>(peak_rss)}});
+  }
+  table.Print(std::cout);
+  if (mismatches == 0) {
+    std::printf("mmap-backed counting matches in-memory on every verified "
+                "digest\n");
+  }
+  return mismatches;
+}
+
 std::vector<int64_t> ParseRowsFlag(const std::string& value) {
   std::vector<int64_t> rows;
   for (const std::string& field : Split(value, ',')) {
@@ -431,6 +539,16 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> sweep_rows =
       remedy::ParseRowsFlag(remedy::bench::FlagValue(argc, argv, "--rows"));
   const bool sweep_only = remedy::bench::HasFlag(argc, argv, "--sweep-only");
+  // --oocore-rows 10000000,100000000 --store-dir DIR adds the out-of-core
+  // sweep: spill to per-shard files under DIR, count mmap-backed.
+  const std::vector<int64_t> oocore_rows = remedy::ParseRowsFlag(
+      remedy::bench::FlagValue(argc, argv, "--oocore-rows"));
+  const std::string store_dir =
+      remedy::bench::FlagValue(argc, argv, "--store-dir");
+  if (!oocore_rows.empty() && store_dir.empty()) {
+    std::fprintf(stderr, "--oocore-rows requires --store-dir\n");
+    return 1;
+  }
   remedy::bench::JsonResultWriter json;
   if (!sweep_only) {
     remedy::Dataset base = remedy::MakeAdult(opts.base_rows);
@@ -441,6 +559,9 @@ int main(int argc, char** argv) {
   int mismatches = 0;
   if (!sweep_rows.empty()) {
     mismatches = remedy::SweepRowsBackends(sweep_rows, &json);
+  }
+  if (!oocore_rows.empty()) {
+    mismatches += remedy::SweepOutOfCore(oocore_rows, store_dir, &json);
   }
   if (!json_path.empty() && json.WriteFile(json_path)) {
     std::printf("\nwrote %s\n", json_path.c_str());

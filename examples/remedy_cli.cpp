@@ -8,6 +8,16 @@
 //   remedy_cli remedy <csv> --protected race,gender --out remedied.csv
 //                     [--technique ps|us|os|massage] [--tau-c 0.1] [--T 1]
 //                     [--report] [--report-json[=file]]
+//   remedy_cli identify <csv> --protected race,gender [--tau-c 0.1] [--T 1]
+//                     [--store-dir dir [--mmap]]
+//
+// `identify` prints the biased regions counting from the columnar shard
+// store. `--store-dir dir` spills the encoded store to per-shard files
+// under `dir` and counts memory-mapped off those files (the out-of-core
+// path: peak memory stays at one in-flight shard). `--mmap` re-opens a
+// store already spilled to `--store-dir` instead of re-encoding the input
+// (the input is still loaded for its schema); `--mmap` alone is a usage
+// error.
 //
 // `<csv>` is a file path, or one of the built-in generators `@adult`,
 // `@compas`, `@lawschool` (optionally `@adult:10000` for a row count).
@@ -66,8 +76,10 @@
 #include "common/table_printer.h"
 #include "common/trace.h"
 #include "core/counting_backend.h"
+#include "core/ibs_identify.h"
 #include "core/pipeline_report.h"
 #include "core/remedy.h"
+#include "data/columnar.h"
 #include "data/loader.h"
 #include "data/profile.h"
 #include "datagen/adult.h"
@@ -136,6 +148,8 @@ struct CliArgs {
   bool report_json = false;
   std::string report_json_path;  // empty with report_json: stdout
   bool protected_given = false;
+  std::string store_dir;  // identify: spill here, count mmap-backed
+  bool mmap_existing = false;  // identify: reuse an already-spilled store
   bool valid = false;
 };
 
@@ -152,6 +166,9 @@ void PrintUsage() {
       "             [--label col] [--positive v] [--tau-c x] [--T x]\n"
       "             [--technique ps|us|os|massage] [--seed n]\n"
       "             [--report] [--report-json[=file]]\n"
+      "  remedy_cli identify <csv> --protected a,b[,..] [--label col]\n"
+      "             [--positive v] [--tau-c x] [--T x]\n"
+      "             [--store-dir dir [--mmap]]\n"
       "  <csv>:  a file path, or @adult | @compas | @lawschool\n"
       "          (append :N for N rows, e.g. @adult:10000)\n"
       "  shared: [--on-bad-row fail|quarantine|drop]\n"
@@ -247,6 +264,10 @@ CliArgs ParseArgs(int argc, char** argv) {
       }
     } else if (flag == "--max-quarantine-frac" && (value = value_of())) {
       args.loader.max_quarantine_fraction = std::atof(value->c_str());
+    } else if (flag == "--store-dir" && (value = value_of())) {
+      args.store_dir = *value;
+    } else if (flag == "--mmap") {
+      args.mmap_existing = true;
     } else if (flag == "--trace-out" && (value = value_of())) {
       args.trace_out = *value;
     } else if (flag == "--metrics") {
@@ -289,8 +310,16 @@ CliArgs ParseArgs(int argc, char** argv) {
     std::fprintf(stderr, "remedy needs --out\n");
     return args;
   }
+  if (args.mmap_existing && args.store_dir.empty()) {
+    std::fprintf(stderr, "--mmap needs --store-dir\n");
+    return args;
+  }
+  if (!args.store_dir.empty() && args.command != "identify") {
+    std::fprintf(stderr, "--store-dir is an identify flag\n");
+    return args;
+  }
   args.valid = args.command == "audit" || args.command == "plan" ||
-               args.command == "remedy";
+               args.command == "remedy" || args.command == "identify";
   return args;
 }
 
@@ -376,6 +405,57 @@ int RunPlanCommand(const CliArgs& args, const Dataset& data) {
   table.Print(std::cout);
   std::printf("%zu biased regions; re-run with `remedy --out` to apply.\n",
               plan.size());
+  return 0;
+}
+
+// Biased regions counted from the columnar store. Default: in-memory
+// encoding. --store-dir spills the encoding to per-shard files and counts
+// memory-mapped off them; --mmap re-opens files a previous run spilled.
+int RunIdentifyCommand(const CliArgs& args, const Dataset& data) {
+  StatusOr<ColumnarShardStore> store = [&]() -> StatusOr<ColumnarShardStore> {
+    if (args.store_dir.empty()) {
+      return ColumnarShardStore::FromDataset(data);
+    }
+    if (args.mmap_existing) {
+      return ColumnarShardStore::OpenSpilled(args.store_dir, data.schema());
+    }
+    ColumnarShardStoreBuilder builder(data.schema());
+    RETURN_IF_ERROR(builder.EnableSpill(args.store_dir));
+    builder.Append(data);
+    return builder.FinishSpilled();
+  }();
+  if (!store.ok()) return Fail("store failed", store.status());
+
+  IbsParams params;
+  params.imbalance_threshold = args.tau_c;
+  params.distance_threshold = args.distance;
+  params.backend = args.backend;
+  params.backend_threads = args.backend_threads;
+  StatusOr<std::vector<BiasedRegion>> identified =
+      IdentifyIbs(store.value(), params);
+  if (!identified.ok()) return Fail("identify failed", identified.status());
+  const std::vector<BiasedRegion>& ibs = identified.value();
+  if (!args.store_dir.empty()) {
+    std::printf("counted %s %lld-byte spilled store (%d shards) in %s\n",
+                args.mmap_existing ? "existing" : "freshly written",
+                static_cast<long long>(store.value().SpilledBytes()),
+                store.value().NumShards(), args.store_dir.c_str());
+  }
+  if (ibs.empty()) {
+    std::printf("no biased regions at tau_c = %g, T = %g\n", args.tau_c,
+                args.distance);
+    return 0;
+  }
+  TablePrinter table({"region", "|r+|", "|r-|", "ratio_r", "ratio_rn"});
+  for (const BiasedRegion& region : ibs) {
+    table.AddRow({region.pattern.ToString(data.schema()),
+                  std::to_string(region.counts.positives),
+                  std::to_string(region.counts.negatives),
+                  FormatDouble(region.ratio, 2),
+                  FormatDouble(region.neighbor_ratio, 2)});
+  }
+  table.Print(std::cout);
+  std::printf("%zu biased regions\n", ibs.size());
   return 0;
 }
 
@@ -491,6 +571,7 @@ int RunCommand(CliArgs& args) {
 
   if (args.command == "audit") return RunAuditCommand(args, data);
   if (args.command == "plan") return RunPlanCommand(args, data);
+  if (args.command == "identify") return RunIdentifyCommand(args, data);
   return RunRemedyCommand(args, data);
 }
 

@@ -28,6 +28,8 @@ const std::vector<std::string>& RegisteredFaultPoints() {
           "loader/build",         // BuildDataset / LoadCsvDataset
           "threadpool/dispatch",  // ThreadPool::ParallelFor fan-out
           "remedy/apply",         // RemedyDataset entry
+          "store/spill_write",    // per shard file written by the spill mode
+          "store/mmap_map",       // per shard file mapped by EnsureMapped
       };
   return *kPoints;
 }

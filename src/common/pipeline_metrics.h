@@ -46,6 +46,16 @@ namespace remedy {
   X(lattice_radix_sort_passes, "lattice/radix_sort_passes", "passes",         \
     "counting passes executed by the radix sort (one per significant "        \
     "key byte)")                                                              \
+  X(lattice_spill_shards, "lattice/spill_shards", "shards",                   \
+    "completed shards written to disk by the spill-mode store builder")       \
+  X(lattice_spill_bytes, "lattice/spill_bytes", "bytes",                      \
+    "shard-file bytes written by the spill-mode store builder")               \
+  X(lattice_mmap_shards, "lattice/mmap_shards", "shards",                     \
+    "shard files memory-mapped by the out-of-core store")                     \
+  X(lattice_mmap_bytes, "lattice/mmap_bytes", "bytes",                        \
+    "shard-file bytes memory-mapped by the out-of-core store")                \
+  X(lattice_mmap_releases, "lattice/mmap_releases", "shards",                 \
+    "MADV_DONTNEED page releases after per-shard tally passes")               \
   X(ibs_nodes_visited, "ibs/nodes_visited", "nodes",                          \
     "lattice nodes examined by IdentifyIbs")                                  \
   X(ibs_hits, "ibs/hits", "nodes",                                            \

@@ -46,14 +46,14 @@ std::vector<NodeTable::Entry> EntriesFromTally(
 
 // Scalar mixed-radix key of one store row — the store twin of
 // RegionCounter::RowKey (same Horner packing over the same positions).
-uint64_t StoreRowKey(const ColumnarShardStore::Shard& shard,
+uint64_t StoreRowKey(const ColumnarShardStore::ShardView& shard,
                      const std::vector<int>& cardinalities, uint32_t mask,
                      int64_t row) {
   uint64_t key = 0;
   for (size_t i = 0; i < cardinalities.size(); ++i) {
     if (mask & (1u << i)) {
-      const ColumnarShardStore::ColumnCodes& column = shard.columns[i];
-      const uint64_t code = column.wide.empty()
+      const ColumnarShardStore::ShardView::Column& column = shard.columns[i];
+      const uint64_t code = column.wide == nullptr
                                 ? column.narrow[row]
                                 : column.wide[row];
       key = key * static_cast<uint64_t>(cardinalities[i]) + code;
@@ -80,17 +80,20 @@ NodeTable ScalarCountStore(const ColumnarShardStore& store,
   if (key_space <= kDenseKeyLimit) {
     std::vector<int64_t> tally(2 * key_space, 0);
     for (int s = 0; s < store.NumShards(); ++s) {
-      const ColumnarShardStore::Shard& shard = store.shard(s);
+      const ColumnarShardStore::ShardView shard = store.View(s);
+      store.BeginShardPass(s);
       for (int64_t r = 0; r < shard.num_rows; ++r) {
         const uint64_t key = StoreRowKey(shard, cardinalities, mask, r);
         ++tally[2 * key + shard.labels[r]];
       }
+      store.EndShardPass(s);
     }
     entries = EntriesFromTally(tally);
   } else {
     std::unordered_map<uint64_t, RegionCounts> counts;
     for (int s = 0; s < store.NumShards(); ++s) {
-      const ColumnarShardStore::Shard& shard = store.shard(s);
+      const ColumnarShardStore::ShardView shard = store.View(s);
+      store.BeginShardPass(s);
       for (int64_t r = 0; r < shard.num_rows; ++r) {
         const uint64_t key = StoreRowKey(shard, cardinalities, mask, r);
         RegionCounts& entry = counts[key];
@@ -100,6 +103,7 @@ NodeTable ScalarCountStore(const ColumnarShardStore& store,
           ++entry.negatives;
         }
       }
+      store.EndShardPass(s);
     }
     entries.assign(counts.begin(), counts.end());
   }
@@ -108,7 +112,7 @@ NodeTable ScalarCountStore(const ColumnarShardStore& store,
 
 // Counts one shard into `tally` (2 * key_space dense array) through the
 // vectorized key kernel, reusing the caller's key/lane scratch.
-void CountShardDense(const ColumnarShardStore::Shard& shard,
+void CountShardDense(const ColumnarShardStore::ShardView& shard,
                      const LeafKeyPlan& plan, std::vector<uint32_t>& keys,
                      std::vector<int64_t>& lanes,
                      std::vector<int64_t>& tally) {
@@ -117,10 +121,10 @@ void CountShardDense(const ColumnarShardStore::Shard& shard,
     const int64_t count = std::min(kKeyBlockRows, shard.num_rows - begin);
     ComputeShardKeys(shard, plan, begin, count, keys.data());
     if (lane_tally) {
-      TallyKeysLanes(keys.data(), shard.labels.data() + begin, count,
+      TallyKeysLanes(keys.data(), shard.labels + begin, count,
                      plan.key_space, lanes.data());
     } else {
-      TallyKeysSingle(keys.data(), shard.labels.data() + begin, count,
+      TallyKeysSingle(keys.data(), shard.labels + begin, count,
                       tally.data());
     }
   }
@@ -132,13 +136,13 @@ void CountShardDense(const ColumnarShardStore::Shard& shard,
 
 // Sparse twin: keys still come from the vectorized kernel; the tally goes
 // through a hash map.
-void CountShardSparse(const ColumnarShardStore::Shard& shard,
+void CountShardSparse(const ColumnarShardStore::ShardView& shard,
                       const LeafKeyPlan& plan, std::vector<uint32_t>& keys,
                       std::unordered_map<uint64_t, RegionCounts>& counts) {
   for (int64_t begin = 0; begin < shard.num_rows; begin += kKeyBlockRows) {
     const int64_t count = std::min(kKeyBlockRows, shard.num_rows - begin);
     ComputeShardKeys(shard, plan, begin, count, keys.data());
-    const uint8_t* labels = shard.labels.data() + begin;
+    const uint8_t* labels = shard.labels + begin;
     for (int64_t i = 0; i < count; ++i) {
       RegionCounts& entry = counts[keys[i]];
       if (labels[i] == 1) {
@@ -196,13 +200,19 @@ class SimdCountingBackend : public CountingBackend {
           UseLaneTally(plan.key_space) ? kTallyLanes * 2 * plan.key_space : 0,
           0);
       for (int s = 0; s < store.NumShards(); ++s) {
-        CountShardDense(store.shard(s), plan, keys, lanes, tally);
+        const ColumnarShardStore::ShardView shard = store.View(s);
+        store.BeginShardPass(s);
+        CountShardDense(shard, plan, keys, lanes, tally);
+        store.EndShardPass(s);
       }
       entries = EntriesFromTally(tally);
     } else {
       std::unordered_map<uint64_t, RegionCounts> counts;
       for (int s = 0; s < store.NumShards(); ++s) {
-        CountShardSparse(store.shard(s), plan, keys, counts);
+        const ColumnarShardStore::ShardView shard = store.View(s);
+        store.BeginShardPass(s);
+        CountShardSparse(shard, plan, keys, counts);
+        store.EndShardPass(s);
       }
       entries.assign(counts.begin(), counts.end());
     }
@@ -253,8 +263,9 @@ class ShardedCountingBackend : public CountingBackend {
     }
     auto count_shard = [&](int64_t s) {
       std::vector<uint32_t> keys(kKeyBlockRows);
-      const ColumnarShardStore::Shard& shard =
-          store.shard(static_cast<int>(s));
+      const int index = static_cast<int>(s);
+      const ColumnarShardStore::ShardView shard = store.View(index);
+      store.BeginShardPass(index);
       if (dense) {
         std::vector<int64_t> tally(2 * plan.key_space, 0);
         std::vector<int64_t> lanes(
@@ -269,6 +280,7 @@ class ShardedCountingBackend : public CountingBackend {
         std::vector<NodeTable::Entry> entries(counts.begin(), counts.end());
         shard_entries[s] = std::move(entries);
       }
+      store.EndShardPass(index);
     };
 
     const int workers = ResolveThreadCount(threads);
@@ -299,7 +311,10 @@ class ShardedCountingBackend : public CountingBackend {
                        shard_entries[s].end());
       }
     }
-    return NodeTable(std::move(entries));
+    // The sparse concatenation is the one unsorted input large enough for
+    // the parallel radix sort; the dense fold is already ascending, so the
+    // sort-thread hint is a no-op there.
+    return NodeTable(std::move(entries), workers);
   }
 };
 

@@ -26,14 +26,14 @@ LeafKeyPlan MakeLeafKeyPlan(const std::vector<int>& cardinalities,
   return plan;
 }
 
-void ComputeShardKeysPortable(const ColumnarShardStore::Shard& shard,
+void ComputeShardKeysPortable(const ColumnarShardStore::ShardView& shard,
                               const LeafKeyPlan& plan, int64_t row_begin,
                               int64_t count, uint32_t* keys) {
   REMEDY_DCHECK(plan.FitsU32());
   REMEDY_DCHECK(row_begin >= 0 && row_begin + count <= shard.num_rows);
   bool first = true;
   for (size_t p = 0; p < plan.positions.size(); ++p) {
-    const ColumnarShardStore::ColumnCodes& column =
+    const ColumnarShardStore::ShardView::Column& column =
         shard.columns[plan.positions[p]];
     const uint32_t stride = plan.strides[p];
     // Column-at-a-time accumulation: each pass streams one contiguous code
@@ -63,10 +63,10 @@ void ComputeShardKeysPortable(const ColumnarShardStore::Shard& shard,
         }
       }
     };
-    if (column.narrow.empty() && !column.wide.empty()) {
-      accumulate(column.wide.data() + row_begin);
+    if (column.wide != nullptr) {
+      accumulate(column.wide + row_begin);
     } else {
-      accumulate(column.narrow.data() + row_begin);
+      accumulate(column.narrow + row_begin);
     }
     first = false;
   }
@@ -76,7 +76,7 @@ void ComputeShardKeysPortable(const ColumnarShardStore::Shard& shard,
   }
 }
 
-void ComputeShardKeys(const ColumnarShardStore::Shard& shard,
+void ComputeShardKeys(const ColumnarShardStore::ShardView& shard,
                       const LeafKeyPlan& plan, int64_t row_begin,
                       int64_t count, uint32_t* keys) {
   if (Avx2CountingAvailable()) {

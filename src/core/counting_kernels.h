@@ -36,16 +36,18 @@ bool Avx2CountingAvailable();
 
 // Writes keys[i] = packed key of shard row (row_begin + i) for i in
 // [0, count). Requires plan.FitsU32() and row_begin + count <= shard rows.
-void ComputeShardKeysPortable(const ColumnarShardStore::Shard& shard,
+// Kernels read shards through ColumnarShardStore::ShardView, so in-memory
+// and mmap-backed stores run the exact same code.
+void ComputeShardKeysPortable(const ColumnarShardStore::ShardView& shard,
                               const LeafKeyPlan& plan, int64_t row_begin,
                               int64_t count, uint32_t* keys);
 // AVX2 twin (8 rows per iteration, scalar tail). Only callable when
 // Avx2CountingAvailable(); output is bit-identical to the portable kernel.
-void ComputeShardKeysAvx2(const ColumnarShardStore::Shard& shard,
+void ComputeShardKeysAvx2(const ColumnarShardStore::ShardView& shard,
                           const LeafKeyPlan& plan, int64_t row_begin,
                           int64_t count, uint32_t* keys);
 // Dispatches to the AVX2 kernel when available, else the portable one.
-void ComputeShardKeys(const ColumnarShardStore::Shard& shard,
+void ComputeShardKeys(const ColumnarShardStore::ShardView& shard,
                       const LeafKeyPlan& plan, int64_t row_begin,
                       int64_t count, uint32_t* keys);
 

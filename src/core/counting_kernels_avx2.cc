@@ -24,7 +24,7 @@ bool Avx2CountingAvailable() {
   return available;
 }
 
-void ComputeShardKeysAvx2(const ColumnarShardStore::Shard& shard,
+void ComputeShardKeysAvx2(const ColumnarShardStore::ShardView& shard,
                           const LeafKeyPlan& plan, int64_t row_begin,
                           int64_t count, uint32_t* keys) {
   REMEDY_DCHECK(plan.FitsU32());
@@ -35,15 +35,13 @@ void ComputeShardKeysAvx2(const ColumnarShardStore::Shard& shard,
   }
   bool first = true;
   for (size_t p = 0; p < plan.positions.size(); ++p) {
-    const ColumnarShardStore::ColumnCodes& column =
+    const ColumnarShardStore::ShardView::Column& column =
         shard.columns[plan.positions[p]];
     const __m256i stride = _mm256_set1_epi32(
         static_cast<int>(plan.strides[p]));
-    const bool narrow = !(column.narrow.empty() && !column.wide.empty());
-    const uint8_t* codes8 =
-        narrow ? column.narrow.data() + row_begin : nullptr;
-    const uint16_t* codes16 =
-        narrow ? nullptr : column.wide.data() + row_begin;
+    const bool narrow = column.wide == nullptr;
+    const uint8_t* codes8 = narrow ? column.narrow + row_begin : nullptr;
+    const uint16_t* codes16 = narrow ? nullptr : column.wide + row_begin;
     int64_t i = 0;
     for (; i + 8 <= count; i += 8) {
       // 8 codes -> 8 u32 lanes; key lane += code * stride (exact in u32:
@@ -82,7 +80,7 @@ namespace remedy {
 
 bool Avx2CountingAvailable() { return false; }
 
-void ComputeShardKeysAvx2(const ColumnarShardStore::Shard& shard,
+void ComputeShardKeysAvx2(const ColumnarShardStore::ShardView& shard,
                           const LeafKeyPlan& plan, int64_t row_begin,
                           int64_t count, uint32_t* keys) {
   // Unreachable by contract (Avx2CountingAvailable() is false), but keep a

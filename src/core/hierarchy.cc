@@ -49,6 +49,14 @@ CountingSource Hierarchy::SourceForCounting() {
   return source;
 }
 
+Status Hierarchy::PrepareCounting() {
+  const CountingSource source = SourceForCounting();
+  if (source.store != nullptr) {
+    return source.store->EnsureMapped();
+  }
+  return OkStatus();
+}
+
 const NodeTable& Hierarchy::NodeCounts(uint32_t mask) {
   REMEDY_CHECK(mask != 0 && (mask & ~LeafMask()) == 0)
       << "invalid node mask " << mask;
@@ -96,6 +104,7 @@ constexpr size_t kMinNodesForParallelLevel = 8;
 
 Status Hierarchy::EagerBuild(int threads) {
   REMEDY_TRACE_SPAN("hierarchy/eager_build");
+  RETURN_IF_ERROR(PrepareCounting());
   if (threads <= 0) threads = ThreadPool::DefaultThreads();
   {
     REMEDY_TRACE_SPAN_ARG("hierarchy/leaf_scan", NumProtected());

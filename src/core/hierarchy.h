@@ -64,6 +64,14 @@ class Hierarchy {
   const Dataset& data() const;
   bool has_dataset() const { return data_ != nullptr; }
 
+  // Readies the counting source before any node is built: for a spilled
+  // (mmap-backed) store this maps the shard files, which is the one
+  // fallible step of out-of-core counting. EagerBuild and IdentifyIbs call
+  // it so a missing or truncated shard file surfaces as a clean Status;
+  // lazy NodeCounts on an unprepared store still works but dies on a map
+  // failure. No-op for in-memory sources.
+  Status PrepareCounting();
+
   // Region counts of node `mask` (memoized; built by rollup, see above).
   const NodeTable& NodeCounts(uint32_t mask);
 

@@ -17,6 +17,9 @@ constexpr uint64_t kDenseKeySpaceLimit = uint64_t{1} << 21;
 }  // namespace
 
 NodeTable::NodeTable(std::vector<Entry> entries)
+    : NodeTable(std::move(entries), /*sort_threads=*/1) {}
+
+NodeTable::NodeTable(std::vector<Entry> entries, int sort_threads)
     : entries_(std::move(entries)) {
   // Dense-array counting and shard merges emit keys already ascending;
   // skip the sort entirely for them.
@@ -24,7 +27,10 @@ NodeTable::NodeTable(std::vector<Entry> entries)
     return a.first < b.first;
   };
   if (!std::is_sorted(entries_.begin(), entries_.end(), key_less)) {
-    if (entries_.size() >= kRadixSortMinEntries) {
+    if (sort_threads != 1 &&
+        entries_.size() >= kParallelRadixSortMinEntries) {
+      RadixSortByKey(entries_, sort_threads);
+    } else if (entries_.size() >= kRadixSortMinEntries) {
       RadixSortByKey(entries_);
     } else {
       std::sort(entries_.begin(), entries_.end(), key_less);

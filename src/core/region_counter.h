@@ -42,6 +42,12 @@ class NodeTable {
   // counts (the rollup projection produces such duplicates).
   explicit NodeTable(std::vector<Entry> entries);
 
+  // Same, but unsorted inputs large enough for it are ordered by the
+  // parallel radix sort on `sort_threads` workers (<= 0 = every usable
+  // CPU). The result is identical for every thread count — the parallel
+  // sort reproduces the stable sort exactly.
+  NodeTable(std::vector<Entry> entries, int sort_threads);
+
   const_iterator begin() const { return entries_.begin(); }
   const_iterator end() const { return entries_.end(); }
   size_t size() const { return entries_.size(); }

@@ -1,0 +1,124 @@
+#include "data/mmap_file.h"
+
+#include <algorithm>
+#include <utility>
+
+#if defined(_WIN32)
+// No mmap on this toolchain: Map fails with a clean Status and the store
+// stays on its in-memory path. Nothing else in the library requires it.
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace remedy {
+
+MmapFile::~MmapFile() { Unmap(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+#if defined(_WIN32)
+
+StatusOr<MmapFile> MmapFile::Map(const std::string& path) {
+  return IoError("memory mapping is not supported on this platform ('" +
+                 path + "')");
+}
+
+void MmapFile::AdviseSequential(size_t, size_t) const {}
+void MmapFile::AdviseDontNeed(size_t, size_t) const {}
+void MmapFile::Unmap() {}
+
+#else
+
+namespace {
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+// Expands [offset, offset + length) to page boundaries, clamped to `size`;
+// returns false when the range is empty after clamping.
+bool AlignRange(size_t size, size_t& offset, size_t& length) {
+  if (offset >= size) return false;
+  const size_t page = PageSize();
+  const size_t end = std::min(size, offset + length);
+  offset -= offset % page;
+  length = end - offset;
+  return length > 0;
+}
+
+}  // namespace
+
+StatusOr<MmapFile> MmapFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("cannot open '" + path +
+                   "' for mapping: " + std::strerror(errno));
+  }
+  struct stat info;
+  if (::fstat(fd, &info) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return IoError("cannot stat '" + path + "': " + error);
+  }
+  if (info.st_size <= 0) {
+    ::close(fd);
+    return IoError("cannot map empty file '" + path + "'");
+  }
+  const size_t size = static_cast<size_t>(info.st_size);
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point either way.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return IoError("mmap of '" + path + "' (" + std::to_string(size) +
+                   " bytes) failed: " + std::strerror(errno));
+  }
+  MmapFile file;
+  file.data_ = data;
+  file.size_ = size;
+  return file;
+}
+
+void MmapFile::AdviseSequential(size_t offset, size_t length) const {
+  if (data_ == nullptr || !AlignRange(size_, offset, length)) return;
+  ::madvise(static_cast<char*>(data_) + offset, length, MADV_SEQUENTIAL);
+}
+
+void MmapFile::AdviseDontNeed(size_t offset, size_t length) const {
+  if (data_ == nullptr || !AlignRange(size_, offset, length)) return;
+  ::madvise(static_cast<char*>(data_) + offset, length, MADV_DONTNEED);
+}
+
+void MmapFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+#endif  // _WIN32
+
+}  // namespace remedy

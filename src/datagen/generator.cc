@@ -92,6 +92,18 @@ ColumnarShardStore GenerateSyntheticStore(const SyntheticSpec& spec,
   return builder.Finish();
 }
 
+StatusOr<ColumnarShardStore> GenerateSyntheticSpilledStore(
+    const SyntheticSpec& spec, uint64_t seed, const std::string& dir,
+    int64_t shard_rows) {
+  ColumnarShardStoreBuilder builder(spec.MakeSchema(), shard_rows);
+  RETURN_IF_ERROR(builder.EnableSpill(dir));
+  GenerateRows(spec, seed,
+               [&builder](const std::vector<int>& values, int label) {
+                 builder.AddRow(values, label);
+               });
+  return builder.FinishSpilled();
+}
+
 Status GenerateSyntheticCsvFile(const SyntheticSpec& spec, uint64_t seed,
                                 const std::string& path, int64_t chunk_rows) {
   std::ofstream out(path, std::ios::trunc);

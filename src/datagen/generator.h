@@ -39,6 +39,15 @@ ColumnarShardStore GenerateSyntheticStore(
     const SyntheticSpec& spec, uint64_t seed,
     int64_t shard_rows = ColumnarShardStore::kDefaultShardRows);
 
+// Spill twin of GenerateSyntheticStore: streams the same rows (same RNG
+// order, bit-identical shards) through a spill-mode builder into per-shard
+// files under `dir`, so peak memory is one in-flight shard no matter how
+// large spec.num_rows is. Returns the mmap-backed store re-opened over the
+// files — the 100M+-row out-of-core counting path.
+StatusOr<ColumnarShardStore> GenerateSyntheticSpilledStore(
+    const SyntheticSpec& spec, uint64_t seed, const std::string& dir,
+    int64_t shard_rows = ColumnarShardStore::kDefaultShardRows);
+
 // Streams the generated rows to a CSV file (header + one record per row),
 // writing chunk by chunk. Byte-identical to
 // WriteCsvFile(path, GenerateSynthetic(spec, seed).ToCsv()) at any size.

@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "core/ibs_identify.h"
 #include "core/remedy.h"
+#include "data/columnar.h"
 #include "data/loader.h"
 #include "datagen/adult.h"
 
@@ -38,8 +39,10 @@ void WriteText(const std::string& path, const std::string& text) {
 
 TEST(FaultInjectionTest, RegistryListsEveryPoint) {
   std::vector<std::string> points = RegisteredFaultPoints();
-  std::set<std::string> expected = {"csv/read", "csv/write", "loader/build",
-                                    "threadpool/dispatch", "remedy/apply"};
+  std::set<std::string> expected = {
+      "csv/read",          "csv/write",        "loader/build",
+      "threadpool/dispatch", "remedy/apply",   "store/spill_write",
+      "store/mmap_map"};
   EXPECT_EQ(std::set<std::string>(points.begin(), points.end()), expected);
 }
 
@@ -112,6 +115,40 @@ TEST(FaultInjectionTest, ThreadPoolDispatchSurfacesInjectedError) {
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInternal);
   EXPECT_EQ(ran.load(), 0);  // fault fires before any task dispatch
+}
+
+TEST(FaultInjectionTest, SpillWriteSurfacesAtFinishSpilled) {
+  Dataset data = MakeAdult(600, 3);
+  ColumnarShardStoreBuilder builder(data.schema(), /*shard_rows=*/128);
+  ASSERT_TRUE(builder.EnableSpill(TempPath("fi_spill")).ok());
+  FaultInjector injector;
+  injector.FailAlways("store/spill_write");
+  builder.Append(data);  // write failures are remembered, not fatal
+  StatusOr<ColumnarShardStore> store = builder.FinishSpilled();
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIoError);
+  EXPECT_NE(store.status().message().find("fi_spill"), std::string::npos);
+  EXPECT_GE(injector.HitCount("store/spill_write"), 1);
+}
+
+TEST(FaultInjectionTest, MmapMapSurfacesThroughIdentify) {
+  Dataset data = MakeAdult(600, 4);
+  ColumnarShardStoreBuilder builder(data.schema(), /*shard_rows=*/128);
+  ASSERT_TRUE(builder.EnableSpill(TempPath("fi_map")).ok());
+  builder.Append(data);
+  StatusOr<ColumnarShardStore> store = builder.FinishSpilled();
+  ASSERT_TRUE(store.ok()) << store.status();
+  // The store is opened lazily: arming the map point now makes the first
+  // count's Hierarchy::PrepareCounting fail with a clean Status.
+  FaultInjector injector;
+  injector.FailAlways("store/mmap_map");
+  IbsParams params;
+  params.imbalance_threshold = 0.3;
+  StatusOr<std::vector<BiasedRegion>> ibs =
+      IdentifyIbs(store.value(), params);
+  ASSERT_FALSE(ibs.ok());
+  EXPECT_EQ(ibs.status().code(), StatusCode::kIoError);
+  EXPECT_GE(injector.HitCount("store/mmap_map"), 1);
 }
 
 TEST(FaultInjectionTest, RemedySurfacesDispatchFaultWithContext) {
