@@ -59,6 +59,9 @@
 // 65 corrupt data (incl. the quarantine circuit breaker), 70 internal,
 // 74 I/O, 75 resource exhausted.
 
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +69,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/csv.h"
@@ -151,6 +155,71 @@ struct CliArgs {
   std::string store_dir;  // identify: spill here, count mmap-backed
   bool mmap_existing = false;  // identify: reuse an already-spilled store
   bool valid = false;
+};
+
+// --- interrupt flushing ----------------------------------------------
+// A long audit/remedy killed mid-run used to take its observability
+// outputs with it: the trace JSON, the metrics dump and the quarantine
+// report all happen after RunCommand returns. SIGINT/SIGTERM are blocked
+// in every thread and consumed by a watcher thread instead, which flushes
+// whatever has accumulated so far and exits with the conventional
+// 128+signo. The pointers are published/retired around the regions where
+// the underlying objects are alive.
+std::atomic<const CliArgs*> g_cli_args{nullptr};
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+std::atomic<QuarantineReport*> g_quarantine{nullptr};
+std::atomic<bool> g_work_done{false};
+
+void FlushOnInterrupt(int sig) {
+  std::fprintf(stderr, "\ninterrupted (signal %d): flushing outputs\n", sig);
+  const CliArgs* args = g_cli_args.load();
+  if (args != nullptr) {
+    TraceSink* sink = g_trace_sink.load();
+    if (sink != nullptr && !args->trace_out.empty()) {
+      Status written = sink->WriteChromeJson(args->trace_out);
+      std::fprintf(stderr, "  trace %s: %s\n", args->trace_out.c_str(),
+                   written.ok() ? "written" : written.ToString().c_str());
+    }
+    if (args->metrics_json) {
+      if (args->metrics_json_path.empty()) {
+        std::printf(
+            "%s\n", MetricsToJson(MetricsRegistry::Global().Snapshot()).c_str());
+      } else {
+        Status written = WriteMetricsJsonFile(args->metrics_json_path);
+        std::fprintf(stderr, "  metrics %s: %s\n",
+                     args->metrics_json_path.c_str(),
+                     written.ok() ? "written" : written.ToString().c_str());
+      }
+    }
+  }
+  QuarantineReport* quarantine = g_quarantine.load();
+  if (quarantine != nullptr && quarantine->rows_quarantined > 0) {
+    std::fprintf(stderr, "  %lld record(s) in quarantine at interrupt:\n",
+                 static_cast<long long>(quarantine->rows_quarantined));
+    for (const CsvBadRow& row : quarantine->examples) {
+      std::fprintf(stderr, "    line %d: %s\n", row.line, row.reason.c_str());
+    }
+  }
+  std::fflush(nullptr);
+  std::_Exit(128 + sig);
+}
+
+// Polls for a blocked SIGINT/SIGTERM until the run finishes naturally.
+void WatchForInterrupt(sigset_t signals) {
+  struct timespec tick = {0, 100 * 1000 * 1000};  // 100ms
+  while (!g_work_done.load()) {
+    const int sig = sigtimedwait(&signals, nullptr, &tick);
+    if (sig == SIGINT || sig == SIGTERM) FlushOnInterrupt(sig);
+  }
+}
+
+// Publishes the quarantine report to the interrupt flusher for as long as
+// the referenced object is alive.
+struct ScopedQuarantineExport {
+  explicit ScopedQuarantineExport(QuarantineReport* quarantine) {
+    g_quarantine.store(quarantine);
+  }
+  ~ScopedQuarantineExport() { g_quarantine.store(nullptr); }
 };
 
 void PrintUsage() {
@@ -535,6 +604,7 @@ int RunRemedyCommand(const CliArgs& args, const Dataset& data) {
 int RunCommand(CliArgs& args) {
   LoaderReport report;
   QuarantineReport quarantine;
+  ScopedQuarantineExport exported(&quarantine);
   StatusOr<Dataset> loaded = [&]() -> StatusOr<Dataset> {
     if (!args.input.empty() && args.input[0] == '@') {
       ASSIGN_OR_RETURN(CsvTable table, GenerateInput(args.input, &args));
@@ -584,12 +654,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Blocked here (and inherited by every thread the run spawns), consumed
+  // by the watcher: an interrupt flushes trace/metrics/quarantine instead
+  // of silently dropping them.
+  g_cli_args.store(&args);
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  std::thread watcher(WatchForInterrupt, signals);
+
   int rc;
   {
     // The sink brackets the whole run, so loader spans are captured too.
     std::unique_ptr<TraceSink> sink;
     if (!args.trace_out.empty()) sink = std::make_unique<TraceSink>();
+    g_trace_sink.store(sink.get());
     rc = RunCommand(args);
+    g_trace_sink.store(nullptr);  // main owns the final trace write below
     if (sink != nullptr) {
       Status written = sink->WriteChromeJson(args.trace_out);
       if (!written.ok()) {
@@ -621,5 +704,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  g_work_done.store(true);
+  watcher.join();
   return rc;
 }

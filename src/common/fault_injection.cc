@@ -30,6 +30,14 @@ const std::vector<std::string>& RegisteredFaultPoints() {
           "remedy/apply",         // RemedyDataset entry
           "store/spill_write",    // per shard file written by the spill mode
           "store/mmap_map",       // per shard file mapped by EnsureMapped
+          "store/shard_read",     // per spilled shard header read / map
+                                  // attempt (retried with backoff)
+          "wal/append",           // per record framed into the delta WAL
+          "wal/fsync",            // per WAL group-commit / checkpoint sync
+          "wal/replay",           // per record decoded during WAL recovery
+          "serve/ingest",         // per batch parsed by the serve daemon
+          "serve/apply",          // per committed batch applied to the
+                                  // daemon's lattice
       };
   return *kPoints;
 }

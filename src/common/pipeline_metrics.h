@@ -20,7 +20,8 @@ namespace remedy {
 // Families: lattice (hierarchy construction), ibs (subgroup
 // identification), remedy (dataset repair), loader + csv (ingestion),
 // threadpool, fault (fault injection), ml (model training / tuning),
-// fairness (bootstrap confidence intervals).
+// fairness (bootstrap confidence intervals), wal (the streaming service's
+// write-ahead delta log), serve (the streaming fairness daemon).
 
 // REMEDY_PIPELINE_COUNTERS(X): X(field, "name", "unit", "help")
 #define REMEDY_PIPELINE_COUNTERS(X)                                           \
@@ -95,6 +96,40 @@ namespace remedy {
     "CSV records rejected by the parser as structurally malformed")           \
   X(csv_read_retries, "csv/read_retries", "attempts",                         \
     "extra read attempts taken by ReadCsvFile after transient I/O faults")    \
+  X(store_shard_read_retries, "store/shard_read_retries", "attempts",         \
+    "extra attempts taken opening or mapping spilled shard files after "      \
+    "transient I/O faults")                                                   \
+  X(wal_records_appended, "wal/records_appended", "records",                  \
+    "delta batches framed into the write-ahead log")                          \
+  X(wal_bytes_appended, "wal/bytes_appended", "bytes",                        \
+    "bytes written to the write-ahead log (frames + payloads)")               \
+  X(wal_syncs, "wal/syncs", "syncs",                                          \
+    "group commits fsync'd to the write-ahead log")                           \
+  X(wal_records_replayed, "wal/records_replayed", "records",                  \
+    "committed records re-applied from the log during recovery")              \
+  X(wal_torn_tails_repaired, "wal/torn_tails_repaired", "repairs",            \
+    "incomplete log tails truncated away by recovery")                        \
+  X(wal_checkpoints, "wal/checkpoints", "checkpoints",                        \
+    "leaf-count checkpoints committed (tmp + rename) and the log reset")      \
+  X(serve_batches_ingested, "serve/batches_ingested", "batches",              \
+    "delta batches accepted into the daemon's ingest queue")                  \
+  X(serve_rows_ingested, "serve/rows_ingested", "rows",                       \
+    "row deltas accepted into the daemon's ingest queue")                     \
+  X(serve_batches_rejected, "serve/batches_rejected", "batches",              \
+    "delta batches rejected by backpressure (queue full) or read-only "       \
+    "mode")                                                                   \
+  X(serve_batches_applied, "serve/batches_applied", "batches",                \
+    "WAL-committed batches applied to the daemon's lattice")                  \
+  X(serve_apply_failures, "serve/apply_failures", "batches",                  \
+    "batches whose WAL append, sync, or lattice apply failed")                \
+  X(serve_epochs_published, "serve/epochs_published", "epochs",               \
+    "immutable query snapshots published by the apply thread")                \
+  X(serve_queries_served, "serve/queries_served", "queries",                  \
+    "identify/audit queries answered from an epoch snapshot")                 \
+  X(serve_monitor_alerts, "serve/monitor_alerts", "alerts",                   \
+    "epoch-over-epoch subgroup changes flagged by the online monitor")        \
+  X(serve_read_only_trips, "serve/read_only_trips", "trips",                  \
+    "times the watchdog switched the daemon into read-only mode")             \
   X(threadpool_tasks_submitted, "threadpool/tasks_submitted", "tasks",        \
     "tasks enqueued on any ThreadPool")                                       \
   X(fault_points_crossed, "fault/points_crossed", "events",                   \
@@ -115,9 +150,11 @@ namespace remedy {
     "replicates", "bootstrap resamples evaluated by BootstrapFairnessIndex")
 
 // REMEDY_PIPELINE_GAUGES(X): X(field, "name", "unit", "help")
-#define REMEDY_PIPELINE_GAUGES(X)                               \
-  X(threadpool_queue_depth, "threadpool/queue_depth", "tasks",  \
-    "tasks waiting in ThreadPool queues (max = high-water mark)")
+#define REMEDY_PIPELINE_GAUGES(X)                                  \
+  X(threadpool_queue_depth, "threadpool/queue_depth", "tasks",     \
+    "tasks waiting in ThreadPool queues (max = high-water mark)")  \
+  X(serve_queue_depth, "serve/queue_depth", "batches",             \
+    "batches waiting in the daemon's ingest queue (max = high-water mark)")
 
 // REMEDY_PIPELINE_HISTOGRAMS(X): X(field, "name", "unit", "help")
 #define REMEDY_PIPELINE_HISTOGRAMS(X)                              \
@@ -126,7 +163,10 @@ namespace remedy {
   X(threadpool_queue_wait_ns, "threadpool/queue_wait_ns", "ns",     \
     "per-task wall time from enqueue to dequeue")                   \
   X(ml_fit_ns, "ml/fit_ns", "ns",                                   \
-    "wall time of each classifier Fit call")
+    "wall time of each classifier Fit call")                        \
+  X(serve_apply_ns, "serve/apply_ns", "ns",                         \
+    "per-batch wall time from dequeue through WAL commit, lattice " \
+    "apply, and snapshot publish")
 
 // All pipeline instruments, registered once on first use. Call sites do
 //   PipelineMetrics::Get().ibs_nodes_visited->Increment(n);

@@ -20,6 +20,16 @@ Hierarchy::Hierarchy(const ColumnarShardStore& store)
       counter_(store.schema()),
       backend_(CountingBackend::Create(CountingBackendKind::kScalar)) {}
 
+Hierarchy::Hierarchy(const DataSchema& schema, NodeTable leaf_counts,
+                     const RegionCounts& totals)
+    : owned_schema_(std::make_unique<DataSchema>(schema)),
+      counter_(*owned_schema_),
+      backend_(CountingBackend::Create(CountingBackendKind::kScalar)) {
+  node_cache_.emplace(LeafMask(), std::move(leaf_counts));
+  total_counts_ = totals;
+  total_valid_ = true;
+}
+
 const Dataset& Hierarchy::data() const {
   REMEDY_CHECK(data_ != nullptr)
       << "store-backed hierarchy has no row-oriented Dataset view";
@@ -72,6 +82,9 @@ NodeTable Hierarchy::BuildNode(uint32_t mask) {
   const PipelineMetrics& metrics = PipelineMetrics::Get();
   metrics.lattice_nodes_built->Increment();
   if (mask == LeafMask()) {
+    REMEDY_CHECK(data_ != nullptr || store_ != nullptr)
+        << "count-seeded hierarchy lost its leaf table (Invalidate?) and "
+           "has no row source to rescan";
     metrics.lattice_leaf_scans->Increment();
     return backend_->CountNode(SourceForCounting(), counter_, mask,
                                backend_threads_);
@@ -161,7 +174,8 @@ Status Hierarchy::EagerBuild(int threads) {
   return OkStatus();
 }
 
-void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas) {
+void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas,
+                            bool insert_missing) {
   REMEDY_CHECK(fully_built_ && total_valid_)
       << "ApplyDeltas requires a fully built hierarchy (call EagerBuild)";
   if (deltas.empty()) return;
@@ -170,8 +184,12 @@ void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas) {
   const uint32_t leaf = LeafMask();
   for (auto& [mask, table] : node_cache_) {
     for (const LeafDelta& delta : deltas) {
-      table.ApplyDelta(counter_.ProjectKey(delta.leaf_key, leaf, mask),
-                       delta.delta_positives, delta.delta_negatives);
+      const uint64_t key = counter_.ProjectKey(delta.leaf_key, leaf, mask);
+      if (insert_missing) {
+        table.UpsertDelta(key, delta.delta_positives, delta.delta_negatives);
+      } else {
+        table.ApplyDelta(key, delta.delta_positives, delta.delta_negatives);
+      }
     }
   }
   for (const LeafDelta& delta : deltas) {
@@ -184,6 +202,34 @@ void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas) {
 
 void Hierarchy::ApplyDelta(const LeafDelta& delta) {
   ApplyDeltas(std::vector<LeafDelta>{delta});
+}
+
+uint64_t Hierarchy::CountsDigest() {
+  REMEDY_CHECK(fully_built_ && total_valid_)
+      << "CountsDigest requires a fully built hierarchy (call EagerBuild)";
+  uint64_t digest = 14695981039346656037ull;
+  auto mix = [&digest](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (value >> (8 * i)) & 0xff;
+      digest *= 1099511628211ull;
+    }
+  };
+  // node_cache_ is hash-ordered; walk the masks in the deterministic
+  // bottom-up order instead so equal lattices always digest equal.
+  for (uint32_t mask : BottomUpMasks()) {
+    const auto it = node_cache_.find(mask);
+    REMEDY_CHECK(it != node_cache_.end());
+    mix(mask);
+    mix(it->second.size());
+    for (const auto& [key, counts] : it->second) {
+      mix(key);
+      mix(static_cast<uint64_t>(counts.positives));
+      mix(static_cast<uint64_t>(counts.negatives));
+    }
+  }
+  mix(static_cast<uint64_t>(total_counts_.positives));
+  mix(static_cast<uint64_t>(total_counts_.negatives));
+  return digest;
 }
 
 const RegionCounts& Hierarchy::TotalCounts() {

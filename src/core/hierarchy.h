@@ -39,6 +39,18 @@ class Hierarchy {
   // `store` must outlive the hierarchy.
   explicit Hierarchy(const ColumnarShardStore& store);
 
+  // Count-seeded hierarchy: no row source at all — the leaf node's counts
+  // (and the level-0 totals they imply) are handed in directly, and every
+  // coarser node derives from them by the usual exact rollups. This is the
+  // recovery path of the streaming service: a checkpoint stores the leaf
+  // table, and replaying it here rebuilds the identical lattice without
+  // any dataset or shard store on hand. The schema is copied and owned.
+  // Invalidate() on a count-seeded hierarchy discards the only count
+  // source, so any later (re)build dies — don't mutate what you can't
+  // recount.
+  Hierarchy(const DataSchema& schema, NodeTable leaf_counts,
+            const RegionCounts& totals);
+
   // Selects the engine behind the one leaf-node scan (default: scalar, the
   // original row-oriented path). The columnar backends count from the
   // attached store; a Dataset-backed hierarchy builds one on first use.
@@ -58,7 +70,9 @@ class Hierarchy {
   const RegionCounter& counter() const { return counter_; }
   // Schema of whichever backing this hierarchy counts from.
   const DataSchema& schema() const {
-    return data_ != nullptr ? data_->schema() : store_->schema();
+    if (data_ != nullptr) return data_->schema();
+    if (store_ != nullptr) return store_->schema();
+    return *owned_schema_;
   }
   // Dies on a store-backed hierarchy (no row-oriented view exists).
   const Dataset& data() const;
@@ -107,8 +121,19 @@ class Hierarchy {
   // to be lazily rebuilt from a dataset the deltas already describe.
   // Deltas must be pre-aggregated per leaf key and must never drive a
   // region's counts negative. Entries whose counts reach zero are kept.
-  void ApplyDeltas(const std::vector<LeafDelta>& deltas);
+  // With `insert_missing` (the streaming-ingest form) a delta whose key no
+  // node has seen yet inserts the entry instead of dying — new subgroups
+  // can appear mid-stream, which a batch-counted lattice never allows.
+  void ApplyDeltas(const std::vector<LeafDelta>& deltas,
+                   bool insert_missing = false);
   void ApplyDelta(const LeafDelta& delta);
+
+  // Order-stable FNV-1a digest over every materialized node's entries plus
+  // the level-0 totals. Two fully built hierarchies agree iff their counts
+  // are byte-identical node for node — the recovery acceptance check of
+  // the streaming service (a WAL replay must land on the digest of the
+  // uninterrupted run). Requires a fully built hierarchy.
+  uint64_t CountsDigest();
 
   // Counts of the whole dataset (level-0 node).
   const RegionCounts& TotalCounts();
@@ -140,6 +165,7 @@ class Hierarchy {
   const Dataset* data_ = nullptr;
   const ColumnarShardStore* store_ = nullptr;
   std::unique_ptr<ColumnarShardStore> owned_store_;
+  std::unique_ptr<DataSchema> owned_schema_;  // count-seeded form only
   RegionCounter counter_;
   std::unique_ptr<CountingBackend> backend_;
   CountingBackendKind backend_kind_ = CountingBackendKind::kScalar;

@@ -77,6 +77,20 @@ void NodeTable::ApplyDelta(uint64_t key, int64_t delta_positives,
       << "delta drove region key " << key << " negative";
 }
 
+void NodeTable::UpsertDelta(uint64_t key, int64_t delta_positives,
+                            int64_t delta_negatives) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& entry, uint64_t k) { return entry.first < k; });
+  if (it == entries_.end() || it->first != key) {
+    it = entries_.insert(it, {key, RegionCounts{}});
+  }
+  it->second.positives += delta_positives;
+  it->second.negatives += delta_negatives;
+  REMEDY_DCHECK(it->second.positives >= 0 && it->second.negatives >= 0)
+      << "delta drove region key " << key << " negative";
+}
+
 RegionCounter::RegionCounter(const DataSchema& schema)
     : protected_cols_(schema.protected_indices()) {
   REMEDY_CHECK(!protected_cols_.empty())

@@ -66,6 +66,13 @@ class NodeTable {
   void ApplyDelta(uint64_t key, int64_t delta_positives,
                   int64_t delta_negatives);
 
+  // ApplyDelta that inserts the entry (in key order) when `key` is absent —
+  // the streaming-ingest form, where a delta may describe a region no
+  // batch-counted row ever populated. O(n) on insert; amortized fine for
+  // the daemon's batched deltas, which mostly touch existing regions.
+  void UpsertDelta(uint64_t key, int64_t delta_positives,
+                   int64_t delta_negatives);
+
   const std::vector<Entry>& entries() const { return entries_; }
 
   friend bool operator==(const NodeTable& a, const NodeTable& b) {

@@ -6,9 +6,11 @@
 #include <atomic>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -34,6 +36,38 @@ Status RequireLittleEndianHost(const char* operation) {
                    "fixed little-endian)");
   }
   return OkStatus();
+}
+
+// Bounded retry with doubling backoff for spilled-shard reads — the same
+// transient-I/O policy ReadCsvFile applies to CSV files. Only kIoError is
+// retried: corrupt bytes (kDataCorruption) and schema mismatches
+// (kInvalidArgument) cannot heal by trying again.
+constexpr int kShardReadMaxAttempts = 3;
+constexpr int kShardReadInitialBackoffMs = 1;
+
+template <typename Fn>
+auto RetryShardRead(Fn&& attempt) -> decltype(attempt()) {
+  auto result = attempt();
+  int backoff_ms = kShardReadInitialBackoffMs;
+  for (int retry = 2; retry <= kShardReadMaxAttempts && !result.ok() &&
+                      result.status().code() == StatusCode::kIoError;
+       ++retry) {
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    PipelineMetrics::Get().store_shard_read_retries->Increment();
+    result = attempt();
+  }
+  return result;
+}
+
+// ReadShardFileHeader behind the retry policy and its fault point.
+StatusOr<ShardFileHeader> ReadShardHeaderWithRetry(const std::string& path) {
+  return RetryShardRead([&]() -> StatusOr<ShardFileHeader> {
+    REMEDY_FAULT_POINT("store/shard_read");
+    return ReadShardFileHeader(path);
+  });
 }
 
 }  // namespace
@@ -101,8 +135,10 @@ Status ColumnarShardStore::EnsureMapped() const {
   int64_t mapped_bytes = 0;
   for (MappedState::MappedShard& shard : state.shards) {
     if (shard.file.mapped()) continue;  // a previous attempt got this far
-    REMEDY_FAULT_POINT("store/mmap_map");
-    StatusOr<MmapFile> file = MmapFile::Map(shard.path);
+    StatusOr<MmapFile> file = RetryShardRead([&]() -> StatusOr<MmapFile> {
+      REMEDY_FAULT_POINT("store/mmap_map");
+      return MmapFile::Map(shard.path);
+    });
     if (!file.ok()) {
       return file.status().WithContext("mapping spilled store shard");
     }
@@ -194,7 +230,7 @@ StatusOr<ColumnarShardStore> ColumnarShardStore::OpenSpilled(
       }
       break;
     }
-    ASSIGN_OR_RETURN(ShardFileHeader header, ReadShardFileHeader(path));
+    ASSIGN_OR_RETURN(ShardFileHeader header, ReadShardHeaderWithRetry(path));
     if (header.schema_digest != digest) {
       return InvalidArgumentError(
           "shard file '" + path +
@@ -491,6 +527,15 @@ StatusOr<ColumnarShardStore> ColumnarShardStoreBuilder::FinishSpilled() {
   spill_dir_.clear();
   spilled_shards_ = 0;
   if (!status.ok()) {
+    // The directory holds an incomplete store (some shards written, the
+    // rest lost to the failure). Remove the shard files so nothing can
+    // later OpenSpilled a truncated store, and so a re-spill starts clean.
+    struct stat info;
+    for (int index = 0;; ++index) {
+      const std::string path = dir + "/" + ShardFileName(index);
+      if (::stat(path.c_str(), &info) != 0) break;
+      std::remove(path.c_str());  // best-effort; the write error dominates
+    }
     return status.WithContext("spilling store to '" + dir + "'");
   }
   // Re-open what was just written: every header the writer produced is

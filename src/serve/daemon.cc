@@ -1,0 +1,616 @@
+#include "serve/daemon.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/pipeline_metrics.h"
+#include "data/shard_file.h"
+
+namespace remedy {
+namespace {
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return OkStatus();
+  return IoError("cannot create state directory '" + dir + "': " +
+                 std::strerror(errno));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat info;
+  return ::stat(path.c_str(), &info) == 0;
+}
+
+// Minimal JSON string escaping for the health report.
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(const DataSchema& schema,
+                         const ServeOptions& options)
+    : options_(options),
+      schema_(schema),
+      counter_(schema_),
+      schema_digest_(SchemaDigest(schema_)),
+      wal_path_(options.state_dir + "/" + kWalFileName),
+      checkpoint_path_(options.state_dir + "/" + kCheckpointFileName) {}
+
+StatusOr<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
+    const DataSchema& schema, const ServeOptions& options) {
+  if (options.state_dir.empty()) {
+    return InvalidArgumentError("ServeOptions::state_dir must be set");
+  }
+  if (options.queue_capacity == 0) {
+    return InvalidArgumentError("ServeOptions::queue_capacity must be >= 1");
+  }
+  RETURN_IF_ERROR(EnsureDirectory(options.state_dir));
+  std::unique_ptr<ServeDaemon> daemon(new ServeDaemon(schema, options));
+
+  // Recovery: checkpoint (or cold start) + WAL tail replay.
+  NodeTable leaf_counts;
+  RegionCounts totals;
+  uint64_t checkpoint_sequence = 0;
+  if (FileExists(daemon->checkpoint_path_)) {
+    ASSIGN_OR_RETURN(WalCheckpoint checkpoint,
+                     ReadWalCheckpoint(daemon->checkpoint_path_));
+    if (checkpoint.schema_digest != daemon->schema_digest_) {
+      return InvalidArgumentError("checkpoint '" + daemon->checkpoint_path_ +
+                                  "' belongs to a different schema");
+    }
+    leaf_counts = std::move(checkpoint.leaf_counts);
+    totals = checkpoint.totals;
+    checkpoint_sequence = checkpoint.wal_sequence;
+    daemon->epoch_ = checkpoint.epoch;
+  }
+  daemon->hierarchy_ = std::make_unique<Hierarchy>(
+      schema, std::move(leaf_counts), totals);
+  RETURN_IF_ERROR(daemon->hierarchy_->EagerBuild(options.build_threads)
+                      .WithContext("rebuilding the lattice from checkpoint"));
+  ASSIGN_OR_RETURN(
+      WalReplayResult replay,
+      DeltaWal::Replay(daemon->wal_path_, daemon->schema_digest_,
+                       checkpoint_sequence,
+                       [&daemon](const WalRecord& record) {
+                         daemon->hierarchy_->ApplyDeltas(
+                             record.deltas, /*insert_missing=*/true);
+                         return OkStatus();
+                       }));
+  daemon->last_committed_sequence_ = replay.last_sequence;
+  ASSIGN_OR_RETURN(daemon->wal_,
+                   DeltaWal::Open(daemon->wal_path_, daemon->schema_digest_,
+                                  replay.last_sequence + 1));
+
+  {
+    std::lock_guard<std::mutex> engine_lock(daemon->engine_mu_);
+    daemon->PublishSnapshot();
+  }
+  daemon->apply_thread_ = std::thread(&ServeDaemon::ApplyLoop, daemon.get());
+  return daemon;
+}
+
+ServeDaemon::~ServeDaemon() {
+  const Status stopped = Stop();  // shutdown errors surfaced via Stop()
+  (void)stopped;
+}
+
+Status ServeDaemon::IngestCsv(const std::string& csv_text) {
+  REMEDY_FAULT_POINT("serve/ingest");
+  ASSIGN_OR_RETURN(CsvTable table, ParseCsv(csv_text));
+  return IngestTable(table);
+}
+
+Status ServeDaemon::IngestCsvFile(const std::string& path) {
+  REMEDY_FAULT_POINT("serve/ingest");
+  ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  return IngestTable(table).WithContext("ingesting '" + path + "'");
+}
+
+Status ServeDaemon::IngestTable(const CsvTable& table) {
+  // Resolve the batch's columns: every protected attribute plus the label,
+  // by name; an optional "__count" column weights each row.
+  const int num_protected = schema_.NumProtected();
+  std::vector<int> value_cols(num_protected, -1);
+  int label_col = -1;
+  int count_col = -1;
+  for (size_t c = 0; c < table.header.size(); ++c) {
+    const std::string& name = table.header[c];
+    if (name == schema_.label_name()) {
+      label_col = static_cast<int>(c);
+      continue;
+    }
+    if (name == "__count") {
+      count_col = static_cast<int>(c);
+      continue;
+    }
+    for (int p = 0; p < num_protected; ++p) {
+      if (name == schema_.attribute(schema_.protected_indices()[p]).name()) {
+        value_cols[p] = static_cast<int>(c);
+      }
+    }
+  }
+  if (label_col < 0) {
+    return InvalidArgumentError("batch header lacks the label column '" +
+                                schema_.label_name() + "'");
+  }
+  for (int p = 0; p < num_protected; ++p) {
+    if (value_cols[p] < 0) {
+      return InvalidArgumentError(
+          "batch header lacks protected attribute '" +
+          schema_.attribute(schema_.protected_indices()[p]).name() + "'");
+    }
+  }
+
+  // Aggregate rows into per-leaf-key deltas. Any bad row rejects the whole
+  // batch before anything is queued.
+  std::unordered_map<uint64_t, std::pair<int64_t, int64_t>> aggregate;
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const std::vector<std::string>& row = table.rows[r];
+    uint64_t key = 0;
+    for (int p = 0; p < num_protected; ++p) {
+      const AttributeSchema& attribute =
+          schema_.attribute(schema_.protected_indices()[p]);
+      const int code = attribute.ValueIndex(row[value_cols[p]]);
+      if (code < 0) {
+        return InvalidArgumentError(
+            "batch row " + std::to_string(r + 1) + ": unknown value '" +
+            row[value_cols[p]] + "' for protected attribute '" +
+            attribute.name() + "'");
+      }
+      key = key * static_cast<uint64_t>(counter_.Cardinality(p)) +
+            static_cast<uint64_t>(code);
+    }
+    const std::string& label = row[label_col];
+    if (label != "0" && label != "1") {
+      return InvalidArgumentError("batch row " + std::to_string(r + 1) +
+                                  ": label must be 0 or 1, got '" + label +
+                                  "'");
+    }
+    int64_t count = 1;
+    if (count_col >= 0) {
+      const std::string& text = row[count_col];
+      char* end = nullptr;
+      errno = 0;
+      count = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return InvalidArgumentError("batch row " + std::to_string(r + 1) +
+                                    ": bad __count '" + text + "'");
+      }
+    }
+    auto& [positives, negatives] = aggregate[key];
+    if (label == "1") {
+      positives += count;
+    } else {
+      negatives += count;
+    }
+  }
+  std::vector<Hierarchy::LeafDelta> deltas;
+  deltas.reserve(aggregate.size());
+  for (const auto& [key, counts] : aggregate) {
+    if (counts.first == 0 && counts.second == 0) continue;
+    deltas.push_back({key, counts.first, counts.second});
+  }
+  // Deterministic batch content regardless of hash order.
+  std::sort(deltas.begin(), deltas.end(),
+            [](const Hierarchy::LeafDelta& a, const Hierarchy::LeafDelta& b) {
+              return a.leaf_key < b.leaf_key;
+            });
+  return Submit(std::move(deltas));
+}
+
+Status ServeDaemon::Submit(std::vector<Hierarchy::LeafDelta> deltas) {
+  if (deltas.empty()) return OkStatus();
+  int64_t rows = 0;
+  for (const Hierarchy::LeafDelta& delta : deltas) {
+    rows += std::abs(delta.delta_positives) + std::abs(delta.delta_negatives);
+  }
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_ || stopped_) {
+    metrics.serve_batches_rejected->Increment();
+    return InternalError("daemon is shutting down");
+  }
+  if (read_only_) {
+    metrics.serve_batches_rejected->Increment();
+    return InternalError("daemon is read-only: " + trip_reason_);
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    metrics.serve_batches_rejected->Increment();
+    return ResourceExhaustedError(
+        "ingest queue full (" + std::to_string(options_.queue_capacity) +
+        " batches); retry after " + std::to_string(options_.retry_after_ms) +
+        "ms");
+  }
+  queue_.push_back(std::move(deltas));
+  ++submitted_batches_;
+  metrics.serve_batches_ingested->Increment();
+  metrics.serve_rows_ingested->Increment(rows);
+  metrics.serve_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  work_cv_.notify_one();
+  return OkStatus();
+}
+
+Status ServeDaemon::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t target = submitted_batches_;
+  drain_cv_.wait(lock, [&] {
+    return processed_batches_ >= target || stopped_;
+  });
+  return first_error_;
+}
+
+void ServeDaemon::ApplyLoop() {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  while (true) {
+    std::vector<std::vector<Hierarchy::LeafDelta>> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and drained
+      while (!queue_.empty()) {
+        group.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics.serve_queue_depth->Set(0);
+    }
+    const int64_t start_ns = NowNanos();
+    int64_t applied = 0;
+    Status committed;
+    {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      committed = CommitGroup(group, &applied);
+      PublishSnapshot();
+      bool lagging;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        lagging = needs_recovery_;
+      }
+      if (committed.ok() && !lagging &&
+          options_.checkpoint_every_batches > 0 &&
+          batches_since_checkpoint_ >= options_.checkpoint_every_batches) {
+        committed = CheckpointLocked();
+      }
+    }
+    metrics.serve_apply_ns->Observe(NowNanos() - start_ns);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      processed_batches_ += static_cast<int64_t>(group.size());
+      applied_batches_ += applied;
+      failed_batches_ += static_cast<int64_t>(group.size()) - applied;
+      if (!committed.ok() && first_error_.ok()) first_error_ = committed;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+Status ServeDaemon::CommitGroup(
+    const std::vector<std::vector<Hierarchy::LeafDelta>>& batches,
+    int64_t* applied) {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  const uint32_t leaf_mask = hierarchy_->LeafMask();
+  const NodeTable& leaf = hierarchy_->NodeCounts(leaf_mask);
+
+  // Validate each batch against the lattice counts plus the net effect of
+  // the earlier batches of this group, so nothing that would drive a
+  // region negative is ever WAL-committed (a committed record must replay
+  // cleanly forever).
+  auto validate = [&leaf](
+      const std::vector<Hierarchy::LeafDelta>& batch,
+      std::unordered_map<uint64_t, std::pair<int64_t, int64_t>>& overlay) {
+    for (const Hierarchy::LeafDelta& delta : batch) {
+      auto it = leaf.find(delta.leaf_key);
+      int64_t positives = it == leaf.end() ? 0 : it->second.positives;
+      int64_t negatives = it == leaf.end() ? 0 : it->second.negatives;
+      auto overlaid = overlay.find(delta.leaf_key);
+      if (overlaid != overlay.end()) {
+        positives += overlaid->second.first;
+        negatives += overlaid->second.second;
+      }
+      if (positives + delta.delta_positives < 0 ||
+          negatives + delta.delta_negatives < 0) {
+        return false;
+      }
+    }
+    for (const Hierarchy::LeafDelta& delta : batch) {
+      auto& slot = overlay[delta.leaf_key];
+      slot.first += delta.delta_positives;
+      slot.second += delta.delta_negatives;
+    }
+    return true;
+  };
+
+  std::unordered_map<uint64_t, std::pair<int64_t, int64_t>> overlay;
+  std::vector<std::pair<const std::vector<Hierarchy::LeafDelta>*, uint64_t>>
+      committed;
+  for (const std::vector<Hierarchy::LeafDelta>& batch : batches) {
+    if (!validate(batch, overlay)) {
+      // The batch would underflow a region: reject it (it was never
+      // durable) and keep going — one bad client batch must not wedge the
+      // daemon.
+      metrics.serve_apply_failures->Increment();
+      continue;
+    }
+    StatusOr<uint64_t> sequence = wal_->Append(batch);
+    if (!sequence.ok()) {
+      // The log may now end in torn bytes; appending more would strand
+      // records behind the tear, so stop taking writes until a restart
+      // replays and repairs the log.
+      metrics.serve_apply_failures->Increment();
+      TripReadOnly("WAL append failed: " + sequence.status().message(),
+                   /*lattice_lags_log=*/true);
+      return sequence.status();
+    }
+    committed.emplace_back(&batch, sequence.value());
+  }
+  if (committed.empty()) return OkStatus();
+  Status synced = wal_->Sync();
+  if (!synced.ok()) {
+    // Unknown durability: the records may or may not survive a crash. Do
+    // not apply them — keeping the in-memory lattice at or behind the
+    // durable state is what lets a restart heal by replay alone.
+    metrics.serve_apply_failures->Increment();
+    TripReadOnly("WAL fsync failed: " + synced.message(),
+                 /*lattice_lags_log=*/true);
+    return synced;
+  }
+  for (const auto& [batch, sequence] : committed) {
+    int attempts = 0;
+    while (true) {
+      Status stage = [&]() -> Status {
+        REMEDY_FAULT_POINT("serve/apply");
+        return OkStatus();
+      }();
+      if (stage.ok()) break;
+      metrics.serve_apply_failures->Increment();
+      if (++attempts >= options_.watchdog_trip_threshold) {
+        // The record is durable but not in the lattice: serve stale reads
+        // only, and let the next start replay the log to heal.
+        TripReadOnly("lattice apply failed " + std::to_string(attempts) +
+                         " times: " + stage.message(),
+                     /*lattice_lags_log=*/true);
+        return stage;
+      }
+    }
+    hierarchy_->ApplyDeltas(*batch, /*insert_missing=*/true);
+    last_committed_sequence_ = sequence;
+    ++batches_since_checkpoint_;
+    ++*applied;
+    metrics.serve_batches_applied->Increment();
+  }
+  return OkStatus();
+}
+
+void ServeDaemon::PublishSnapshot() {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  ++epoch_;
+  const bool identify =
+      options_.identify_every_epochs > 0 &&
+      (last_ibs_epoch_ == 0 ||
+       epoch_ % static_cast<uint64_t>(options_.identify_every_epochs) == 0);
+  if (identify) {
+    std::vector<BiasedRegion> ibs;
+    for (uint32_t mask : ScopeMasks(*hierarchy_, options_.ibs.scope)) {
+      std::vector<BiasedRegion> in_node =
+          IdentifyIbsInNode(*hierarchy_, mask, options_.ibs);
+      ibs.insert(ibs.end(), in_node.begin(), in_node.end());
+    }
+    // The online monitor: digest the identified subgroup set (node mask +
+    // region key per subgroup) and flag epoch-over-epoch changes.
+    uint64_t digest = 0xcbf29ce484222325ull;
+    for (const BiasedRegion& region : ibs) {
+      const uint32_t mask = region.pattern.DeterministicMask();
+      uint8_t bytes[12];
+      for (int i = 0; i < 4; ++i) bytes[i] = (mask >> (8 * i)) & 0xff;
+      const uint64_t key = counter_.KeyFor(region.pattern, mask);
+      for (int i = 0; i < 8; ++i) bytes[4 + i] = (key >> (8 * i)) & 0xff;
+      digest = Fnv1a64(bytes, sizeof(bytes), digest);
+    }
+    if (last_ibs_epoch_ != 0 && digest != last_ibs_digest_) {
+      monitor_alerts_.fetch_add(1, std::memory_order_relaxed);
+      metrics.serve_monitor_alerts->Increment();
+    }
+    last_ibs_ = std::move(ibs);
+    last_ibs_digest_ = digest;
+    last_ibs_epoch_ = epoch_;
+  }
+
+  auto snapshot = std::make_shared<EpochSnapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->wal_sequence = last_committed_sequence_;
+  snapshot->totals = hierarchy_->TotalCounts();
+  snapshot->counts_digest = hierarchy_->CountsDigest();
+  snapshot->ibs = last_ibs_;
+  snapshot->ibs_epoch = last_ibs_epoch_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot->read_only = read_only_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = snapshot;
+    ring_.push_back(snapshot);
+    while (ring_.size() > kSnapshotRing) ring_.pop_front();
+  }
+  metrics.serve_epochs_published->Increment();
+}
+
+std::shared_ptr<const EpochSnapshot> ServeDaemon::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const EpochSnapshot> ServeDaemon::SnapshotAt(
+    uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  for (const auto& snapshot : ring_) {
+    if (snapshot->epoch == epoch) return snapshot;
+  }
+  return nullptr;
+}
+
+std::vector<BiasedRegion> ServeDaemon::QueryIbs() const {
+  PipelineMetrics::Get().serve_queries_served->Increment();
+  return Snapshot()->ibs;
+}
+
+std::string ServeDaemon::HealthJson() const {
+  const std::shared_ptr<const EpochSnapshot> snapshot = Snapshot();
+  size_t queue_depth;
+  int64_t submitted, applied, failed;
+  bool is_read_only, lagging;
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth = queue_.size();
+    submitted = submitted_batches_;
+    applied = applied_batches_;
+    failed = failed_batches_;
+    is_read_only = read_only_;
+    lagging = needs_recovery_;
+    reason = trip_reason_;
+  }
+  std::string json = "{";
+  json += "\"status\":\"" +
+          std::string(is_read_only ? "read_only" : "serving") + "\",";
+  json += "\"epoch\":" + std::to_string(snapshot->epoch) + ",";
+  json += "\"wal_sequence\":" + std::to_string(snapshot->wal_sequence) + ",";
+  json += "\"counts_digest\":" + std::to_string(snapshot->counts_digest) +
+          ",";
+  json += "\"totals\":{\"positives\":" +
+          std::to_string(snapshot->totals.positives) +
+          ",\"negatives\":" + std::to_string(snapshot->totals.negatives) +
+          "},";
+  json += "\"ibs_regions\":" + std::to_string(snapshot->ibs.size()) + ",";
+  json += "\"ibs_epoch\":" + std::to_string(snapshot->ibs_epoch) + ",";
+  json += "\"monitor_alerts\":" +
+          std::to_string(monitor_alerts_.load(std::memory_order_relaxed)) +
+          ",";
+  json += "\"queue_depth\":" + std::to_string(queue_depth) + ",";
+  json += "\"queue_capacity\":" + std::to_string(options_.queue_capacity) +
+          ",";
+  json += "\"batches\":{\"submitted\":" + std::to_string(submitted) +
+          ",\"applied\":" + std::to_string(applied) +
+          ",\"failed\":" + std::to_string(failed) + "},";
+  json += "\"read_only\":" + std::string(is_read_only ? "true" : "false") +
+          ",";
+  json += "\"needs_recovery\":" + std::string(lagging ? "true" : "false") +
+          ",";
+  json += "\"trip_reason\":\"" + EscapeJson(reason) + "\",";
+  json += "\"metrics\":" +
+          MetricsToJson(MetricsRegistry::Global().Snapshot());
+  json += "}";
+  return json;
+}
+
+bool ServeDaemon::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_;
+}
+
+bool ServeDaemon::needs_recovery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return needs_recovery_;
+}
+
+uint64_t ServeDaemon::epoch() const { return Snapshot()->epoch; }
+
+void ServeDaemon::TripReadOnly(const std::string& why,
+                               bool lattice_lags_log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!read_only_) {
+    read_only_ = true;
+    trip_reason_ = why;
+    PipelineMetrics::Get().serve_read_only_trips->Increment();
+  }
+  if (lattice_lags_log) needs_recovery_ = true;
+}
+
+Status ServeDaemon::CheckpointLocked() {
+  // A Start that failed mid-recovery destructs before the WAL handle (or
+  // even the lattice) exists; there is nothing to cut yet.
+  if (wal_ == nullptr || hierarchy_ == nullptr) return OkStatus();
+  RETURN_IF_ERROR(wal_->Sync());
+  WalCheckpoint checkpoint;
+  checkpoint.schema_digest = schema_digest_;
+  checkpoint.epoch = epoch_;
+  checkpoint.wal_sequence = last_committed_sequence_;
+  checkpoint.leaf_counts = hierarchy_->NodeCounts(hierarchy_->LeafMask());
+  checkpoint.totals = hierarchy_->TotalCounts();
+  RETURN_IF_ERROR(WriteWalCheckpoint(checkpoint_path_, checkpoint));
+  RETURN_IF_ERROR(wal_->Reset());
+  batches_since_checkpoint_ = 0;
+  return OkStatus();
+}
+
+Status ServeDaemon::Checkpoint() {
+  std::lock_guard<std::mutex> engine_lock(engine_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (needs_recovery_) {
+      return InternalError(
+          "refusing to checkpoint: the lattice lags the WAL (" +
+          trip_reason_ + "); restart to replay and heal");
+    }
+  }
+  return CheckpointLocked();
+}
+
+Status ServeDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return first_error_;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (apply_thread_.joinable()) apply_thread_.join();
+  Status checkpointed = needs_recovery() ? OkStatus() : Checkpoint();
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    if (first_error_.ok() && !checkpointed.ok()) {
+      first_error_ = checkpointed.WithContext("shutdown checkpoint");
+    }
+    result = first_error_;
+  }
+  drain_cv_.notify_all();
+  return result;
+}
+
+}  // namespace remedy

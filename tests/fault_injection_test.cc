@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -21,13 +24,16 @@
 #include "core/remedy.h"
 #include "data/columnar.h"
 #include "data/loader.h"
+#include "data/shard_file.h"
 #include "datagen/adult.h"
 
 namespace remedy {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + name;
+  // Keyed by pid so the plain and sanitizer twins never collide when ctest
+  // schedules the same case from multiple binaries concurrently.
+  return ::testing::TempDir() + name + "_" + std::to_string(::getpid());
 }
 
 void WriteText(const std::string& path, const std::string& text) {
@@ -42,7 +48,9 @@ TEST(FaultInjectionTest, RegistryListsEveryPoint) {
   std::set<std::string> expected = {
       "csv/read",          "csv/write",        "loader/build",
       "threadpool/dispatch", "remedy/apply",   "store/spill_write",
-      "store/mmap_map"};
+      "store/mmap_map",    "store/shard_read", "wal/append",
+      "wal/fsync",         "wal/replay",       "serve/ingest",
+      "serve/apply"};
   EXPECT_EQ(std::set<std::string>(points.begin(), points.end()), expected);
 }
 
@@ -129,6 +137,68 @@ TEST(FaultInjectionTest, SpillWriteSurfacesAtFinishSpilled) {
   EXPECT_EQ(store.status().code(), StatusCode::kIoError);
   EXPECT_NE(store.status().message().find("fi_spill"), std::string::npos);
   EXPECT_GE(injector.HitCount("store/spill_write"), 1);
+}
+
+TEST(FaultInjectionTest, SpillFailureCleansPartialShardFiles) {
+  const std::string dir = TempPath("fi_spill_clean");
+  Dataset data = MakeAdult(600, 5);
+  ColumnarShardStoreBuilder builder(data.schema(), /*shard_rows=*/128);
+  ASSERT_TRUE(builder.EnableSpill(dir).ok());
+  FaultInjector injector;
+  injector.FailNth("store/spill_write", 2);  // shard 0 lands, shard 1 fails
+  builder.Append(data);
+  StatusOr<ColumnarShardStore> store = builder.FinishSpilled();
+  ASSERT_FALSE(store.ok());
+  // The completed shard 0 must not survive as a truncated-looking store.
+  struct stat info;
+  EXPECT_NE(::stat((dir + "/" + ShardFileName(0)).c_str(), &info), 0);
+}
+
+TEST(FaultInjectionTest, ShardReadFaultIsAbsorbedByRetry) {
+  const std::string dir = TempPath("fi_shard_retry");
+  Dataset data = MakeAdult(600, 6);
+  ColumnarShardStoreBuilder builder(data.schema(), /*shard_rows=*/128);
+  ASSERT_TRUE(builder.EnableSpill(dir).ok());
+  builder.Append(data);
+  ASSERT_TRUE(builder.FinishSpilled().ok());
+  FaultInjector injector;
+  injector.FailNth("store/shard_read", 1);
+  StatusOr<ColumnarShardStore> reopened =
+      ColumnarShardStore::OpenSpilled(dir, data.schema());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value().NumRows(), 600);
+}
+
+TEST(FaultInjectionTest, ShardReadFailAlwaysExhaustsRetries) {
+  const std::string dir = TempPath("fi_shard_exhaust");
+  Dataset data = MakeAdult(300, 7);
+  ColumnarShardStoreBuilder builder(data.schema(), /*shard_rows=*/128);
+  ASSERT_TRUE(builder.EnableSpill(dir).ok());
+  builder.Append(data);
+  ASSERT_TRUE(builder.FinishSpilled().ok());
+  FaultInjector injector;
+  injector.FailAlways("store/shard_read");
+  StatusOr<ColumnarShardStore> reopened =
+      ColumnarShardStore::OpenSpilled(dir, data.schema());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(injector.HitCount("store/shard_read"), 3);  // bounded attempts
+}
+
+TEST(FaultInjectionTest, MmapMapFaultIsAbsorbedByRetry) {
+  Dataset data = MakeAdult(600, 8);
+  ColumnarShardStoreBuilder builder(data.schema(), /*shard_rows=*/128);
+  ASSERT_TRUE(builder.EnableSpill(TempPath("fi_map_retry")).ok());
+  builder.Append(data);
+  StatusOr<ColumnarShardStore> store = builder.FinishSpilled();
+  ASSERT_TRUE(store.ok()) << store.status();
+  FaultInjector injector;
+  injector.FailNth("store/mmap_map", 1);  // transient: one attempt lost
+  IbsParams params;
+  params.imbalance_threshold = 0.3;
+  StatusOr<std::vector<BiasedRegion>> ibs =
+      IdentifyIbs(store.value(), params);
+  ASSERT_TRUE(ibs.ok()) << ibs.status();
 }
 
 TEST(FaultInjectionTest, MmapMapSurfacesThroughIdentify) {

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -75,6 +77,55 @@ TEST(ThreadPoolFailureTest, ParallelForAfterShutdownFailsCleanly) {
   Status status = pool.ParallelFor(16, [&ran](int64_t) { ++ran; });
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolFailureTest, ShutdownWhileParallelForInFlightDoesNotDeadlock) {
+  // Shutdown drains already-submitted work before joining, and ParallelFor's
+  // worker chunks keep claiming indices until the sweep is exhausted — so a
+  // shutdown landing mid-sweep must neither hang the barrier nor lose work.
+  ThreadPool pool(4);
+  std::atomic<int64_t> ran{0};
+  std::atomic<bool> started{false};
+  Status status = InternalError("ParallelFor never returned");
+  std::thread runner([&] {
+    status = pool.ParallelFor(512, [&](int64_t) {
+      started.store(true);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      ran.fetch_add(1);
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  pool.Shutdown();
+  runner.join();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(ran.load(), 512);
+}
+
+TEST(ThreadPoolFailureTest, ShutdownRacingParallelForFailsCleanOrCompletes) {
+  // No synchronization between the sweep and the shutdown on purpose: the
+  // shutdown lands before, during or after dispatch depending on
+  // scheduling. Every interleaving must end in a joined pool and either a
+  // completed sweep or a clean first-failure kInternal — never a deadlock
+  // or a crash. The TSan twin race-checks the dispatch-vs-stop handoff.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int64_t> ran{0};
+    Status status;
+    std::thread runner([&] {
+      status = pool.ParallelFor(64, [&](int64_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(5));
+        ran.fetch_add(1);
+      });
+    });
+    pool.Shutdown();
+    runner.join();
+    if (status.ok()) {
+      EXPECT_EQ(ran.load(), 64);
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kInternal);
+      EXPECT_LE(ran.load(), 64);
+    }
+  }
 }
 
 TEST(ThreadPoolFailureTest, ParallelForPropagatesTaskException) {
