@@ -53,6 +53,26 @@ Status ThreadPool::Submit(std::function<void()> task) {
   return OkStatus();
 }
 
+Status ThreadPool::SubmitAll(std::vector<std::function<void()>> tasks) {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  if (n == 0) return OkStatus();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return InternalError("Submit after ThreadPool shutdown");
+    const int64_t now = MonotonicNanos();
+    for (std::function<void()>& task : tasks) {
+      REMEDY_CHECK(task != nullptr);
+      queue_.push_back(QueuedTask{std::move(task), now});
+    }
+    pending_ += n;
+  }
+  metrics.threadpool_tasks_submitted->Increment(n);
+  metrics.threadpool_queue_depth->Add(n);
+  work_cv_.notify_all();
+  return OkStatus();
+}
+
 Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -133,35 +153,34 @@ Status ThreadPool::ParallelFor(int64_t count,
   const int64_t tasks =
       std::min<int64_t>(count, static_cast<int64_t>(num_threads()));
   state->running = tasks;
-  for (int64_t t = 0; t < tasks; ++t) {
-    // `fn` outlives the call because we block below.
-    Status submitted = Submit([state, count, &fn, &record] {
-      for (int64_t i = state->next.fetch_add(1); i < count;
-           i = state->next.fetch_add(1)) {
-        if (state->failed.load(std::memory_order_relaxed)) break;
-        try {
-          fn(i);
-        } catch (const std::exception& e) {
-          record(*state,
-                 InternalError(std::string("ParallelFor task threw: ") +
-                               e.what()));
-        } catch (...) {
-          record(*state,
-                 InternalError("ParallelFor task threw a non-std exception"));
-        }
+  // `fn` outlives the chunk tasks because we block below.
+  auto chunk = [state, count, &fn, &record] {
+    for (int64_t i = state->next.fetch_add(1); i < count;
+         i = state->next.fetch_add(1)) {
+      if (state->failed.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        record(*state,
+               InternalError(std::string("ParallelFor task threw: ") +
+                             e.what()));
+      } catch (...) {
+        record(*state,
+               InternalError("ParallelFor task threw a non-std exception"));
       }
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (--state->running == 0) state->done.notify_all();
-    });
-    if (!submitted.ok()) {
-      // Pool shut down mid-dispatch: the remaining tasks will never run.
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->running -= tasks - t;
-      if (state->status.ok()) state->status = std::move(submitted);
-      if (state->running == 0) break;
-      break;
     }
-  }
+    std::unique_lock<std::mutex> lock(state->mu);
+    if (--state->running == 0) state->done.notify_all();
+  };
+  // The whole sweep enqueues under one lock acquisition: a racing
+  // Shutdown() either sees none of it (clean failure, no index ran) or all
+  // of it (the drain-before-join guarantee then finishes every index).
+  // Per-task dispatch had a window where a shutdown between submits
+  // stranded a started sweep with part of its chunks rejected.
+  std::vector<std::function<void()>> chunks(static_cast<size_t>(tasks),
+                                            chunk);
+  Status submitted = SubmitAll(std::move(chunks));
+  if (!submitted.ok()) return submitted;
   std::unique_lock<std::mutex> lock(state->mu);
   state->done.wait(lock, [&state] { return state->running == 0; });
   return state->status;

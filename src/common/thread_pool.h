@@ -55,7 +55,9 @@ class ThreadPool {
   // all calls have returned. Work is claimed one index at a time off a
   // shared counter, so uneven per-index costs balance automatically. If an
   // fn(i) throws, no further indices are claimed and the first exception
-  // comes back as kInternal; indices already claimed still complete.
+  // comes back as kInternal; indices already claimed still complete. The
+  // sweep enqueues atomically with respect to Shutdown(): it either fails
+  // cleanly with no index run, or every index completes.
   Status ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
 
   // CPUs actually usable by this process: hardware_concurrency(), further
@@ -68,6 +70,9 @@ class ThreadPool {
  private:
   void WorkerLoop();
   void RecordFailure(Status status);  // keeps the first failure only
+  // Enqueues every task or none (all-or-nothing against Shutdown); the
+  // atomic dispatch behind ParallelFor's shutdown guarantee.
+  Status SubmitAll(std::vector<std::function<void()>> tasks);
 
   // Queued task plus its enqueue timestamp, so the dequeueing worker can
   // charge the queue-wait histogram.

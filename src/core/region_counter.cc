@@ -87,7 +87,10 @@ void NodeTable::UpsertDelta(uint64_t key, int64_t delta_positives,
   }
   it->second.positives += delta_positives;
   it->second.negatives += delta_negatives;
-  REMEDY_DCHECK(it->second.positives >= 0 && it->second.negatives >= 0)
+  // Full CHECK (not DCHECK) to match ApplyDelta: this is the streaming
+  // daemon's apply path, and a negative count here means durable state has
+  // diverged — release builds must not silently accept it.
+  REMEDY_CHECK(it->second.positives >= 0 && it->second.negatives >= 0)
       << "delta drove region key " << key << " negative";
 }
 

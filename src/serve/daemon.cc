@@ -279,15 +279,34 @@ void ServeDaemon::ApplyLoop() {
   const PipelineMetrics& metrics = PipelineMetrics::Get();
   while (true) {
     std::vector<std::vector<Hierarchy::LeafDelta>> group;
+    bool tripped = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) break;  // stopping and drained
+      tripped = read_only_;
       while (!queue_.empty()) {
         group.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
       metrics.serve_queue_depth->Set(0);
+    }
+    if (tripped) {
+      // Batches that slipped into the queue while a trip was in flight
+      // (Submit raced CommitGroup's TripReadOnly) must not commit:
+      // appending would strand records behind a torn tail, and applying
+      // would advance the lattice past the durable state. Drop them as
+      // failed; only the trip on this thread sets read_only_, so this
+      // drain-time check cannot itself race.
+      metrics.serve_apply_failures->Increment(
+          static_cast<int64_t>(group.size()));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        processed_batches_ += static_cast<int64_t>(group.size());
+        failed_batches_ += static_cast<int64_t>(group.size());
+      }
+      drain_cv_.notify_all();
+      continue;
     }
     const int64_t start_ns = NowNanos();
     int64_t applied = 0;
@@ -329,28 +348,32 @@ Status ServeDaemon::CommitGroup(
   // Validate each batch against the lattice counts plus the net effect of
   // the earlier batches of this group, so nothing that would drive a
   // region negative is ever WAL-committed (a committed record must replay
-  // cleanly forever).
+  // cleanly forever). Each delta lands in the overlay as it is checked —
+  // Submit does not require key-unique batches, and apply replays deltas
+  // one by one, so a duplicate key (or a transient dip below zero) must be
+  // caught here, not just the batch's net effect. A failed batch rolls its
+  // accepted prefix back out of the overlay.
   auto validate = [&leaf](
       const std::vector<Hierarchy::LeafDelta>& batch,
       std::unordered_map<uint64_t, std::pair<int64_t, int64_t>>& overlay) {
+    size_t accepted = 0;
     for (const Hierarchy::LeafDelta& delta : batch) {
       auto it = leaf.find(delta.leaf_key);
-      int64_t positives = it == leaf.end() ? 0 : it->second.positives;
-      int64_t negatives = it == leaf.end() ? 0 : it->second.negatives;
-      auto overlaid = overlay.find(delta.leaf_key);
-      if (overlaid != overlay.end()) {
-        positives += overlaid->second.first;
-        negatives += overlaid->second.second;
-      }
-      if (positives + delta.delta_positives < 0 ||
-          negatives + delta.delta_negatives < 0) {
+      const int64_t positives = it == leaf.end() ? 0 : it->second.positives;
+      const int64_t negatives = it == leaf.end() ? 0 : it->second.negatives;
+      auto& slot = overlay[delta.leaf_key];
+      if (positives + slot.first + delta.delta_positives < 0 ||
+          negatives + slot.second + delta.delta_negatives < 0) {
+        for (size_t i = 0; i < accepted; ++i) {
+          auto& undo = overlay[batch[i].leaf_key];
+          undo.first -= batch[i].delta_positives;
+          undo.second -= batch[i].delta_negatives;
+        }
         return false;
       }
-    }
-    for (const Hierarchy::LeafDelta& delta : batch) {
-      auto& slot = overlay[delta.leaf_key];
       slot.first += delta.delta_positives;
       slot.second += delta.delta_negatives;
+      ++accepted;
     }
     return true;
   };
@@ -593,8 +616,14 @@ Status ServeDaemon::Checkpoint() {
 
 Status ServeDaemon::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_) return first_error_;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_started_) {
+      // Another caller owns the shutdown sequence (joining a std::thread
+      // from two threads is UB); wait for it and report the same result.
+      drain_cv_.wait(lock, [&] { return stopped_; });
+      return first_error_;
+    }
+    stop_started_ = true;
     stopping_ = true;
   }
   work_cv_.notify_all();

@@ -151,8 +151,9 @@ class ServeDaemon {
   Status Checkpoint();
 
   // Stops ingestion, drains the queue, checkpoints (unless
-  // needs-recovery), and joins the apply thread. Idempotent; returns the
-  // first shutdown error.
+  // needs-recovery), and joins the apply thread. Idempotent and safe to
+  // call concurrently — later callers wait for the first to finish and
+  // return the same result (the first shutdown error, OkStatus if clean).
   Status Stop();
 
  private:
@@ -209,6 +210,7 @@ class ServeDaemon {
   bool needs_recovery_ = false;
   std::string trip_reason_;
   bool stopping_ = false;
+  bool stop_started_ = false;  // some thread owns the shutdown sequence
   bool stopped_ = false;
   Status first_error_;
 

@@ -472,9 +472,16 @@ StatusOr<WalCheckpoint> ReadWalCheckpoint(const std::string& path) {
   }
   const uint64_t num_entries = GetU64(data + kCkptOffNumEntries);
   const uint64_t payload_bytes = GetU64(data + kCkptOffPayloadBytes);
-  if (payload_bytes != num_entries * 24 + 16 ||
-      bytes.size() !=
-          static_cast<size_t>(kCheckpointHeaderBytes) + payload_bytes) {
+  // Derive the entry count bound from the bytes actually present before
+  // trusting num_entries: checking `num_entries * 24 + 16` directly wraps
+  // for a crafted header (~2^60 entries) whose checksum was recomputed,
+  // and the decode loop would then read far past the buffer.
+  const uint64_t capacity =
+      static_cast<uint64_t>(bytes.size()) -
+      static_cast<uint64_t>(kCheckpointHeaderBytes);
+  if (payload_bytes != capacity || payload_bytes < 16 ||
+      (payload_bytes - 16) % 24 != 0 ||
+      num_entries != (payload_bytes - 16) / 24) {
     return DataCorruptionError("checkpoint '" + path +
                                "' payload size is inconsistent");
   }

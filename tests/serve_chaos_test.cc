@@ -13,10 +13,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -279,6 +281,41 @@ TEST(WalCheckpointTest, BitFlipAnywhereIsDetected) {
   }
 }
 
+TEST(WalCheckpointTest, WrappingEntryCountIsRejected) {
+  const std::string path = TempPath("ckpt_wrap.rck");
+  std::remove(path.c_str());
+  WalCheckpoint checkpoint;
+  checkpoint.schema_digest = 7;
+  checkpoint.leaf_counts =
+      NodeTable({{LeafKey(0, 0), {1, 2}}, {LeafKey(1, 0), {3, 4}}});
+  checkpoint.totals = {4, 6};
+  ASSERT_TRUE(WriteWalCheckpoint(path, checkpoint).ok());
+  std::vector<uint8_t> bytes = ReadBytes(path);
+  // Craft num_entries so `num_entries * 24 + 16` wraps back to the true
+  // payload size (2^61 * 24 ≡ 0 mod 2^64) and recompute the header
+  // checksum, leaving the size sanity check as the only line of defense —
+  // a naive check would pass and send the decode loop far out of bounds.
+  constexpr size_t kOffNumEntries = 8;  // header layout, see wal.cc
+  constexpr size_t kOffChecksum = 56;
+  auto get_u64 = [&](size_t at) {
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(bytes[at + i]) << (8 * i);
+    }
+    return value;
+  };
+  auto put_u64 = [&](size_t at, uint64_t value) {
+    for (int i = 0; i < 8; ++i) bytes[at + i] = (value >> (8 * i)) & 0xff;
+  };
+  put_u64(kOffNumEntries, get_u64(kOffNumEntries) + (1ull << 61));
+  put_u64(kOffChecksum, 0);
+  put_u64(kOffChecksum, Fnv1a64(bytes.data(), kCheckpointHeaderBytes));
+  WriteBytes(path, bytes.data(), bytes.size());
+  StatusOr<WalCheckpoint> read = ReadWalCheckpoint(path);
+  ASSERT_FALSE(read.ok()) << "wrapping entry count slipped past validation";
+  EXPECT_EQ(read.status().code(), StatusCode::kDataCorruption);
+}
+
 TEST(WalCheckpointTest, FailedWriteLeavesNoTmpAndOldCheckpointIntact) {
   const std::string path = TempPath("ckpt_atomic.rck");
   std::remove(path.c_str());
@@ -532,6 +569,97 @@ TEST(ServeDaemonTest, UnderflowingBatchIsDroppedNotCommitted) {
   ASSERT_TRUE(daemon.value()->Flush().ok());
   EXPECT_EQ(daemon.value()->Snapshot()->totals.positives, 2);
   EXPECT_TRUE(daemon.value()->Stop().ok());
+}
+
+TEST(ServeDaemonTest, DuplicateKeysInOneBatchValidateCumulatively) {
+  const DataSchema schema = SmallSchema();
+  const std::string dir = FreshDir("dupkeys");
+  uint64_t digest = 0;
+  {
+    auto daemon = ServeDaemon::Start(schema, SmallOptions(dir));
+    ASSERT_TRUE(daemon.ok());
+    ASSERT_TRUE(daemon.value()->Submit({Delta(0, 0, 8, 0)}).ok());
+    ASSERT_TRUE(daemon.value()->Flush().ok());
+    // Each -5 alone passes against the leaf count of 8; together they
+    // underflow. Submit's contract allows duplicate keys, so validation
+    // must accumulate them — the batch is dropped before it is ever
+    // WAL-committed (a committed record has to replay cleanly forever).
+    ASSERT_TRUE(
+        daemon.value()->Submit({Delta(0, 0, -5, 0), Delta(0, 0, -5, 0)}).ok());
+    ASSERT_TRUE(daemon.value()->Flush().ok());
+    EXPECT_EQ(daemon.value()->Snapshot()->totals.positives, 8);
+    EXPECT_FALSE(daemon.value()->read_only());
+    // Valid duplicate keys still commit, and a rejected batch rolls its
+    // overlay back: this one validates against the untouched count of 8.
+    ASSERT_TRUE(
+        daemon.value()->Submit({Delta(0, 0, 2, 0), Delta(0, 0, 3, 0)}).ok());
+    ASSERT_TRUE(daemon.value()->Flush().ok());
+    EXPECT_EQ(daemon.value()->Snapshot()->totals.positives, 13);
+    digest = daemon.value()->Snapshot()->counts_digest;
+    // Kill (failed shutdown checkpoint) so the restart must replay the WAL.
+    FaultInjector injector;
+    injector.FailAlways("wal/fsync");
+    EXPECT_FALSE(daemon.value()->Stop().ok());
+  }
+  auto daemon = ServeDaemon::Start(schema, SmallOptions(dir));
+  ASSERT_TRUE(daemon.ok()) << daemon.status();
+  EXPECT_EQ(daemon.value()->Snapshot()->counts_digest, digest)
+      << "a WAL-committed record failed to replay to the served state";
+  EXPECT_TRUE(daemon.value()->Stop().ok());
+}
+
+TEST(ServeDaemonTest, BatchesQueuedDuringATripNeverCommit) {
+  // Regression: a batch accepted by Submit while CommitGroup was tripping
+  // read-only used to be WAL-appended and applied by the next group —
+  // advancing the served counts past durable-but-unapplied records and
+  // stranding records behind the torn tail. Race a submitter against a
+  // first-fsync failure; whatever lands in the queue around the trip must
+  // be dropped, leaving the served digest exactly where the last
+  // acknowledged commit left it.
+  const DataSchema schema = SmallSchema();
+  auto daemon =
+      ServeDaemon::Start(schema, SmallOptions(FreshDir("tripdrop")));
+  ASSERT_TRUE(daemon.ok());
+  ASSERT_TRUE(daemon.value()->IngestCsv(kBatchCsv).ok());
+  ASSERT_TRUE(daemon.value()->Flush().ok());
+  const uint64_t clean_digest = daemon.value()->Snapshot()->counts_digest;
+
+  FaultInjector injector;
+  // Only the next group's sync fails; later syncs would succeed, so any
+  // batch the old code let through WOULD commit and move the digest.
+  injector.FailNth("wal/fsync", 1);
+  std::thread submitter([&] {
+    for (int i = 0; i < 50000; ++i) {
+      const Status submitted = daemon.value()->Submit({Delta(0, 0, 1, 0)});
+      if (submitted.code() == StatusCode::kInternal) return;  // read-only
+    }
+  });
+  submitter.join();
+  EXPECT_FALSE(daemon.value()->Flush().ok());
+  EXPECT_TRUE(daemon.value()->read_only());
+  EXPECT_TRUE(daemon.value()->needs_recovery());
+  EXPECT_EQ(daemon.value()->Snapshot()->counts_digest, clean_digest)
+      << "a batch queued during the trip was committed after it";
+  EXPECT_FALSE(daemon.value()->Stop().ok());
+}
+
+TEST(ServeDaemonTest, ConcurrentStopCallersAgreeAndDoNotCrash) {
+  // Stop() is documented safe for concurrent callers: exactly one thread
+  // runs the shutdown sequence (a double std::thread::join is UB), the
+  // rest wait and report the same result. The TSan twin is the teeth.
+  const DataSchema schema = SmallSchema();
+  auto daemon =
+      ServeDaemon::Start(schema, SmallOptions(FreshDir("stopstorm")));
+  ASSERT_TRUE(daemon.ok());
+  ASSERT_TRUE(daemon.value()->IngestCsv(kBatchCsv).ok());
+  std::array<Status, 4> results;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] { results[t] = daemon.value()->Stop(); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const Status& result : results) EXPECT_TRUE(result.ok()) << result;
+  EXPECT_EQ(daemon.value()->Snapshot()->totals.positives, 6);
 }
 
 TEST(ServeDaemonTest, CleanRestartPreservesDigestAndResetsWal) {
