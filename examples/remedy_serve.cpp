@@ -23,6 +23,21 @@
 //                      checkpointing (simulates a crash; the next start
 //                      must replay the WAL). Testing hook.
 //
+// Remedy flags (docs/REMEDY.md):
+//   --remedy TECH      after ingest drains, plan + commit one remedy
+//                      round through the configured backend (TECH is
+//                      ps|us|os|massage)
+//   --auto-remedy      monitor policy hook: every identify epoch with a
+//                      non-empty IBS triggers a remedy round on a
+//                      dedicated thread, up to --remedy-rounds per quiet
+//                      period (ingest refills the budget)
+//   --remedy-backend B rebuild|incremental|streaming (default streaming)
+//   --remedy-seed N    RNG seed of the remedy planner (default 23)
+//   --remedy-rounds N  auto-remedy round budget (default 4)
+//   --kill-after-remedy  exit WITHOUT checkpointing once the remedy phase
+//                      is done (crash simulation: recovery must replay the
+//                      remedy records). Testing hook.
+//
 // Daemon tuning: --queue-capacity N, --retry-after-ms MS, --watchdog N,
 // --checkpoint-every N, --identify-every N, --threads N; audit params
 // --tau-c X, --T X, --min-region N.
@@ -50,6 +65,7 @@
 #include "common/csv.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "core/remedy_backend.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "core/hierarchy.h"
@@ -96,6 +112,9 @@ struct ServeArgs {
   int kill_after = 0;
   bool serve = false;
   std::string health_out;
+  bool remedy_once = false;
+  bool kill_after_remedy = false;
+  std::string remedy_backend_name;  // parsed in Run: bad names exit 64
   ServeOptions options;
   LoaderOptions loader;
   bool protected_given = false;
@@ -108,6 +127,9 @@ void PrintUsage() {
       " --state-dir DIR\n"
       "  [--protected a,b,...] [--label col] [--seed] [--batch file]...\n"
       "  [--demo N] [--kill-after N] [--serve] [--health-out file]\n"
+      "  [--remedy ps|us|os|massage] [--auto-remedy]\n"
+      "  [--remedy-backend rebuild|incremental|streaming]\n"
+      "  [--remedy-seed N] [--remedy-rounds N] [--kill-after-remedy]\n"
       "  [--queue-capacity N] [--retry-after-ms MS] [--watchdog N]\n"
       "  [--checkpoint-every N] [--identify-every N] [--threads N]\n"
       "  [--tau-c X] [--T X] [--min-region N]\n");
@@ -153,6 +175,33 @@ ServeArgs ParseArgs(int argc, char** argv) {
       args.serve = true;
     } else if (arg == "--health-out") {
       args.health_out = value_of();
+    } else if (arg == "--remedy") {
+      const std::string technique = value_of();
+      if (technique == "ps") {
+        args.options.remedy.technique =
+            RemedyTechnique::kPreferentialSampling;
+      } else if (technique == "us") {
+        args.options.remedy.technique = RemedyTechnique::kUndersample;
+      } else if (technique == "os") {
+        args.options.remedy.technique = RemedyTechnique::kOversample;
+      } else if (technique == "massage") {
+        args.options.remedy.technique = RemedyTechnique::kMassaging;
+      } else {
+        std::fprintf(stderr, "--remedy wants ps|us|os|massage\n");
+        return args;
+      }
+      args.remedy_once = true;
+    } else if (arg == "--auto-remedy") {
+      args.options.auto_remedy = true;
+    } else if (arg == "--remedy-backend") {
+      args.remedy_backend_name = value_of();
+    } else if (arg == "--remedy-seed") {
+      args.options.remedy.seed =
+          static_cast<uint64_t>(std::atoll(value_of().c_str()));
+    } else if (arg == "--remedy-rounds") {
+      args.options.auto_remedy_max_rounds = std::atoi(value_of().c_str());
+    } else if (arg == "--kill-after-remedy") {
+      args.kill_after_remedy = true;
     } else if (arg == "--queue-capacity") {
       args.options.queue_capacity =
           static_cast<size_t>(std::atoll(value_of().c_str()));
@@ -192,6 +241,16 @@ ServeArgs ParseArgs(int argc, char** argv) {
   if (!args.protected_given && !generated) {
     std::fprintf(stderr, "--protected is required for file input\n");
     return args;
+  }
+  if (args.kill_after_remedy && !args.remedy_once &&
+      !args.options.auto_remedy) {
+    std::fprintf(stderr,
+                 "--kill-after-remedy needs --remedy or --auto-remedy\n");
+    return args;
+  }
+  if (args.remedy_once || args.options.auto_remedy ||
+      !args.remedy_backend_name.empty()) {
+    args.options.enable_remedy = true;
   }
   args.options.state_dir = args.state_dir;
   args.valid = true;
@@ -291,6 +350,12 @@ bool SignalPending(const sigset_t& set) {
 }
 
 int Run(ServeArgs& args, const sigset_t& signals) {
+  if (!args.remedy_backend_name.empty()) {
+    StatusOr<RemedyBackendKind> parsed =
+        ParseRemedyBackend(args.remedy_backend_name);
+    if (!parsed.ok()) return Fail("bad --remedy-backend", parsed.status());
+    args.options.remedy_backend = parsed.value();
+  }
   StatusOr<Dataset> schema_data = LoadSchemaDataset(&args);
   if (!schema_data.ok()) return Fail("schema load failed", schema_data.status());
   const Dataset& data = schema_data.value();
@@ -374,6 +439,59 @@ int Run(ServeArgs& args, const sigset_t& signals) {
     std::fprintf(stderr, "degraded: %s\n", flushed.ToString().c_str());
   }
   PrintSnapshot(daemon);
+
+  // --- remedy phase: after ingest has drained (docs/REMEDY.md) --------
+  if (args.remedy_once && !daemon.read_only()) {
+    RemedyParams params = args.options.remedy;
+    params.ibs = args.options.ibs;
+    // A concurrent auto-remedy round can make this plan stale; re-plan.
+    StatusOr<RemedyCommitResult> remedied = daemon.SubmitRemedy(params);
+    for (int attempt = 0;
+         !remedied.ok() &&
+         remedied.status().code() == StatusCode::kResourceExhausted &&
+         attempt < 3;
+         ++attempt) {
+      remedied = daemon.SubmitRemedy(params);
+    }
+    if (!remedied.ok()) return Fail("remedy failed", remedied.status());
+    const RemedyCommitResult& r = remedied.value();
+    if (r.committed) {
+      std::printf(
+          "remedy committed: %zu leaf delta(s), epoch %llu -> %llu "
+          "(+%lld/-%lld instances, %lld flips)\n",
+          r.deltas, static_cast<unsigned long long>(r.planned_epoch),
+          static_cast<unsigned long long>(r.applied_epoch),
+          static_cast<long long>(r.stats.instances_added),
+          static_cast<long long>(r.stats.instances_removed),
+          static_cast<long long>(r.stats.labels_flipped));
+    } else {
+      std::printf("remedy: nothing to do at epoch %llu\n",
+                  static_cast<unsigned long long>(r.planned_epoch));
+    }
+  }
+  if (args.options.auto_remedy) {
+    daemon.WaitRemedyIdle();
+    Status drained = daemon.Flush();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "degraded: %s\n", drained.ToString().c_str());
+    }
+    std::printf("auto-remedy quiesced: %lld remedy commit(s)\n",
+                static_cast<long long>(daemon.remedy_commits()));
+  }
+  if (args.remedy_once || args.options.auto_remedy) PrintSnapshot(daemon);
+  if (args.kill_after_remedy) {
+    // Crash simulation mirroring --kill-after: the remedy records are
+    // durable in the WAL but no checkpoint covers them; the next start
+    // must replay to the post-remedy counts.
+    const std::string health = daemon.HealthJson();
+    std::printf("kill-after-remedy: exiting without checkpoint\n");
+    std::printf("final: %s\n", health.c_str());
+    if (!args.health_out.empty()) {
+      Status written = WriteTextFile(args.health_out, health + "\n");
+      if (!written.ok()) return Fail("health write failed", written);
+    }
+    std::_Exit(0);
+  }
 
   if (args.serve && !interrupted_ingest) {
     std::printf("serving; SIGINT/SIGTERM drains and checkpoints\n");

@@ -18,10 +18,12 @@ namespace remedy {
 //
 // Naming convention: "<family>/<event>", lower_snake within segments.
 // Families: lattice (hierarchy construction), ibs (subgroup
-// identification), remedy (dataset repair), loader + csv (ingestion),
-// threadpool, fault (fault injection), ml (model training / tuning),
-// fairness (bootstrap confidence intervals), wal (the streaming service's
-// write-ahead delta log), serve (the streaming fairness daemon).
+// identification), remedy (dataset repair), remedy_backend (the pluggable
+// remedy write path, including the daemon's streaming commits), loader +
+// csv (ingestion), threadpool, fault (fault injection), ml (model
+// training / tuning), fairness (bootstrap confidence intervals), wal (the
+// streaming service's write-ahead delta log), serve (the streaming
+// fairness daemon).
 
 // REMEDY_PIPELINE_COUNTERS(X): X(field, "name", "unit", "help")
 #define REMEDY_PIPELINE_COUNTERS(X)                                           \
@@ -82,6 +84,18 @@ namespace remedy {
     "remedy passes served by the incremental (delta-maintained) engine")      \
   X(remedy_rebuild_passes, "remedy/rebuild_passes", "passes",                 \
     "remedy passes that fell back to a full lattice rebuild")                 \
+  X(remedy_backend_plans, "remedy_backend/plans", "plans",                    \
+    "delta plans computed by RemedyBackend::PlanDeltas")                      \
+  X(remedy_backend_deltas_planned, "remedy_backend/deltas_planned",           \
+    "deltas", "net leaf-count deltas emitted across all remedy plans")        \
+  X(remedy_backend_streaming_commits, "remedy_backend/streaming_commits",     \
+    "commits",                                                                \
+    "remedy plans WAL-committed through the daemon's group-commit path")      \
+  X(remedy_backend_stale_plans, "remedy_backend/stale_plans", "plans",        \
+    "remedy plans rejected at commit because ingest advanced past the "       \
+    "pinned sequence")                                                        \
+  X(remedy_backend_auto_triggers, "remedy_backend/auto_triggers",             \
+    "triggers", "auto-remedy rounds started by the monitor policy hook")      \
   X(loader_files, "loader/files", "files",                                    \
     "CSV files ingested by LoadCsvDataset")                                   \
   X(loader_rows_loaded, "loader/rows_loaded", "rows",                         \
@@ -166,7 +180,10 @@ namespace remedy {
     "wall time of each classifier Fit call")                        \
   X(serve_apply_ns, "serve/apply_ns", "ns",                         \
     "per-batch wall time from dequeue through WAL commit, lattice " \
-    "apply, and snapshot publish")
+    "apply, and snapshot publish")                                  \
+  X(remedy_backend_plan_ns, "remedy_backend/plan_ns", "ns",         \
+    "wall time of RemedyBackend::PlanDeltas (materialize, plan, "   \
+    "and diff)")
 
 // All pipeline instruments, registered once on first use. Call sites do
 //   PipelineMetrics::Get().ibs_nodes_visited->Increment(n);

@@ -1,0 +1,245 @@
+#include "core/remedy_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/pipeline_metrics.h"
+#include "data/shard_file.h"
+
+namespace remedy {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status ValidateSource(const RemedySource& source) {
+  if ((source.dataset == nullptr) == (source.leaf_counts == nullptr)) {
+    return InvalidArgumentError(
+        "RemedySource wants exactly one of dataset / leaf_counts");
+  }
+  if (source.leaf_counts != nullptr && source.schema == nullptr) {
+    return InvalidArgumentError(
+        "RemedySource::leaf_counts requires RemedySource::schema");
+  }
+  return OkStatus();
+}
+
+const DataSchema& SourceSchema(const RemedySource& source) {
+  return source.dataset != nullptr ? source.dataset->schema()
+                                   : *source.schema;
+}
+
+// The source's leaf census, whichever form it arrived in.
+NodeTable SourceLeafCounts(const RemedySource& source) {
+  return source.dataset != nullptr ? LeafCountsOf(*source.dataset)
+                                   : *source.leaf_counts;
+}
+
+int64_t TotalInstances(const NodeTable& counts) {
+  int64_t total = 0;
+  for (const auto& [key, region] : counts) total += region.Total();
+  return total;
+}
+
+// rebuild / incremental: the two batch engines of RemedyDataset behind the
+// backend API. Row-faithful on a dataset source; a count source is
+// materialized first.
+class BatchRemedyBackend : public RemedyBackend {
+ public:
+  explicit BatchRemedyBackend(RemedyBackendKind kind) : kind_(kind) {}
+
+  RemedyBackendKind kind() const override { return kind_; }
+
+  StatusOr<Dataset> Remedy(const RemedySource& source,
+                           const RemedyParams& params,
+                           RemedyStats* stats) const override {
+    RETURN_IF_ERROR(ValidateSource(source));
+    RemedyParams engine_params = params;
+    engine_params.engine = kind_ == RemedyBackendKind::kRebuild
+                               ? RemedyEngine::kRebuild
+                               : RemedyEngine::kIncremental;
+    if (source.dataset != nullptr) {
+      return RemedyDataset(*source.dataset, engine_params, stats);
+    }
+    ASSIGN_OR_RETURN(
+        Dataset materialized,
+        MaterializeLeafCounts(*source.schema, *source.leaf_counts));
+    return RemedyDataset(materialized, engine_params, stats);
+  }
+
+ private:
+  const RemedyBackendKind kind_;
+};
+
+// streaming: plans on the canonical materialization of the source's leaf
+// counts, so the plan is a pure function of the counts — exactly what the
+// daemon snapshots. The result is re-materialized from the remedied counts,
+// making the row output canonical too (count-faithful by construction).
+// Parity with the rebuild engine on the same materialized dataset follows
+// from the engines' proven byte-identity (tests/remedy_test.cc).
+class StreamingRemedyBackend : public RemedyBackend {
+ public:
+  RemedyBackendKind kind() const override {
+    return RemedyBackendKind::kStreaming;
+  }
+
+  StatusOr<Dataset> Remedy(const RemedySource& source,
+                           const RemedyParams& params,
+                           RemedyStats* stats) const override {
+    RETURN_IF_ERROR(ValidateSource(source));
+    const DataSchema& schema = SourceSchema(source);
+    const NodeTable counts = SourceLeafCounts(source);
+    ASSIGN_OR_RETURN(Dataset canonical,
+                     MaterializeLeafCounts(schema, counts));
+    RemedyParams engine_params = params;
+    engine_params.engine = RemedyEngine::kIncremental;
+    ASSIGN_OR_RETURN(Dataset remedied,
+                     RemedyDataset(canonical, engine_params, stats));
+    return MaterializeLeafCounts(schema, LeafCountsOf(remedied));
+  }
+};
+
+}  // namespace
+
+const char* RemedyBackendName(RemedyBackendKind kind) {
+  switch (kind) {
+    case RemedyBackendKind::kRebuild:
+      return "rebuild";
+    case RemedyBackendKind::kIncremental:
+      return "incremental";
+    case RemedyBackendKind::kStreaming:
+      return "streaming";
+  }
+  return "unknown";
+}
+
+StatusOr<RemedyBackendKind> ParseRemedyBackend(const std::string& name) {
+  if (name == "rebuild") return RemedyBackendKind::kRebuild;
+  if (name == "incremental") return RemedyBackendKind::kIncremental;
+  if (name == "streaming") return RemedyBackendKind::kStreaming;
+  return InvalidArgumentError("unknown remedy backend '" + name +
+                              "' (want rebuild|incremental|streaming)");
+}
+
+std::unique_ptr<RemedyBackend> RemedyBackend::Create(RemedyBackendKind kind) {
+  switch (kind) {
+    case RemedyBackendKind::kRebuild:
+    case RemedyBackendKind::kIncremental:
+      return std::make_unique<BatchRemedyBackend>(kind);
+    case RemedyBackendKind::kStreaming:
+      return std::make_unique<StreamingRemedyBackend>();
+  }
+  REMEDY_CHECK(false) << "unhandled RemedyBackendKind";
+  return nullptr;
+}
+
+StatusOr<RemedyDeltaPlan> RemedyBackend::PlanDeltas(
+    const RemedySource& source, const RemedyParams& params) const {
+  RETURN_IF_ERROR(ValidateSource(source));
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  const int64_t start_ns = NowNanos();
+  const NodeTable before = SourceLeafCounts(source);
+  RemedyDeltaPlan plan;
+  if (TotalInstances(before) == 0) return plan;  // nothing to remedy yet
+  ASSIGN_OR_RETURN(Dataset remedied, Remedy(source, params, &plan.stats));
+  plan.deltas = DiffLeafCounts(before, LeafCountsOf(remedied));
+  metrics.remedy_backend_plans->Increment();
+  metrics.remedy_backend_deltas_planned->Increment(
+      static_cast<int64_t>(plan.deltas.size()));
+  metrics.remedy_backend_plan_ns->Observe(NowNanos() - start_ns);
+  return plan;
+}
+
+StatusOr<Dataset> MaterializeLeafCounts(const DataSchema& schema,
+                                        const NodeTable& leaf_counts) {
+  if (schema.NumProtected() == 0) {
+    return InvalidArgumentError(
+        "cannot materialize counts without protected attributes");
+  }
+  const RegionCounter counter(schema);
+  const uint32_t leaf_mask =
+      (uint32_t{1} << static_cast<uint32_t>(schema.NumProtected())) - 1;
+  Dataset data(schema);
+  std::vector<int> values(static_cast<size_t>(schema.NumAttributes()), 0);
+  for (const auto& [key, counts] : leaf_counts) {
+    if (counts.positives < 0 || counts.negatives < 0) {
+      return InvalidArgumentError(
+          "cannot materialize negative counts at leaf key " +
+          std::to_string(key));
+    }
+    if (counts.Total() == 0) continue;
+    const Pattern pattern = counter.PatternFor(key, leaf_mask);
+    std::fill(values.begin(), values.end(), 0);
+    for (int p = 0; p < schema.NumProtected(); ++p) {
+      values[schema.protected_indices()[p]] = pattern.Value(p);
+    }
+    for (int64_t i = 0; i < counts.positives; ++i) data.AddRow(values, 1);
+    for (int64_t i = 0; i < counts.negatives; ++i) data.AddRow(values, 0);
+  }
+  return data;
+}
+
+NodeTable LeafCountsOf(const Dataset& data) {
+  const RegionCounter counter(data.schema());
+  const uint32_t leaf_mask =
+      (uint32_t{1} << static_cast<uint32_t>(data.schema().NumProtected())) -
+      1;
+  return counter.CountNode(data, leaf_mask);
+}
+
+std::vector<Hierarchy::LeafDelta> DiffLeafCounts(const NodeTable& before,
+                                                 const NodeTable& after) {
+  std::vector<Hierarchy::LeafDelta> deltas;
+  auto a = before.begin();
+  auto b = after.begin();
+  auto emit = [&deltas](uint64_t key, int64_t delta_positives,
+                        int64_t delta_negatives) {
+    if (delta_positives != 0 || delta_negatives != 0) {
+      deltas.push_back({key, delta_positives, delta_negatives});
+    }
+  };
+  while (a != before.end() || b != after.end()) {
+    if (b == after.end() || (a != before.end() && a->first < b->first)) {
+      emit(a->first, -a->second.positives, -a->second.negatives);
+      ++a;
+    } else if (a == before.end() || b->first < a->first) {
+      emit(b->first, b->second.positives, b->second.negatives);
+      ++b;
+    } else {
+      emit(a->first, b->second.positives - a->second.positives,
+           b->second.negatives - a->second.negatives);
+      ++a;
+      ++b;
+    }
+  }
+  return deltas;
+}
+
+uint64_t LeafCountsDigest(const NodeTable& counts) {
+  uint64_t digest = 0xcbf29ce484222325ull;
+  for (const auto& [key, region] : counts) {
+    // Digest the non-empty support only: a leaf drained to zero by deltas
+    // stays in the table as an explicit {0,0} entry, but is unobservable —
+    // it materializes no rows and a census never emits it — so it must
+    // digest identically to its absence.
+    if (region.Total() == 0) continue;
+    uint8_t bytes[24];
+    const uint64_t words[3] = {key,
+                               static_cast<uint64_t>(region.positives),
+                               static_cast<uint64_t>(region.negatives)};
+    for (int w = 0; w < 3; ++w) {
+      for (int i = 0; i < 8; ++i) {
+        bytes[8 * w + i] = static_cast<uint8_t>(words[w] >> (8 * i));
+      }
+    }
+    digest = Fnv1a64(bytes, sizeof(bytes), digest);
+  }
+  return digest;
+}
+
+}  // namespace remedy

@@ -70,7 +70,12 @@ ServeDaemon::ServeDaemon(const DataSchema& schema,
       counter_(schema_),
       schema_digest_(SchemaDigest(schema_)),
       wal_path_(options.state_dir + "/" + kWalFileName),
-      checkpoint_path_(options.state_dir + "/" + kCheckpointFileName) {}
+      checkpoint_path_(options.state_dir + "/" + kCheckpointFileName),
+      remedy_params_(options.remedy) {
+  // One subgroup definition per daemon: remedies target exactly the
+  // regions the per-epoch audit (and the monitor) reports.
+  remedy_params_.ibs = options.ibs;
+}
 
 StatusOr<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
     const DataSchema& schema, const ServeOptions& options) {
@@ -113,6 +118,8 @@ StatusOr<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
                          return OkStatus();
                        }));
   daemon->last_committed_sequence_ = replay.last_sequence;
+  daemon->counting_backend_name_ =
+      CountingBackendName(daemon->hierarchy_->counting_backend());
   ASSIGN_OR_RETURN(daemon->wal_,
                    DeltaWal::Open(daemon->wal_path_, daemon->schema_digest_,
                                   replay.last_sequence + 1));
@@ -122,6 +129,10 @@ StatusOr<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
     daemon->PublishSnapshot();
   }
   daemon->apply_thread_ = std::thread(&ServeDaemon::ApplyLoop, daemon.get());
+  if (options.auto_remedy) {
+    daemon->remedy_thread_ =
+        std::thread(&ServeDaemon::RemedyLoop, daemon.get());
+  }
   return daemon;
 }
 
@@ -257,7 +268,9 @@ Status ServeDaemon::Submit(std::vector<Hierarchy::LeafDelta> deltas) {
         " batches); retry after " + std::to_string(options_.retry_after_ms) +
         "ms");
   }
-  queue_.push_back(std::move(deltas));
+  Batch batch;
+  batch.deltas = std::move(deltas);
+  queue_.push_back(std::move(batch));
   ++submitted_batches_;
   metrics.serve_batches_ingested->Increment();
   metrics.serve_rows_ingested->Increment(rows);
@@ -278,7 +291,7 @@ Status ServeDaemon::Flush() {
 void ServeDaemon::ApplyLoop() {
   const PipelineMetrics& metrics = PipelineMetrics::Get();
   while (true) {
-    std::vector<std::vector<Hierarchy::LeafDelta>> group;
+    std::vector<Batch> group;
     bool tripped = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -304,17 +317,38 @@ void ServeDaemon::ApplyLoop() {
         std::lock_guard<std::mutex> lock(mu_);
         processed_batches_ += static_cast<int64_t>(group.size());
         failed_batches_ += static_cast<int64_t>(group.size());
+        for (const Batch& batch : group) {
+          if (batch.is_remedy) {
+            remedy_results_[batch.ticket] = {
+                InternalError("daemon is read-only: " + trip_reason_), 0};
+          }
+        }
       }
       drain_cv_.notify_all();
       continue;
     }
     const int64_t start_ns = NowNanos();
     int64_t applied = 0;
+    uint64_t post_epoch = 0;
     Status committed;
+    std::vector<std::pair<uint64_t, Status>> remedy_outcomes;
     {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
-      committed = CommitGroup(group, &applied);
+      committed = CommitGroup(group, &applied, &remedy_outcomes);
+      // External ingest refills the auto-remedy round budget. The refill
+      // must precede PublishSnapshot: the publish below may consume a
+      // round for the epoch this very ingest produced, and refilling
+      // afterwards would hand the loop one free round over the budget.
+      int64_t committed_remedies = 0;
+      for (const auto& [ticket, status] : remedy_outcomes) {
+        if (status.ok()) ++committed_remedies;
+      }
+      if (applied > committed_remedies) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto_remedy_rounds_ = 0;
+      }
       PublishSnapshot();
+      post_epoch = epoch_;
       bool lagging;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -333,14 +367,59 @@ void ServeDaemon::ApplyLoop() {
       applied_batches_ += applied;
       failed_batches_ += static_cast<int64_t>(group.size()) - applied;
       if (!committed.ok() && first_error_.ok()) first_error_ = committed;
+      // Resolve every remedy ticket of this group. A ticket CommitGroup
+      // never reached (a group-level WAL failure returned early) fails
+      // with that error; its record may still be durable, which recovery
+      // reconciles like any other committed-but-unapplied batch.
+      for (const auto& [ticket, status] : remedy_outcomes) {
+        if (status.ok()) {
+          ++remedy_commits_;
+          remedy_results_[ticket] = {status, post_epoch};
+        } else {
+          remedy_results_[ticket] = {status, 0};
+        }
+      }
+      for (const Batch& batch : group) {
+        if (batch.is_remedy &&
+            remedy_results_.find(batch.ticket) == remedy_results_.end()) {
+          remedy_results_[batch.ticket] = {
+              committed.ok()
+                  ? InternalError("remedy batch dropped by a group failure")
+                  : committed,
+              0};
+        }
+      }
     }
     drain_cv_.notify_all();
   }
 }
 
+void ServeDaemon::RemedyLoop() {
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      remedy_cv_.wait(lock, [&] { return stopping_ || remedy_pending_; });
+      if (stopping_) break;
+      remedy_pending_ = false;
+      remedy_inflight_ = true;
+    }
+    metrics.remedy_backend_auto_triggers->Increment();
+    // A stale or rejected round is not retried here: if the subgroup set
+    // still warrants a remedy, the next identify epoch re-triggers it.
+    const StatusOr<RemedyCommitResult> result = SubmitRemedy(remedy_params_);
+    (void)result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      remedy_inflight_ = false;
+    }
+    remedy_cv_.notify_all();  // WaitRemedyIdle observers
+  }
+}
+
 Status ServeDaemon::CommitGroup(
-    const std::vector<std::vector<Hierarchy::LeafDelta>>& batches,
-    int64_t* applied) {
+    const std::vector<Batch>& batches, int64_t* applied,
+    std::vector<std::pair<uint64_t, Status>>* remedy_outcomes) {
   const PipelineMetrics& metrics = PipelineMetrics::Get();
   const uint32_t leaf_mask = hierarchy_->LeafMask();
   const NodeTable& leaf = hierarchy_->NodeCounts(leaf_mask);
@@ -379,17 +458,40 @@ Status ServeDaemon::CommitGroup(
   };
 
   std::unordered_map<uint64_t, std::pair<int64_t, int64_t>> overlay;
-  std::vector<std::pair<const std::vector<Hierarchy::LeafDelta>*, uint64_t>>
-      committed;
-  for (const std::vector<Hierarchy::LeafDelta>& batch : batches) {
-    if (!validate(batch, overlay)) {
+  std::vector<std::pair<const Batch*, uint64_t>> committed;
+  // The sequence a remedy planned at this instant would have pinned:
+  // everything already durable plus the batches appended ahead of it in
+  // this group. A remedy whose pin is older has raced an ingest commit.
+  uint64_t projected = last_committed_sequence_;
+  for (const Batch& batch : batches) {
+    if (batch.is_remedy && batch.pinned_sequence != projected) {
+      // Stale plan: a batch committed after the snapshot the remedy was
+      // planned from, so its deltas describe counts that no longer exist.
+      // Reject before anything is durable — the caller re-plans against
+      // the newer epoch. This is what keeps remedy monotonic with ingest.
+      metrics.serve_apply_failures->Increment();
+      metrics.remedy_backend_stale_plans->Increment();
+      remedy_outcomes->emplace_back(
+          batch.ticket,
+          ResourceExhaustedError(
+              "remedy plan is stale: pinned WAL sequence " +
+              std::to_string(batch.pinned_sequence) + " but ingest is at " +
+              std::to_string(projected) + "; re-plan and retry"));
+      continue;
+    }
+    if (!validate(batch.deltas, overlay)) {
       // The batch would underflow a region: reject it (it was never
       // durable) and keep going — one bad client batch must not wedge the
       // daemon.
       metrics.serve_apply_failures->Increment();
+      if (batch.is_remedy) {
+        remedy_outcomes->emplace_back(
+            batch.ticket,
+            InternalError("remedy plan would underflow a region"));
+      }
       continue;
     }
-    StatusOr<uint64_t> sequence = wal_->Append(batch);
+    StatusOr<uint64_t> sequence = wal_->Append(batch.deltas);
     if (!sequence.ok()) {
       // The log may now end in torn bytes; appending more would strand
       // records behind the tear, so stop taking writes until a restart
@@ -400,6 +502,7 @@ Status ServeDaemon::CommitGroup(
       return sequence.status();
     }
     committed.emplace_back(&batch, sequence.value());
+    projected = sequence.value();
   }
   if (committed.empty()) return OkStatus();
   Status synced = wal_->Sync();
@@ -430,11 +533,15 @@ Status ServeDaemon::CommitGroup(
         return stage;
       }
     }
-    hierarchy_->ApplyDeltas(*batch, /*insert_missing=*/true);
+    hierarchy_->ApplyDeltas(batch->deltas, /*insert_missing=*/true);
     last_committed_sequence_ = sequence;
     ++batches_since_checkpoint_;
     ++*applied;
     metrics.serve_batches_applied->Increment();
+    if (batch->is_remedy) {
+      metrics.remedy_backend_streaming_commits->Increment();
+      remedy_outcomes->emplace_back(batch->ticket, OkStatus());
+    }
   }
   return OkStatus();
 }
@@ -480,6 +587,10 @@ void ServeDaemon::PublishSnapshot() {
   snapshot->counts_digest = hierarchy_->CountsDigest();
   snapshot->ibs = last_ibs_;
   snapshot->ibs_epoch = last_ibs_epoch_;
+  if (RemedyEnabled()) {
+    snapshot->leaf_counts = std::make_shared<NodeTable>(
+        hierarchy_->NodeCounts(hierarchy_->LeafMask()));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot->read_only = read_only_;
@@ -490,7 +601,130 @@ void ServeDaemon::PublishSnapshot() {
     ring_.push_back(snapshot);
     while (ring_.size() > kSnapshotRing) ring_.pop_front();
   }
+
+  // The monitor policy hook: a freshly identified non-empty subgroup set
+  // wakes the auto-remedy thread, bounded by a per-quiet-period round
+  // budget (external ingest refills it). The trigger must come AFTER the
+  // snapshot install above: the woken thread pins Snapshot(), and pinning
+  // the previous epoch would plan against a census that predates the very
+  // IBS that fired. A round that commits publishes a new epoch, which
+  // re-identifies and may trigger the next round; a round that plans
+  // nothing publishes nothing, so the loop converges.
+  if (options_.auto_remedy && identify && !last_ibs_.empty()) {
+    bool trigger = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!read_only_ && !stopping_ && !remedy_pending_ &&
+          auto_remedy_rounds_ < options_.auto_remedy_max_rounds) {
+        remedy_pending_ = true;
+        ++auto_remedy_rounds_;
+        trigger = true;
+      }
+    }
+    if (trigger) remedy_cv_.notify_all();
+  }
   metrics.serve_epochs_published->Increment();
+}
+
+StatusOr<RemedyCommitResult> ServeDaemon::SubmitRemedy(
+    const RemedyParams& params) {
+  return SubmitRemedy(params, nullptr);
+}
+
+StatusOr<RemedyCommitResult> ServeDaemon::SubmitRemedy(
+    const RemedyParams& params,
+    std::shared_ptr<const EpochSnapshot> pinned) {
+  if (!RemedyEnabled()) {
+    return InvalidArgumentError(
+        "remedy is disabled; start the daemon with "
+        "ServeOptions::enable_remedy (or auto_remedy)");
+  }
+  if (pinned == nullptr) pinned = Snapshot();
+  if (pinned->leaf_counts == nullptr) {
+    return InvalidArgumentError(
+        "pinned snapshot carries no leaf counts (epoch " +
+        std::to_string(pinned->epoch) + " predates enable_remedy)");
+  }
+
+  // Plan on the calling thread against the pinned, immutable cut: the
+  // apply thread keeps committing ingest while this runs.
+  const std::unique_ptr<RemedyBackend> backend =
+      RemedyBackend::Create(options_.remedy_backend);
+  RemedySource source;
+  source.schema = &schema_;
+  source.leaf_counts = pinned->leaf_counts.get();
+  ASSIGN_OR_RETURN(RemedyDeltaPlan plan,
+                   backend->PlanDeltas(source, params));
+
+  RemedyCommitResult result;
+  result.planned_epoch = pinned->epoch;
+  result.pinned_sequence = pinned->wal_sequence;
+  result.stats = plan.stats;
+  result.deltas = plan.deltas.size();
+  if (plan.deltas.empty()) return result;  // nothing to commit
+
+  uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || stopped_) {
+      PipelineMetrics::Get().serve_batches_rejected->Increment();
+      return InternalError("daemon is shutting down");
+    }
+    if (read_only_) {
+      PipelineMetrics::Get().serve_batches_rejected->Increment();
+      return InternalError("daemon is read-only: " + trip_reason_);
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      PipelineMetrics::Get().serve_batches_rejected->Increment();
+      return ResourceExhaustedError(
+          "ingest queue full (" + std::to_string(options_.queue_capacity) +
+          " batches); retry after " +
+          std::to_string(options_.retry_after_ms) + "ms");
+    }
+    ticket = next_ticket_++;
+    Batch batch;
+    batch.deltas = std::move(plan.deltas);
+    batch.is_remedy = true;
+    batch.pinned_sequence = pinned->wal_sequence;
+    batch.ticket = ticket;
+    queue_.push_back(std::move(batch));
+    ++submitted_batches_;
+    PipelineMetrics::Get().serve_queue_depth->Set(
+        static_cast<int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+
+  RemedyOutcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] {
+      return remedy_results_.find(ticket) != remedy_results_.end() ||
+             stopped_;
+    });
+    auto it = remedy_results_.find(ticket);
+    if (it == remedy_results_.end()) {
+      return InternalError("daemon stopped before the remedy resolved");
+    }
+    outcome = std::move(it->second);
+    remedy_results_.erase(it);
+  }
+  RETURN_IF_ERROR(outcome.status);
+  result.committed = true;
+  result.applied_epoch = outcome.epoch;
+  return result;
+}
+
+void ServeDaemon::WaitRemedyIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  remedy_cv_.wait(lock, [&] {
+    return stopping_ || stopped_ ||
+           (!remedy_pending_ && !remedy_inflight_);
+  });
+}
+
+int64_t ServeDaemon::remedy_commits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remedy_commits_;
 }
 
 std::shared_ptr<const EpochSnapshot> ServeDaemon::Snapshot() const {
@@ -515,7 +749,7 @@ std::vector<BiasedRegion> ServeDaemon::QueryIbs() const {
 std::string ServeDaemon::HealthJson() const {
   const std::shared_ptr<const EpochSnapshot> snapshot = Snapshot();
   size_t queue_depth;
-  int64_t submitted, applied, failed;
+  int64_t submitted, applied, failed, remedy_commits;
   bool is_read_only, lagging;
   std::string reason;
   {
@@ -524,6 +758,7 @@ std::string ServeDaemon::HealthJson() const {
     submitted = submitted_batches_;
     applied = applied_batches_;
     failed = failed_batches_;
+    remedy_commits = remedy_commits_;
     is_read_only = read_only_;
     lagging = needs_recovery_;
     reason = trip_reason_;
@@ -531,6 +766,18 @@ std::string ServeDaemon::HealthJson() const {
   std::string json = "{";
   json += "\"status\":\"" +
           std::string(is_read_only ? "read_only" : "serving") + "\",";
+  // Backend identity first, so operators can correlate this report with
+  // the recovery and parity guarantees of docs/SERVICE.md + docs/REMEDY.md.
+  json += "\"counting_backend\":\"" + std::string(counting_backend_name_) +
+          "\",";
+  json += "\"remedy_backend\":\"" +
+          std::string(RemedyEnabled()
+                          ? RemedyBackendName(options_.remedy_backend)
+                          : "disabled") +
+          "\",";
+  json += "\"auto_remedy\":" +
+          std::string(options_.auto_remedy ? "true" : "false") + ",";
+  json += "\"remedy_commits\":" + std::to_string(remedy_commits) + ",";
   json += "\"epoch\":" + std::to_string(snapshot->epoch) + ",";
   json += "\"wal_sequence\":" + std::to_string(snapshot->wal_sequence) + ",";
   json += "\"counts_digest\":" + std::to_string(snapshot->counts_digest) +
@@ -627,6 +874,11 @@ Status ServeDaemon::Stop() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  remedy_cv_.notify_all();
+  // The remedy thread first: it may be waiting inside SubmitRemedy for a
+  // queued batch's outcome, which the still-running apply thread resolves
+  // while draining.
+  if (remedy_thread_.joinable()) remedy_thread_.join();
   if (apply_thread_.joinable()) apply_thread_.join();
   Status checkpointed = needs_recovery() ? OkStatus() : Checkpoint();
   Status result;

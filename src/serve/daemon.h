@@ -9,11 +9,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "core/hierarchy.h"
 #include "core/ibs_identify.h"
+#include "core/remedy_backend.h"
 #include "serve/wal.h"
 
 namespace remedy {
@@ -67,6 +69,28 @@ struct ServeOptions {
 
   // Rollup fan-out of the recovery-time EagerBuild (<= 0 = all CPUs).
   int build_threads = 1;
+
+  // --- online remedy (the RemedyBackend seam; docs/REMEDY.md) ---------
+
+  // Publish each epoch's leaf counts with its snapshot so SubmitRemedy can
+  // plan against a pinned cut. Off by default: the copy costs one leaf
+  // table per epoch. auto_remedy implies it.
+  bool enable_remedy = false;
+  // Which RemedyBackend plans submitted remedies (docs/REMEDY.md). The
+  // streaming backend is the daemon-native one; rebuild/incremental plan
+  // on the same materialized counts and commit identically.
+  RemedyBackendKind remedy_backend = RemedyBackendKind::kStreaming;
+  // Technique/seed/planning parameters of submitted and auto remedies.
+  // The `ibs` field is overridden by ServeOptions::ibs at Start so the
+  // remedy always targets the same subgroup set the monitor reports.
+  RemedyParams remedy;
+  // Monitor policy hook: when an identify epoch publishes a non-empty IBS,
+  // a dedicated remedy thread plans and commits one remedy round, up to
+  // auto_remedy_max_rounds consecutive rounds without external ingest
+  // (ingest resets the budget). Convergence is natural: a round that plans
+  // no deltas publishes no epoch and so triggers no further round.
+  bool auto_remedy = false;
+  int auto_remedy_max_rounds = 4;
 };
 
 // One published epoch: an immutable, internally consistent cut of the
@@ -80,6 +104,19 @@ struct EpochSnapshot {
   std::vector<BiasedRegion> ibs;
   uint64_t ibs_epoch = 0;  // epoch the ibs field was identified at
   bool read_only = false;
+  // This cut's leaf census; only populated when the daemon was started
+  // with remedy enabled (ServeOptions::enable_remedy / auto_remedy).
+  std::shared_ptr<const NodeTable> leaf_counts;
+};
+
+// Outcome of one ServeDaemon::SubmitRemedy call.
+struct RemedyCommitResult {
+  uint64_t planned_epoch = 0;    // snapshot the plan was pinned to
+  uint64_t pinned_sequence = 0;  // WAL sequence of that snapshot
+  bool committed = false;        // false: the plan was empty (a no-op)
+  uint64_t applied_epoch = 0;    // epoch the remedy became visible at
+  size_t deltas = 0;             // net leaf deltas in the plan
+  RemedyStats stats;
 };
 
 class ServeDaemon {
@@ -122,6 +159,32 @@ class ServeDaemon {
   // OkStatus while healthy.
   Status Flush();
 
+  // --- remedy side (thread-safe; requires enable_remedy) ---------------
+
+  // Plans one remedy with the configured RemedyBackend against a pinned
+  // epoch snapshot (the newest, or `pinned` when given) and commits the
+  // plan as one WAL batch through the same all-or-nothing group-commit
+  // path as ingest — crash-safe, and visible to readers only at the next
+  // epoch. Planning runs on the calling thread, off the apply thread, so
+  // ingest keeps committing while a remedy plans.
+  //
+  // Monotonic with ingest: the plan carries the pinned WAL sequence, and
+  // the apply thread rejects it with kResourceExhausted if any batch
+  // committed after the pin — re-plan against the newer epoch and retry.
+  // An empty plan (nothing to do) returns committed=false, not an error.
+  StatusOr<RemedyCommitResult> SubmitRemedy(const RemedyParams& params);
+  StatusOr<RemedyCommitResult> SubmitRemedy(
+      const RemedyParams& params,
+      std::shared_ptr<const EpochSnapshot> pinned);
+
+  // Blocks until no auto-remedy round is pending or in flight (returns
+  // immediately when auto_remedy is off). Call after Flush() to observe a
+  // quiesced post-remedy state deterministically.
+  void WaitRemedyIdle();
+
+  // Remedy batches WAL-committed and applied since Start.
+  int64_t remedy_commits() const;
+
   // --- query side (thread-safe, wait-free of the apply thread) --------
 
   // The newest published epoch; never null after Start.
@@ -157,19 +220,42 @@ class ServeDaemon {
   Status Stop();
 
  private:
+  // One queued unit of work. Ingest batches are plain deltas; a remedy
+  // batch additionally carries the WAL sequence its plan was pinned to
+  // (the apply thread rejects it as stale if ingest advanced past it) and
+  // a ticket the submitting thread waits on for the batch's fate.
+  struct Batch {
+    std::vector<Hierarchy::LeafDelta> deltas;
+    bool is_remedy = false;
+    uint64_t pinned_sequence = 0;
+    uint64_t ticket = 0;  // nonzero iff is_remedy
+  };
+  struct RemedyOutcome {
+    Status status;
+    uint64_t epoch = 0;  // publish epoch when status is OK
+  };
+
   ServeDaemon(const DataSchema& schema, const ServeOptions& options);
+
+  bool RemedyEnabled() const {
+    return options_.enable_remedy || options_.auto_remedy;
+  }
 
   // Shared row-parsing half of the CSV ingest entry points.
   Status IngestTable(const CsvTable& table);
 
   // The apply thread's main loop: drain batches in group commits.
   void ApplyLoop();
+  // The auto-remedy thread: waits for monitor triggers, then SubmitRemedy.
+  void RemedyLoop();
   // One group: validate + WAL-append each batch, one sync, then apply.
-  // `*applied` counts the batches that made it into the lattice. Called
+  // `*applied` counts the batches that made it into the lattice; remedy
+  // batches report their per-ticket fate into `*remedy_outcomes` (tickets
+  // missing after a group-level failure are swept by ApplyLoop). Called
   // with engine_mu_ held.
   Status CommitGroup(
-      const std::vector<std::vector<Hierarchy::LeafDelta>>& batches,
-      int64_t* applied);
+      const std::vector<Batch>& batches, int64_t* applied,
+      std::vector<std::pair<uint64_t, Status>>* remedy_outcomes);
   // Publishes a fresh snapshot of the current lattice state (engine_mu_
   // held).
   void PublishSnapshot();
@@ -184,6 +270,8 @@ class ServeDaemon {
   uint64_t schema_digest_ = 0;
   std::string wal_path_;
   std::string checkpoint_path_;
+  RemedyParams remedy_params_;  // options_.remedy with ibs = options_.ibs
+  const char* counting_backend_name_ = "scalar";  // fixed before serving
 
   // Engine state: everything the apply thread owns between commits.
   mutable std::mutex engine_mu_;
@@ -200,12 +288,19 @@ class ServeDaemon {
   // Queue + control state.
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // apply thread waits here
-  std::condition_variable drain_cv_;  // Flush / Stop wait here
-  std::deque<std::vector<Hierarchy::LeafDelta>> queue_;
+  std::condition_variable drain_cv_;  // Flush / Stop / SubmitRemedy wait here
+  std::condition_variable remedy_cv_;  // remedy thread + WaitRemedyIdle
+  std::deque<Batch> queue_;
   int64_t submitted_batches_ = 0;
   int64_t processed_batches_ = 0;  // applied or dropped
   int64_t applied_batches_ = 0;
   int64_t failed_batches_ = 0;
+  uint64_t next_ticket_ = 1;
+  std::unordered_map<uint64_t, RemedyOutcome> remedy_results_;
+  int64_t remedy_commits_ = 0;
+  int auto_remedy_rounds_ = 0;   // consecutive rounds since last ingest
+  bool remedy_pending_ = false;  // a monitor trigger awaits the thread
+  bool remedy_inflight_ = false;  // the thread is planning/committing
   bool read_only_ = false;
   bool needs_recovery_ = false;
   std::string trip_reason_;
@@ -221,6 +316,7 @@ class ServeDaemon {
   std::deque<std::shared_ptr<const EpochSnapshot>> ring_;
 
   std::thread apply_thread_;
+  std::thread remedy_thread_;  // only started when auto_remedy is on
 };
 
 }  // namespace remedy

@@ -1,14 +1,24 @@
 #!/bin/sh
-# docs-check: keep docs/METRICS.md and the registered metric set in lockstep.
+# docs-check: fail on drift between the code's registered surfaces and the
+# docs that describe them. Three checks:
 #
-# Every metric the library emits is declared in the X-macro tables of
-# src/common/pipeline_metrics.h, as the second argument of an X(...) row:
-#   X(field, "family/event", "unit", "help...")
-# and docs/METRICS.md documents each one as the first backticked cell of a
-# markdown table row:
-#   | `family/event` | counter | unit | ... |
-# This script extracts both name sets and fails (exit 1) on any difference,
-# printing the drift. Wired up as the `docs_check` ctest and the
+#   metrics   every metric declared in the X-macro tables of
+#             src/common/pipeline_metrics.h
+#               X(field, "family/event", "unit", "help...")
+#             appears as the first backticked cell of a docs/METRICS.md
+#             table row, and vice versa;
+#   backends  the registered backend names (the `if (name == "...")` lines
+#             of ParseCountingBackend / ParseRemedyBackend, in declaration
+#             order) appear pipe-joined — `scalar|simd|sharded`,
+#             `rebuild|incremental|streaming` — in docs/CLI.md, and the
+#             remedy list also in docs/REMEDY.md, so a backend added to a
+#             registry cannot ship undocumented;
+#   flags     every `"--flag"` literal in examples/remedy_cli.cpp and
+#             examples/remedy_serve.cpp has a backticked `--flag` mention
+#             in docs/CLI.md, and every documented flag exists in the code
+#             (symmetric, so renames cannot leave stale docs behind).
+#
+# Exits 1 printing the drift. Wired up as the `docs_check` ctest and the
 # `docs-check` build target.
 #
 # Usage: docs_check.sh [repo-root]
@@ -17,9 +27,16 @@ set -u
 root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 header="$root/src/common/pipeline_metrics.h"
 doc="$root/docs/METRICS.md"
+cli_doc="$root/docs/CLI.md"
+remedy_doc="$root/docs/REMEDY.md"
+counting_cc="$root/src/core/counting_backend.cc"
+remedy_cc="$root/src/core/remedy_backend.cc"
+cli_src="$root/examples/remedy_cli.cpp"
+serve_src="$root/examples/remedy_serve.cpp"
 
 fail=0
-for f in "$header" "$doc"; do
+for f in "$header" "$doc" "$cli_doc" "$remedy_doc" "$counting_cc" \
+         "$remedy_cc" "$cli_src" "$serve_src"; do
   if [ ! -f "$f" ]; then
     echo "docs-check: missing $f" >&2
     fail=1
@@ -60,7 +77,68 @@ if [ -n "$stale" ]; then
   fail=1
 fi
 
+# --- backend-name drift ----------------------------------------------------
+# The authoritative name list of a backend registry is its Parse function's
+# `if (name == "...")` chain, read in declaration order and pipe-joined.
+# The joined form is exactly what the CLI help and the docs print, so a
+# plain substring check catches both a missing name and a reordered list.
+backend_list() {
+  sed -n 's/^ *if (name == "\([a-z]*\)").*/\1/p' "$1" | paste -sd'|' -
+}
+
+counting_names="$(backend_list "$counting_cc")"
+remedy_names="$(backend_list "$remedy_cc")"
+if [ -z "$counting_names" ] || [ -z "$remedy_names" ]; then
+  echo "docs-check: extracted no backend names (pattern drift in Parse*Backend?)" >&2
+  exit 1
+fi
+
+require_literal() {
+  # require_literal <literal> <file> <what>
+  if ! grep -qF "$1" "$2"; then
+    echo "docs-check: $3 must spell out the registered list \`$1\` ($2)" >&2
+    fail=1
+  fi
+}
+require_literal "$counting_names" "$cli_doc" "docs/CLI.md (counting backends)"
+require_literal "$remedy_names" "$cli_doc" "docs/CLI.md (remedy backends)"
+require_literal "$remedy_names" "$remedy_doc" "docs/REMEDY.md (remedy backends)"
+
+# --- CLI-flag drift --------------------------------------------------------
+# Code side: exact `"--flag"` string literals in the two CLI front ends
+# (comparison operands only — prose mentions always break the pattern with
+# a space before the closing quote). The bare "--" prefix-check literal is
+# dropped by the length filter (but `--T`, length 3, must survive it).
+grep -ho '"--[A-Za-z-]*"' "$cli_src" "$serve_src" \
+  | sed 's/"//g' | awk 'length > 2' | sort -u > "$tmpdir/flags_code"
+
+# Docs side: backtick-opened `--flag tokens anywhere in docs/CLI.md. The
+# closing backtick is NOT required, so table cells like `--tau-c x` or
+# `--backend scalar|simd|sharded` count as documenting their flag.
+grep -o '`--[A-Za-z-]*' "$cli_doc" \
+  | sed 's/`//g' | sort -u > "$tmpdir/flags_docs"
+
+if [ ! -s "$tmpdir/flags_code" ]; then
+  echo "docs-check: extracted no CLI flags from the examples (pattern drift?)" >&2
+  exit 1
+fi
+
+flags_undocumented="$(comm -23 "$tmpdir/flags_code" "$tmpdir/flags_docs")"
+flags_stale="$(comm -13 "$tmpdir/flags_code" "$tmpdir/flags_docs")"
+if [ -n "$flags_undocumented" ]; then
+  echo "docs-check: flags parsed by remedy_cli/remedy_serve but missing from docs/CLI.md:" >&2
+  echo "$flags_undocumented" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [ -n "$flags_stale" ]; then
+  echo "docs-check: flags documented in docs/CLI.md but parsed by neither CLI:" >&2
+  echo "$flags_stale" | sed 's/^/  /' >&2
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs-check: $(wc -l < "$tmpdir/code" | tr -d ' ') metrics in sync"
+  echo "docs-check: $(wc -l < "$tmpdir/code" | tr -d ' ') metrics," \
+       "$(wc -l < "$tmpdir/flags_code" | tr -d ' ') flags and the" \
+       "backend registries ($counting_names; $remedy_names) in sync"
 fi
 exit "$fail"
