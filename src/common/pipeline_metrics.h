@@ -68,6 +68,22 @@ namespace remedy {
     "optimization instead of a naive rescan")                                 \
   X(ibs_neighbor_naive, "ibs/neighbor_naive", "nodes",                        \
     "neighbor-count evaluations that fell back to the naive scan")            \
+  X(ibs_incr_dirty_leaves, "ibs_incr/dirty_leaves", "keys",                   \
+    "leaf region keys consumed from the dirty set per incremental "           \
+    "identify pass")                                                          \
+  X(ibs_incr_rescored_regions, "ibs_incr/rescored_regions", "regions",        \
+    "regions re-scored by the incremental identify path (dirty keys plus "    \
+    "their neighborhood frontier)")                                           \
+  X(ibs_incr_neighborhood_expansions, "ibs_incr/neighborhood_expansions",     \
+    "regions",                                                                \
+    "frontier keys added to the re-evaluation set because a region within "   \
+    "distance T of them changed")                                             \
+  X(ibs_incr_cache_hits, "ibs_incr/cache_hits", "regions",                    \
+    "biased verdicts reused from the previous pass's cache instead of "       \
+    "being re-scored")                                                        \
+  X(ibs_incr_full_fallbacks, "ibs_incr/full_fallbacks", "passes",             \
+    "incremental identify passes that fell back to a full lattice sweep "     \
+    "(cold cache, recovery, rebuild, or params change)")                      \
   X(remedy_regions_planned, "remedy/regions_planned", "regions",              \
     "imbalanced regions a remedy plan was computed for")                      \
   X(remedy_oversample_rows_added, "remedy/oversample/rows_added", "rows",     \
@@ -181,6 +197,9 @@ namespace remedy {
   X(serve_apply_ns, "serve/apply_ns", "ns",                         \
     "per-batch wall time from dequeue through WAL commit, lattice " \
     "apply, and snapshot publish")                                  \
+  X(ibs_incr_identify_ns, "ibs_incr/identify_ns", "ns",             \
+    "wall time of each incremental identify pass (full fallbacks "  \
+    "not included)")                                                \
   X(remedy_backend_plan_ns, "remedy_backend/plan_ns", "ns",         \
     "wall time of RemedyBackend::PlanDeltas (materialize, plan, "   \
     "and diff)")

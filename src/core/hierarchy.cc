@@ -183,8 +183,11 @@ void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas,
       static_cast<int64_t>(deltas.size()));
   const uint32_t leaf = LeafMask();
   for (auto& [mask, table] : node_cache_) {
+    std::unordered_set<uint64_t>* touched =
+        dirty_tracking_ ? &dirty_.touched[mask] : nullptr;
     for (const LeafDelta& delta : deltas) {
       const uint64_t key = counter_.ProjectKey(delta.leaf_key, leaf, mask);
+      if (touched != nullptr) touched->insert(key);
       if (insert_missing) {
         table.UpsertDelta(key, delta.delta_positives, delta.delta_negatives);
       } else {
@@ -195,6 +198,16 @@ void Hierarchy::ApplyDeltas(const std::vector<LeafDelta>& deltas,
   for (const LeafDelta& delta : deltas) {
     total_counts_.positives += delta.delta_positives;
     total_counts_.negatives += delta.delta_negatives;
+  }
+  if (dirty_tracking_) {
+    for (const LeafDelta& delta : deltas) {
+      dirty_.delta_positives += delta.delta_positives;
+      dirty_.delta_negatives += delta.delta_negatives;
+    }
+  } else {
+    // Untracked mutation: a dirty-set consumer can no longer trust its
+    // cache against these counts.
+    ++generation_;
   }
   REMEDY_CHECK(total_counts_.positives >= 0 && total_counts_.negatives >= 0)
       << "deltas drove the dataset totals negative";
@@ -291,6 +304,9 @@ void Hierarchy::Invalidate() {
   owned_store_.reset();
   total_valid_ = false;
   fully_built_ = false;
+  // The rebuilt counts will not be described by the dirty set.
+  dirty_.Clear();
+  ++generation_;
 }
 
 }  // namespace remedy

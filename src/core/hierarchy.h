@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +29,31 @@ namespace remedy {
 // whole lattice level by level, optionally fanning the independent nodes of
 // a level out over a thread pool. `Invalidate()` drops the memo after the
 // underlying dataset changes.
+// The region keys ApplyDeltas touched since the set was last cleared — the
+// seed of the incremental identify path (see core/ibs_incremental.h). Every
+// leaf delta projects into exactly one region of every node, and ApplyDeltas
+// computes those projections anyway, so recording them here is free of extra
+// key arithmetic. The set accumulates across epochs until a consumer clears
+// it, so an identify that runs every N epochs still sees every touched key.
+struct DirtySet {
+  // Per node mask: the region keys some applied delta projected into.
+  std::unordered_map<uint32_t, std::unordered_set<uint64_t>> touched;
+  // Net drift of the level-0 totals since the set was last cleared.
+  int64_t delta_positives = 0;
+  int64_t delta_negatives = 0;
+
+  // True iff no delta was applied since the last Clear (a delta touches
+  // every node, so `touched` is empty exactly when nothing changed).
+  bool empty() const {
+    return touched.empty() && delta_positives == 0 && delta_negatives == 0;
+  }
+  void Clear() {
+    touched.clear();
+    delta_positives = 0;
+    delta_negatives = 0;
+  }
+};
+
 class Hierarchy {
  public:
   // `data` must outlive the hierarchy.
@@ -153,6 +179,23 @@ class Hierarchy {
   // Drops memoized counts (call after mutating the dataset).
   void Invalidate();
 
+  // --- dirty-region tracking (the incremental identify seed) ----------
+
+  // Starts recording the region keys ApplyDeltas touches into dirty_set().
+  // Cheap when off (one branch per node per batch); callers that never
+  // consume the set never pay for it.
+  void EnableDirtyTracking() { dirty_tracking_ = true; }
+  bool dirty_tracking() const { return dirty_tracking_; }
+  const DirtySet& dirty_set() const { return dirty_; }
+  void ClearDirtySet() { dirty_.Clear(); }
+
+  // Monotonic stamp of "the counts changed in a way dirty_set() does not
+  // describe": bumped by Invalidate() (the lattice is rebuilt from its row
+  // source) and by any ApplyDeltas that ran while tracking was off. A
+  // cached incremental-identify state compares stamps and falls back to a
+  // full pass on mismatch.
+  uint64_t mutation_generation() const { return generation_; }
+
  private:
   // Computes node `mask` from the cheapest available source: a leaf scan,
   // or a rollup of a (possibly recursively built) child one level below.
@@ -174,6 +217,9 @@ class Hierarchy {
   RegionCounts total_counts_;
   bool total_valid_ = false;
   bool fully_built_ = false;
+  bool dirty_tracking_ = false;
+  DirtySet dirty_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace remedy

@@ -27,6 +27,25 @@ std::vector<uint32_t> ScopeMasks(const Hierarchy& hierarchy, IbsScope scope) {
   return {};
 }
 
+RegionVerdict ScoreRegion(Hierarchy& hierarchy,
+                          NeighborhoodCalculator& neighborhood,
+                          bool use_optimized, uint32_t mask, uint64_t key,
+                          const RegionCounts& counts, const IbsParams& params,
+                          BiasedRegion* out) {
+  if (counts.Total() <= params.min_region_size) return RegionVerdict::kSkipped;
+  Pattern pattern = hierarchy.counter().PatternFor(key, mask);
+  RegionCounts neighbor_counts =
+      use_optimized ? neighborhood.OptimizedNeighborCounts(pattern, counts)
+                    : neighborhood.NaiveNeighborCounts(pattern);
+  double ratio = ImbalanceScore(counts);
+  double neighbor_ratio = ImbalanceScore(neighbor_counts);
+  if (std::abs(ratio - neighbor_ratio) <= params.imbalance_threshold) {
+    return RegionVerdict::kUnbiased;
+  }
+  *out = {std::move(pattern), counts, neighbor_counts, ratio, neighbor_ratio};
+  return RegionVerdict::kBiased;
+}
+
 std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
                                             uint32_t mask,
                                             const IbsParams& params) {
@@ -45,18 +64,14 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
   int64_t reuse = 0;
   int64_t naive = 0;
   for (const auto& [key, counts] : node) {
-    if (counts.Total() <= params.min_region_size) continue;
-    Pattern pattern = hierarchy.counter().PatternFor(key, mask);
-    RegionCounts neighbor_counts =
-        use_optimized
-            ? neighborhood.OptimizedNeighborCounts(pattern, counts)
-            : neighborhood.NaiveNeighborCounts(pattern);
+    BiasedRegion region;
+    const RegionVerdict verdict = ScoreRegion(
+        hierarchy, neighborhood, use_optimized, mask, key, counts, params,
+        &region);
+    if (verdict == RegionVerdict::kSkipped) continue;
     use_optimized ? ++reuse : ++naive;
-    double ratio = ImbalanceScore(counts);
-    double neighbor_ratio = ImbalanceScore(neighbor_counts);
-    if (std::abs(ratio - neighbor_ratio) > params.imbalance_threshold) {
-      biased.push_back({std::move(pattern), counts, neighbor_counts, ratio,
-                        neighbor_ratio});
+    if (verdict == RegionVerdict::kBiased) {
+      biased.push_back(std::move(region));
     }
   }
   const PipelineMetrics& metrics = PipelineMetrics::Get();

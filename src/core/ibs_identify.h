@@ -69,6 +69,23 @@ std::vector<BiasedRegion> IdentifyIbsInNode(Hierarchy& hierarchy,
                                             uint32_t mask,
                                             const IbsParams& params);
 
+// Outcome of scoring one region: too small to judge, judged clean, or
+// judged biased (out filled).
+enum class RegionVerdict { kSkipped, kUnbiased, kBiased };
+
+// Scores the region at `key` of node `mask` exactly as the full
+// IdentifyIbsInNode sweep does — the one scoring implementation both the
+// full and the incremental identify paths run, which is what makes their
+// outputs bit-identical by construction (same inputs, same float ops).
+// `use_optimized` must be `params.algorithm == kOptimized &&
+// neighborhood.SupportsOptimized(mask)`, i.e. the caller resolves the
+// strategy once per node.
+RegionVerdict ScoreRegion(Hierarchy& hierarchy,
+                          NeighborhoodCalculator& neighborhood,
+                          bool use_optimized, uint32_t mask, uint64_t key,
+                          const RegionCounts& counts, const IbsParams& params,
+                          BiasedRegion* out);
+
 // Node masks visited under `scope`, in traversal order.
 std::vector<uint32_t> ScopeMasks(const Hierarchy& hierarchy, IbsScope scope);
 

@@ -1,0 +1,109 @@
+#ifndef REMEDY_CORE_IBS_INCREMENTAL_H_
+#define REMEDY_CORE_IBS_INCREMENTAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/ibs_identify.h"
+
+namespace remedy {
+
+// Per-pass accounting of one IncrementalIbsState::Identify call.
+struct IncrementalIdentifyStats {
+  bool incremental = false;      // false: the pass fell back to a full sweep
+  int64_t dirty_leaves = 0;      // leaf region keys the epoch's deltas touched
+  int64_t dirty_regions = 0;     // touched keys summed over every node
+  int64_t rescored_regions = 0;  // regions re-scored this pass
+  int64_t expanded_regions = 0;  // neighborhood-frontier keys added to dirty
+  int64_t cached_regions = 0;    // biased verdicts reused from the cache
+  int64_t full_node_rescores = 0;  // whole nodes re-swept (T >= diameter)
+};
+
+// Dirty-region incremental IBS maintenance: caches the previous identify
+// pass's per-node biased verdicts and, on the next pass, re-scores only the
+// regions the interim ApplyDeltas batches touched (Hierarchy::dirty_set())
+// plus their comparison neighborhoods, merging with the cached verdicts
+// elsewhere. The output is bit-identical to a from-scratch sweep of
+// IdentifyIbsInNode over ScopeMasks — same regions, same floats, same
+// order — because:
+//
+//  * every re-scored region runs the exact ScoreRegion the full sweep runs,
+//    on the same NodeTable counts;
+//  * a region is re-scored iff its verdict's inputs could have changed: its
+//    own counts changed (it is dirty), or a region within distance T of it
+//    changed (the dirty frontier expanded one neighborhood hop — the metric
+//    is symmetric, so "neighbors of dirty" is exactly "regions whose
+//    neighborhood contains a dirty region"); in the T >= node-diameter
+//    regime, where r_n = totals - r, the whole node is re-swept when the
+//    totals drifted and only the dirty regions when they did not;
+//  * the merged per-node output walks cached and re-scored entries in
+//    ascending key order — the NodeTable iteration order of the full sweep.
+//
+// Falls back to a full sweep (recording why) on: a cold cache, an
+// Invalidate() call (the daemon does this on recovery), a rebuilt or
+// swapped hierarchy, a params change, or dirty tracking having been off
+// while deltas applied (Hierarchy::mutation_generation() moves).
+//
+// Not thread-safe; the daemon drives it from its single apply thread.
+class IncrementalIbsState {
+ public:
+  // The identify pass: incremental when the cache is valid, else a full
+  // sweep that (re)fills it. Consumes and clears the hierarchy's dirty set
+  // and enables dirty tracking for the next inter-pass window.
+  std::vector<BiasedRegion> Identify(Hierarchy& hierarchy,
+                                     const IbsParams& params);
+
+  // Forces the next Identify to run a full sweep, recording `reason` as
+  // the fallback reason (e.g. "recovery").
+  void Invalidate(const std::string& reason);
+
+  // Accounting of the most recent Identify call.
+  const IncrementalIdentifyStats& last_stats() const { return stats_; }
+
+  // Why the most recent full sweep ran ("" until one has). Sticky: later
+  // incremental passes do not clear it, so a health report can always say
+  // what last forced a fallback.
+  const std::string& last_fallback_reason() const {
+    return last_fallback_reason_;
+  }
+
+  bool has_cache() const { return have_cache_; }
+
+ private:
+  struct NodeCache {
+    // Biased verdicts of one node, ascending by region key.
+    std::vector<std::pair<uint64_t, BiasedRegion>> biased;
+  };
+
+  // Non-empty reason iff the cache cannot serve `hierarchy` + `params`.
+  std::string FullPassReason(const Hierarchy& hierarchy,
+                             const IbsParams& params) const;
+
+  std::vector<BiasedRegion> FullPass(Hierarchy& hierarchy,
+                                     const IbsParams& params,
+                                     const std::string& reason);
+
+  std::unordered_map<uint32_t, NodeCache> cache_;
+  bool have_cache_ = false;
+  std::string pending_reason_ = "cold_cache";  // non-empty: full pass forced
+  const Hierarchy* cached_hierarchy_ = nullptr;
+  uint64_t cached_generation_ = 0;
+  IbsParams cached_params_;
+  IncrementalIdentifyStats stats_;
+  std::string last_fallback_reason_;
+};
+
+// Order-sensitive FNV-1a digest over an identified subgroup set: pattern
+// values, counts, neighbor counts, and the raw ratio bits of every region.
+// Two IBS vectors digest equal iff they are byte-identical region for
+// region — the parity check of the incremental identify tests and the
+// serve_steady bench.
+uint64_t IbsSetDigest(const std::vector<BiasedRegion>& ibs);
+
+}  // namespace remedy
+
+#endif  // REMEDY_CORE_IBS_INCREMENTAL_H_

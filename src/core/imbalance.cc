@@ -70,10 +70,8 @@ void NeighborhoodCalculator::AccumulateNeighbors(
   current.SetValue(position, original_value);
 }
 
-bool NeighborhoodCalculator::SupportsOptimized(uint32_t mask) const {
+double NeighborhoodCalculator::SquaredDiameter(uint32_t mask) const {
   const DataSchema& schema = hierarchy_.schema();
-  // Node diameter: the largest possible distance between two regions of the
-  // node under the per-attribute metrics.
   double squared_diameter = 0.0;
   for (int i = 0; i < schema.NumProtected(); ++i) {
     if (!(mask & (1u << i))) continue;
@@ -82,8 +80,57 @@ bool NeighborhoodCalculator::SupportsOptimized(uint32_t mask) const {
     double max_d = attr.ordinal() ? attr.Cardinality() - 1 : 1.0;
     squared_diameter += max_d * max_d;
   }
+  return squared_diameter;
+}
+
+bool NeighborhoodCalculator::WholeNodeNeighborhood(uint32_t mask) const {
   const double squared_t = distance_threshold_ * distance_threshold_;
-  if (squared_t + 1e-9 >= squared_diameter) return true;  // T = |X| regime
+  return squared_t + 1e-9 >= SquaredDiameter(mask);
+}
+
+void NeighborhoodCalculator::AppendNeighborKeys(const Pattern& pattern,
+                                                std::vector<uint64_t>* keys) {
+  std::vector<int> det_positions;
+  for (int i = 0; i < pattern.Arity(); ++i) {
+    if (pattern.IsDeterministic(i)) det_positions.push_back(i);
+  }
+  REMEDY_CHECK(!det_positions.empty())
+      << "the level-0 region has no neighboring region";
+  Pattern current = pattern;
+  CollectNeighborKeys(pattern, current, det_positions, 0, 0.0, keys);
+}
+
+void NeighborhoodCalculator::CollectNeighborKeys(
+    const Pattern& original, Pattern& current,
+    const std::vector<int>& det_positions, size_t next_position,
+    double squared_distance, std::vector<uint64_t>* keys) {
+  if (next_position == det_positions.size()) {
+    if (squared_distance <= 0.0) return;  // the region itself is not in r_n
+    keys->push_back(hierarchy_.counter().KeyFor(
+        current, original.DeterministicMask()));
+    return;
+  }
+
+  const DataSchema& schema = hierarchy_.schema();
+  const int position = det_positions[next_position];
+  const AttributeSchema& attr =
+      schema.attribute(schema.protected_indices()[position]);
+  const int original_value = original.Value(position);
+  const double budget = distance_threshold_ * distance_threshold_ + 1e-9;
+  for (int value = 0; value < attr.Cardinality(); ++value) {
+    double d = attr.Distance(original_value, value);
+    double next_squared = squared_distance + d * d;
+    if (next_squared > budget) continue;
+    current.SetValue(position, value);
+    CollectNeighborKeys(original, current, det_positions, next_position + 1,
+                        next_squared, keys);
+  }
+  current.SetValue(position, original_value);
+}
+
+bool NeighborhoodCalculator::SupportsOptimized(uint32_t mask) const {
+  const DataSchema& schema = hierarchy_.schema();
+  if (WholeNodeNeighborhood(mask)) return true;  // T = |X| regime
   // The dominating-region identity holds for T = 1 in the unit-distance
   // setting: the distance-1 neighbors are exactly the regions that change
   // one attribute, which is what R_d sums (minus the over-counted r).
@@ -106,15 +153,7 @@ RegionCounts NeighborhoodCalculator::OptimizedNeighborCounts(
          "the T = |X| regime";
 
   const DataSchema& schema = hierarchy_.schema();
-  double squared_diameter = 0.0;
-  for (int i = 0; i < schema.NumProtected(); ++i) {
-    if (!(mask & (1u << i))) continue;
-    const AttributeSchema& attr =
-        schema.attribute(schema.protected_indices()[i]);
-    double max_d = attr.ordinal() ? attr.Cardinality() - 1 : 1.0;
-    squared_diameter += max_d * max_d;
-  }
-  if (distance_threshold_ * distance_threshold_ + 1e-9 >= squared_diameter) {
+  if (WholeNodeNeighborhood(mask)) {
     // T = |X|: the neighboring region is every other region of the node,
     // whose union is the entire dataset minus r.
     const RegionCounts& total = hierarchy_.TotalCounts();

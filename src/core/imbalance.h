@@ -49,6 +49,24 @@ class NeighborhoodCalculator {
   // True when `distance_threshold` is handled by the optimized fast paths.
   bool SupportsOptimized(uint32_t mask) const;
 
+  // True when T covers node `mask`'s whole key space (T >= the node
+  // diameter): every region of the node is then in every other region's
+  // neighboring region, so r_n = node totals - r for both strategies. In
+  // this regime a region's neighbor counts change only when the dataset
+  // totals or its own counts do — the incremental identify path keys its
+  // re-evaluation rule on this predicate.
+  bool WholeNodeNeighborhood(uint32_t mask) const;
+
+  // Appends the region key of every candidate neighbor pattern of
+  // `pattern` (the same-node patterns within distance T, excluding the
+  // region itself) to `keys`, whether or not the node's table holds an
+  // entry for it. Mirrors NaiveNeighborCounts' enumeration exactly —
+  // same budget, same per-attribute metrics — so "the keys this returns"
+  // is precisely "the regions whose neighborhood contains `pattern`"
+  // (the metric is symmetric). This is the dirty-frontier expansion of
+  // the incremental identify path.
+  void AppendNeighborKeys(const Pattern& pattern, std::vector<uint64_t>* keys);
+
  private:
   // Recursively enumerates neighbor patterns by substituting deterministic
   // values, pruning on accumulated squared distance.
@@ -56,6 +74,16 @@ class NeighborhoodCalculator {
                            const std::vector<int>& det_positions,
                            size_t next_position, double squared_distance,
                            RegionCounts* total);
+
+  // Same enumeration, collecting keys instead of summing counts.
+  void CollectNeighborKeys(const Pattern& original, Pattern& current,
+                           const std::vector<int>& det_positions,
+                           size_t next_position, double squared_distance,
+                           std::vector<uint64_t>* keys);
+
+  // Largest possible squared distance between two regions of node `mask`
+  // under the per-attribute metrics.
+  double SquaredDiameter(uint32_t mask) const;
 
   Hierarchy& hierarchy_;
   double distance_threshold_;

@@ -92,7 +92,8 @@ StatusOr<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
   NodeTable leaf_counts;
   RegionCounts totals;
   uint64_t checkpoint_sequence = 0;
-  if (FileExists(daemon->checkpoint_path_)) {
+  const bool had_checkpoint = FileExists(daemon->checkpoint_path_);
+  if (had_checkpoint) {
     ASSIGN_OR_RETURN(WalCheckpoint checkpoint,
                      ReadWalCheckpoint(daemon->checkpoint_path_));
     if (checkpoint.schema_digest != daemon->schema_digest_) {
@@ -123,6 +124,14 @@ StatusOr<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
   ASSIGN_OR_RETURN(daemon->wal_,
                    DeltaWal::Open(daemon->wal_path_, daemon->schema_digest_,
                                   replay.last_sequence + 1));
+
+  // The incremental identify state starts cold either way; the reason
+  // distinguishes "this daemon healed from durable state" (the chaos tests
+  // assert the first post-recovery identify is a full sweep) from a truly
+  // empty start.
+  daemon->ibs_state_.Invalidate(
+      had_checkpoint || replay.records_applied > 0 ? "recovery"
+                                                   : "cold_start");
 
   {
     std::lock_guard<std::mutex> engine_lock(daemon->engine_mu_);
@@ -534,6 +543,7 @@ Status ServeDaemon::CommitGroup(
       }
     }
     hierarchy_->ApplyDeltas(batch->deltas, /*insert_missing=*/true);
+    leaf_census_stale_ = true;
     last_committed_sequence_ = sequence;
     ++batches_since_checkpoint_;
     ++*applied;
@@ -555,10 +565,24 @@ void ServeDaemon::PublishSnapshot() {
        epoch_ % static_cast<uint64_t>(options_.identify_every_epochs) == 0);
   if (identify) {
     std::vector<BiasedRegion> ibs;
-    for (uint32_t mask : ScopeMasks(*hierarchy_, options_.ibs.scope)) {
-      std::vector<BiasedRegion> in_node =
-          IdentifyIbsInNode(*hierarchy_, mask, options_.ibs);
-      ibs.insert(ibs.end(), in_node.begin(), in_node.end());
+    if (options_.identify_mode == IdentifyMode::kIncremental) {
+      // Bit-identical to the full sweep below (see IncrementalIbsState);
+      // only the cost moves. The state self-falls-back to a full pass on
+      // cold cache, recovery, or anything it cannot prove incremental.
+      ibs = ibs_state_.Identify(*hierarchy_, options_.ibs);
+      const IncrementalIdentifyStats& st = ibs_state_.last_stats();
+      std::lock_guard<std::mutex> lock(mu_);
+      identify_health_.last_incremental = st.incremental;
+      identify_health_.dirty_leaves = st.dirty_leaves;
+      identify_health_.rescored_regions = st.rescored_regions;
+      identify_health_.cached_regions = st.cached_regions;
+      identify_health_.fallback_reason = ibs_state_.last_fallback_reason();
+    } else {
+      for (uint32_t mask : ScopeMasks(*hierarchy_, options_.ibs.scope)) {
+        std::vector<BiasedRegion> in_node =
+            IdentifyIbsInNode(*hierarchy_, mask, options_.ibs);
+        ibs.insert(ibs.end(), in_node.begin(), in_node.end());
+      }
     }
     // The online monitor: digest the identified subgroup set (node mask +
     // region key per subgroup) and flag epoch-over-epoch changes.
@@ -588,8 +612,16 @@ void ServeDaemon::PublishSnapshot() {
   snapshot->ibs = last_ibs_;
   snapshot->ibs_epoch = last_ibs_epoch_;
   if (RemedyEnabled()) {
-    snapshot->leaf_counts = std::make_shared<NodeTable>(
-        hierarchy_->NodeCounts(hierarchy_->LeafMask()));
+    // Copy-on-write census: a publish with no committed leaf change (e.g. a
+    // drained group whose batches all failed validation) shares the previous
+    // epoch's table instead of deep-copying a potentially million-row
+    // NodeTable. Snapshots only ever read it.
+    if (leaf_census_stale_ || leaf_census_ == nullptr) {
+      leaf_census_ = std::make_shared<const NodeTable>(
+          hierarchy_->NodeCounts(hierarchy_->LeafMask()));
+      leaf_census_stale_ = false;
+    }
+    snapshot->leaf_counts = leaf_census_;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -752,6 +784,7 @@ std::string ServeDaemon::HealthJson() const {
   int64_t submitted, applied, failed, remedy_commits;
   bool is_read_only, lagging;
   std::string reason;
+  IdentifyHealth identify;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_depth = queue_.size();
@@ -762,6 +795,7 @@ std::string ServeDaemon::HealthJson() const {
     is_read_only = read_only_;
     lagging = needs_recovery_;
     reason = trip_reason_;
+    identify = identify_health_;
   }
   std::string json = "{";
   json += "\"status\":\"" +
@@ -802,6 +836,19 @@ std::string ServeDaemon::HealthJson() const {
   json += "\"needs_recovery\":" + std::string(lagging ? "true" : "false") +
           ",";
   json += "\"trip_reason\":\"" + EscapeJson(reason) + "\",";
+  json += "\"identify_mode\":\"" +
+          std::string(options_.identify_mode == IdentifyMode::kIncremental
+                          ? "incremental"
+                          : "full") +
+          "\",";
+  json += "\"identify\":{\"last_epoch_incremental\":" +
+          std::string(identify.last_incremental ? "true" : "false") +
+          ",\"dirty_leaves\":" + std::to_string(identify.dirty_leaves) +
+          ",\"rescored_regions\":" +
+          std::to_string(identify.rescored_regions) +
+          ",\"cached_regions\":" + std::to_string(identify.cached_regions) +
+          ",\"fallback_reason\":\"" + EscapeJson(identify.fallback_reason) +
+          "\"},";
   json += "\"metrics\":" +
           MetricsToJson(MetricsRegistry::Global().Snapshot());
   json += "}";

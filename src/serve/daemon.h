@@ -15,12 +15,24 @@
 #include "common/status.h"
 #include "core/hierarchy.h"
 #include "core/ibs_identify.h"
+#include "core/ibs_incremental.h"
 #include "core/remedy_backend.h"
 #include "serve/wal.h"
 
 namespace remedy {
 
 struct CsvTable;
+
+// How PublishSnapshot maintains the per-epoch IBS (--identify-mode):
+// kFull re-scores the whole lattice every identify epoch; kIncremental
+// re-scores only the regions the epoch's deltas touched plus their
+// comparison neighborhoods (core/ibs_incremental.h), falling back to a
+// full sweep on recovery and cold starts. Output is bit-identical either
+// way — the mode only moves the per-epoch cost.
+enum class IdentifyMode {
+  kFull,
+  kIncremental,
+};
 
 // The crash-safe streaming fairness daemon (see docs/SERVICE.md).
 //
@@ -66,6 +78,8 @@ struct ServeOptions {
   // 0 = never; the snapshot then carries the previous epoch's IBS). The
   // online monitor only sees change at identify epochs.
   int identify_every_epochs = 1;
+  // Full vs dirty-region incremental identify (see IdentifyMode above).
+  IdentifyMode identify_mode = IdentifyMode::kIncremental;
 
   // Rollup fan-out of the recovery-time EagerBuild (<= 0 = all CPUs).
   int build_threads = 1;
@@ -284,6 +298,13 @@ class ServeDaemon {
   uint64_t last_ibs_epoch_ = 0;
   uint64_t last_ibs_digest_ = 0;  // of the identified subgroup set
   std::atomic<int64_t> monitor_alerts_{0};
+  // Dirty-region identify state (apply thread only, engine_mu_ held).
+  IncrementalIbsState ibs_state_;
+  // The leaf census last materialized into a snapshot; re-copied only when
+  // a batch changed the lattice since (copy-on-write — an epoch published
+  // by a dropped batch or an empty group shares the previous census).
+  std::shared_ptr<const NodeTable> leaf_census_;
+  bool leaf_census_stale_ = true;
 
   // Queue + control state.
   mutable std::mutex mu_;
@@ -308,6 +329,16 @@ class ServeDaemon {
   bool stop_started_ = false;  // some thread owns the shutdown sequence
   bool stopped_ = false;
   Status first_error_;
+  // Last identify pass's accounting, mirrored here (mu_) so HealthJson
+  // never has to take engine_mu_ behind a long identify or commit.
+  struct IdentifyHealth {
+    bool last_incremental = false;
+    int64_t dirty_leaves = 0;
+    int64_t rescored_regions = 0;
+    int64_t cached_regions = 0;
+    std::string fallback_reason;
+  };
+  IdentifyHealth identify_health_;
 
   // Published epochs, newest last; capped at kSnapshotRing.
   static constexpr size_t kSnapshotRing = 8;
